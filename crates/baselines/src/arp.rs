@@ -1,0 +1,164 @@
+//! Acquire-Release Persistency (ARP, Kolli et al.) modelled at the
+//! persist-schedule level (§3 of the LRP paper).
+//!
+//! ARP's implementation builds on a persist buffer: writes enqueue
+//! tagged with a global buffer epoch; a release merely *raises a flag*,
+//! and the next acquire that finds the flag raised places a full persist
+//! barrier (increments the epoch). Persist order is epoch order — and
+//! crucially, **within an epoch the hardware may persist writes in any
+//! order**, including a release before the writes that precede it in
+//! program order. That freedom is exactly why ARP cannot recover the
+//! linked list of Figure 1: the linking CAS may persist while the node's
+//! fields have not.
+//!
+//! [`arp_schedule`] replays a trace through this buffer model and emits a
+//! [`PersistSchedule`]; [`ArpOrder`] selects the within-epoch order (the
+//! benign insertion order, or the adversarial release-first order every
+//! correct persistency model must tolerate).
+
+use lrp_model::spec::PersistSchedule;
+use lrp_model::Trace;
+
+/// Within-epoch persist order chosen by the (adversarial) hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArpOrder {
+    /// Persist in buffer-insertion order — a lucky schedule that often
+    /// happens to satisfy RP.
+    Insertion,
+    /// Persist releases before the plain writes of the same epoch — an
+    /// ARP-legal schedule exhibiting the §3.1.1 shortcoming.
+    ReleaseFirst,
+}
+
+/// Replays `trace` through the ARP persist-buffer model and returns the
+/// resulting persist schedule.
+pub fn arp_schedule(trace: &Trace, order: ArpOrder) -> PersistSchedule {
+    // Bucket writes by global buffer epoch.
+    let mut epoch = 0u64;
+    let mut flag = false;
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new()];
+    for e in &trace.events {
+        if e.is_acquire() && flag {
+            // The acquire places the (deferred) persist barrier.
+            flag = false;
+            epoch += 1;
+            buckets.push(Vec::new());
+        }
+        if e.is_write_effect() {
+            buckets[epoch as usize].push(e.id);
+        }
+        if e.is_release() {
+            flag = true;
+        }
+    }
+    // Emit stamps: epochs in order; within an epoch, per `order`.
+    let mut sched = PersistSchedule::new(trace.events.len());
+    let mut stamp = 0u64;
+    for bucket in &buckets {
+        match order {
+            ArpOrder::Insertion => {
+                for &w in bucket {
+                    sched.set(w, stamp);
+                    stamp += 1;
+                }
+            }
+            ArpOrder::ReleaseFirst => {
+                let (rel, plain): (Vec<_>, Vec<_>) = bucket
+                    .iter()
+                    .partition(|&&w| trace.events[w as usize].is_release());
+                for &w in rel.iter().chain(plain.iter()) {
+                    sched.set(w, stamp);
+                    stamp += 1;
+                }
+            }
+        }
+    }
+    sched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrp_model::litmus::LitmusBuilder;
+    use lrp_model::spec::{check_arp, check_rp, RpRule};
+    use lrp_model::Annot;
+
+    /// The Figure 1 execution: T0 prepares a node and CAS-releases the
+    /// link; T1 acquires the link and writes its own node.
+    fn fig1() -> Trace {
+        let mut b = LitmusBuilder::new(2);
+        b.init(0x200, 0);
+        b.write(0, 0x100, 42); // W1: node fields
+        b.cas(0, 0x200, 0, 0x100, Annot::Release); // Rel: link CAS
+        b.read_acq(1, 0x200); // Acq
+        b.write(1, 0x300, 7); // W4
+        b.build()
+    }
+
+    #[test]
+    fn arp_schedules_satisfy_the_arp_rule() {
+        let t = fig1();
+        for order in [ArpOrder::Insertion, ArpOrder::ReleaseFirst] {
+            let s = arp_schedule(&t, order);
+            check_arp(&t, &s).unwrap_or_else(|v| panic!("{order:?}: {v:?}"));
+        }
+    }
+
+    #[test]
+    fn adversarial_arp_violates_rp_release_barrier() {
+        // This is the paper's central observation: ARP admits a schedule
+        // in which the link persists before the node it points to.
+        let t = fig1();
+        let s = arp_schedule(&t, ArpOrder::ReleaseFirst);
+        let v = check_rp(&t, &s).unwrap_err();
+        assert!(v.iter().any(|v| v.rule == RpRule::ReleaseBarrier));
+    }
+
+    #[test]
+    fn lucky_arp_schedule_happens_to_satisfy_rp_here() {
+        let t = fig1();
+        let s = arp_schedule(&t, ArpOrder::Insertion);
+        check_rp(&t, &s).unwrap();
+    }
+
+    #[test]
+    fn acquire_barrier_separates_epochs() {
+        // W4 (after the acquire) must persist after W1 and Rel under
+        // both orders, because the acquire's barrier opens a new epoch.
+        let t = fig1();
+        for order in [ArpOrder::Insertion, ArpOrder::ReleaseFirst] {
+            let s = arp_schedule(&t, order);
+            let w1 = s.stamp(0).unwrap();
+            let rel = s.stamp(1).unwrap();
+            let w4 = s.stamp(3).unwrap();
+            assert!(w4 > w1 && w4 > rel, "{order:?}");
+        }
+    }
+
+    #[test]
+    fn no_sync_means_single_epoch() {
+        let mut b = LitmusBuilder::new(1);
+        b.write(0, 0x10, 1);
+        b.write(0, 0x20, 2);
+        let t = b.build();
+        let s = arp_schedule(&t, ArpOrder::Insertion);
+        assert_eq!(s.stamp(0), Some(0));
+        assert_eq!(s.stamp(1), Some(1));
+    }
+
+    #[test]
+    fn flag_only_triggers_on_following_acquire() {
+        // acquire BEFORE any release must not open an epoch.
+        let mut b = LitmusBuilder::new(2);
+        b.init(0x200, 0);
+        b.read_acq(1, 0x200);
+        b.write(0, 0x100, 1);
+        b.write_rel(0, 0x200, 1);
+        b.read_acq(1, 0x200);
+        b.write(1, 0x300, 2);
+        let t = b.build();
+        let s = arp_schedule(&t, ArpOrder::Insertion);
+        // W(0x100) and Rel share epoch 0; W(0x300) is epoch 1.
+        assert!(s.stamp(4).unwrap() > s.stamp(2).unwrap());
+    }
+}

@@ -1,0 +1,29 @@
+//! Baseline persistency-enforcement mechanisms (§6.2 of the paper),
+//! implementing the same [`lrp_core::PersistMech`] interface as LRP so
+//! the timing substrate treats them interchangeably:
+//!
+//! * [`nop::Nop`] — volatile execution, no persistency guarantees (the
+//!   paper's NOP baseline and normalization point),
+//! * [`sb::StrictBarrier`] — a strict full barrier around every release:
+//!   the core stalls until every line written before the barrier has
+//!   persisted, and again until the release itself persists,
+//! * [`bb::BufferedBarrier`] — the state-of-the-art buffered full
+//!   barrier (Joshi et al., MICRO '15): epoch-tagged cache lines,
+//!   proactive flushing of closed epochs, and conflict-triggered persists
+//!   (intra-thread: writing or evicting a line with an older epoch;
+//!   inter-thread: coherence downgrades),
+//! * [`arp`] — the persist-order semantics of Acquire-Release Persistency
+//!   (Kolli et al.), modelled at the persist-schedule level. ARP is not a
+//!   timing comparison point in the paper's evaluation; it exists here to
+//!   reproduce the Figure 1 recoverability counterexample.
+
+pub mod arp;
+pub mod bb;
+pub mod dpo;
+pub mod nop;
+pub mod sb;
+
+pub use bb::BufferedBarrier;
+pub use dpo::PersistBuffer;
+pub use nop::Nop;
+pub use sb::StrictBarrier;

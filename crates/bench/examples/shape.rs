@@ -1,0 +1,42 @@
+//! Development smoke harness: prints the Figure-5 shape (normalized
+//! execution time + critical write-back fraction + flush counts) for all
+//! five workloads at one NVM service interval (argv[1], default 16).
+//!
+//! Run with: `cargo run --release -p lrp-bench --example shape [service]`
+
+use lrp_lfds::{Structure, WorkloadSpec};
+use lrp_sim::{Mechanism, Sim, SimConfig};
+
+fn main() {
+    for s in Structure::ALL {
+        let spec = WorkloadSpec::new(s)
+            .initial_size(match s {
+                Structure::LinkedList => 512,
+                Structure::Queue => 1024,
+                _ => 65536,
+            })
+            .threads(32)
+            .ops_per_thread(30)
+            .seed(42);
+        let t = spec.build_trace();
+        let mut row = format!("{:<12} events={:<7}", s.name(), t.events.len());
+        let service: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(16);
+        let mk = |m: Mechanism| {
+            let mut cfg = SimConfig::new(m);
+            cfg.nvm_service = service;
+            Sim::new(cfg, &t).run()
+        };
+        let nop = mk(Mechanism::Nop);
+        for m in [Mechanism::Sb, Mechanism::Bb, Mechanism::Lrp] {
+            let r = mk(m);
+            row += &format!(
+                "  {}={:.3} (crit {:.0}% fl {})",
+                m,
+                r.stats.cycles as f64 / nop.stats.cycles as f64,
+                100.0 * r.stats.critical_writeback_fraction(),
+                r.stats.total_flushes(),
+            );
+        }
+        println!("{row}");
+    }
+}

@@ -1,0 +1,174 @@
+//! `lrp-trace` — generate, inspect, and check workload traces.
+//!
+//! ```text
+//! lrp-trace gen   --structure <name> [--size N] [--threads N] [--ops N]
+//!                 [--seed N] [--out FILE]
+//! lrp-trace info   <FILE>    # census + validation
+//! lrp-trace check  <FILE>    # replay under every mechanism, verify RP
+//!                            # and null recovery
+//! lrp-trace report <FILE> [mech]   # full stat dump of one replay
+//! ```
+//!
+//! Traces use the plain-text format of `lrp_model::codec`, so they can
+//! be diffed, versioned, and shipped as regression inputs.
+
+use lrp_lfds::{Structure, WorkloadSpec};
+use lrp_model::{codec, Census, Trace};
+use lrp_recovery::{check_null_recovery, CrashPlan};
+use lrp_sim::{Mechanism, Sim, SimConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  lrp-trace gen --structure <linkedlist|hashmap|bstree|skiplist|queue> \
+         [--size N] [--threads N] [--ops N] [--seed N] [--out FILE]\n  \
+         lrp-trace info <FILE>\n  lrp-trace check <FILE>"
+    );
+    std::process::exit(2);
+}
+
+fn parse_structure(name: &str) -> Structure {
+    Structure::ALL
+        .into_iter()
+        .find(|s| s.name() == name)
+        .unwrap_or_else(|| usage())
+}
+
+fn load(path: &str) -> Trace {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    codec::from_text(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gen") => gen(&args[1..]),
+        Some("info") => info(args.get(1).map(String::as_str).unwrap_or_else(|| usage())),
+        Some("check") => check(args.get(1).map(String::as_str).unwrap_or_else(|| usage())),
+        Some("report") => report(
+            args.get(1).map(String::as_str).unwrap_or_else(|| usage()),
+            args.get(2).map(String::as_str).unwrap_or("lrp"),
+        ),
+        _ => usage(),
+    }
+}
+
+fn gen(args: &[String]) {
+    let mut structure = None;
+    let mut size = 64usize;
+    let mut threads = 4u16;
+    let mut ops = 25usize;
+    let mut seed = 1u64;
+    let mut out = None;
+    let mut i = 0;
+    while i < args.len() {
+        let val = || args.get(i + 1).cloned().unwrap_or_else(|| usage());
+        match args[i].as_str() {
+            "--structure" => structure = Some(parse_structure(&val())),
+            "--size" => size = val().parse().unwrap_or_else(|_| usage()),
+            "--threads" => threads = val().parse().unwrap_or_else(|_| usage()),
+            "--ops" => ops = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = val().parse().unwrap_or_else(|_| usage()),
+            "--out" => out = Some(val()),
+            _ => usage(),
+        }
+        i += 2;
+    }
+    let Some(structure) = structure else { usage() };
+    let trace = WorkloadSpec::new(structure)
+        .initial_size(size)
+        .threads(threads)
+        .ops_per_thread(ops)
+        .seed(seed)
+        .build_trace();
+    trace.validate().expect("generated trace is well-formed");
+    let text = codec::to_text(&trace);
+    match out {
+        Some(path) => {
+            std::fs::write(&path, text).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!(
+                "wrote {} events ({} ops) to {path}",
+                trace.events.len(),
+                trace.markers.len()
+            );
+        }
+        None => print!("{text}"),
+    }
+}
+
+fn info(path: &str) {
+    let trace = load(path);
+    match trace.validate() {
+        Ok(()) => println!("trace: well-formed"),
+        Err(e) => println!("trace: INVALID ({e})"),
+    }
+    println!("{}", Census::of(&trace));
+    if !trace.roots.is_empty() {
+        print!("roots:");
+        for (name, a) in &trace.roots {
+            print!(" {name}={a:#x}");
+        }
+        println!();
+    }
+}
+
+fn report(path: &str, mech: &str) {
+    let trace = load(path);
+    let m = Mechanism::EXTENDED
+        .into_iter()
+        .find(|m| m.name() == mech)
+        .unwrap_or_else(|| usage());
+    let r = Sim::new(SimConfig::new(m), &trace).run();
+    print!("{}", lrp_sim::report::render(&format!("{path} under {mech}"), &r));
+}
+
+fn check(path: &str) {
+    let trace = load(path);
+    trace.validate().expect("trace is well-formed");
+    let structure = trace.roots.iter().find_map(|(name, _)| match name.as_str() {
+        "head" => Some(Structure::LinkedList),
+        "buckets" => Some(Structure::HashMap),
+        "bst_r" => Some(Structure::Bst),
+        "sl_head" => Some(Structure::SkipList),
+        "q_anchor" => Some(Structure::Queue),
+        _ => None,
+    });
+    for m in Mechanism::ALL {
+        let r = Sim::new(SimConfig::new(m), &trace).run();
+        let rp = if m == Mechanism::Nop {
+            "n/a".to_string()
+        } else {
+            match lrp_model::spec::check_rp(&trace, &r.schedule) {
+                Ok(()) => "ok".to_string(),
+                Err(v) => format!("VIOLATED ({} findings)", v.len()),
+            }
+        };
+        let recovery = match (structure, m) {
+            (Some(s), Mechanism::Lrp | Mechanism::Sb | Mechanism::Bb) => {
+                let rep = check_null_recovery(s, &trace, &r.schedule, &CrashPlan::Sampled(32));
+                if rep.all_recovered() {
+                    format!("{} crash points ok", rep.crash_points)
+                } else {
+                    format!("{} FAILURES", rep.failures.len())
+                }
+            }
+            _ => "n/a".to_string(),
+        };
+        println!(
+            "{:<4} cycles={:<10} flushes={:<6} RP={:<10} recovery={}",
+            m.name(),
+            r.stats.cycles,
+            r.stats.total_flushes(),
+            rp,
+            recovery
+        );
+    }
+}

@@ -1,0 +1,332 @@
+//! Experiment runners, one per table/figure of §6.
+//!
+//! Sizing follows §6.1 with the documented substitution: the paper's
+//! default of 64 K initial entries is kept for the sublinear structures
+//! (hash map, BST, skip list); the O(n)-per-op linked list is scaled to
+//! 512 entries so a full figure regenerates in minutes on a laptop
+//! (the interpreted executor is ~10³× slower than the paper's native
+//! Pin runs). Thread count defaults to the paper's 32 workers.
+
+use lrp_lfds::{Structure, WorkloadSpec};
+use lrp_model::Trace;
+use lrp_sim::{Mechanism, NvmMode, Sim, SimConfig, Stats};
+use std::collections::HashMap;
+
+/// How large to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalScale {
+    /// Paper-shaped sizes (64 K entries, 32 threads): minutes per figure.
+    Full,
+    /// Tiny sizes for tests and CI: seconds per figure.
+    Quick,
+}
+
+/// Common experiment parameters.
+#[derive(Debug, Clone)]
+pub struct EvalParams {
+    /// Size/thread preset.
+    pub scale: EvalScale,
+    /// Worker threads (paper default: 32).
+    pub threads: u16,
+    /// Operations per worker.
+    pub ops_per_thread: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl EvalParams {
+    /// The paper-shaped configuration.
+    pub fn full() -> Self {
+        EvalParams {
+            scale: EvalScale::Full,
+            threads: 32,
+            ops_per_thread: 30,
+            seed: 42,
+        }
+    }
+
+    /// A fast configuration for tests.
+    pub fn quick() -> Self {
+        EvalParams {
+            scale: EvalScale::Quick,
+            threads: 4,
+            ops_per_thread: 12,
+            seed: 42,
+        }
+    }
+
+    /// Initial structure size for `s` at this scale.
+    pub fn initial_size(&self, s: Structure) -> usize {
+        match (self.scale, s) {
+            (EvalScale::Full, Structure::LinkedList) => 512,
+            (EvalScale::Full, Structure::Queue) => 1024,
+            (EvalScale::Full, _) => 65536,
+            (EvalScale::Quick, _) => 48,
+        }
+    }
+
+    /// Builds the workload trace for `s` with `threads` workers.
+    pub fn trace(&self, s: Structure, threads: u16) -> Trace {
+        WorkloadSpec::new(s)
+            .initial_size(self.initial_size(s))
+            .threads(threads)
+            .ops_per_thread(self.ops_per_thread)
+            .seed(self.seed)
+            .build_trace()
+    }
+}
+
+/// Runs one trace under one mechanism (cached or uncached NVM).
+pub fn run_sim(trace: &Trace, mech: Mechanism, mode: NvmMode) -> Stats {
+    let cfg = SimConfig::new(mech).nvm_mode(mode);
+    Sim::new(cfg, trace).run().stats
+}
+
+/// One row of Figure 5/7: execution time of each mechanism normalized to
+/// NOP (lower is better).
+#[derive(Debug, Clone)]
+pub struct NormRow {
+    /// Workload name.
+    pub workload: Structure,
+    /// Normalized execution time per mechanism.
+    pub normalized: HashMap<Mechanism, f64>,
+}
+
+/// Figure 5 (cached mode) or Figure 7 (uncached mode): normalized
+/// execution time of SB/BB/LRP over the five LFDs.
+pub fn fig_norm_exec(params: &EvalParams, mode: NvmMode) -> Vec<NormRow> {
+    Structure::ALL
+        .iter()
+        .map(|&s| {
+            let t = params.trace(s, params.threads);
+            let nop = run_sim(&t, Mechanism::Nop, mode).cycles as f64;
+            let normalized = [Mechanism::Sb, Mechanism::Bb, Mechanism::Lrp]
+                .into_iter()
+                .map(|m| (m, run_sim(&t, m, mode).cycles as f64 / nop))
+                .collect();
+            NormRow {
+                workload: s,
+                normalized,
+            }
+        })
+        .collect()
+}
+
+/// One row of Figure 6: % of write-backs on the issuing core's critical
+/// path, BB vs LRP.
+#[derive(Debug, Clone)]
+pub struct CritRow {
+    /// Workload name.
+    pub workload: Structure,
+    /// Critical write-back percentage for BB.
+    pub bb_pct: f64,
+    /// Critical write-back percentage for LRP.
+    pub lrp_pct: f64,
+}
+
+/// Figure 6: critical-path write-back fractions.
+pub fn fig6(params: &EvalParams) -> Vec<CritRow> {
+    Structure::ALL
+        .iter()
+        .map(|&s| {
+            let t = params.trace(s, params.threads);
+            let bb = run_sim(&t, Mechanism::Bb, NvmMode::Cached);
+            let lrp = run_sim(&t, Mechanism::Lrp, NvmMode::Cached);
+            CritRow {
+                workload: s,
+                bb_pct: 100.0 * bb.critical_writeback_fraction(),
+                lrp_pct: 100.0 * lrp.critical_writeback_fraction(),
+            }
+        })
+        .collect()
+}
+
+/// One series of Figure 8: persistency overhead (%) over NOP as the
+/// thread count varies.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Workload name.
+    pub workload: Structure,
+    /// `(threads, BB overhead %, LRP overhead %)` per point.
+    pub points: Vec<(u16, f64, f64)>,
+}
+
+/// Figure 8(a–e): thread sweep, 1–32 workers (scaled under `Quick`).
+pub fn fig8(params: &EvalParams) -> Vec<SweepRow> {
+    let threads: &[u16] = match params.scale {
+        EvalScale::Full => &[1, 8, 16, 32],
+        EvalScale::Quick => &[1, 2, 4],
+    };
+    Structure::ALL
+        .iter()
+        .map(|&s| {
+            let points = threads
+                .iter()
+                .map(|&n| {
+                    let t = params.trace(s, n);
+                    let nop = run_sim(&t, Mechanism::Nop, NvmMode::Cached).cycles as f64;
+                    let ovh = |m| {
+                        100.0 * (run_sim(&t, m, NvmMode::Cached).cycles as f64 / nop - 1.0)
+                    };
+                    (n, ovh(Mechanism::Bb), ovh(Mechanism::Lrp))
+                })
+                .collect();
+            SweepRow {
+                workload: s,
+                points,
+            }
+        })
+        .collect()
+}
+
+/// §6.4 size sensitivity: LRP overhead over NOP as the structure size
+/// varies (the paper reports a flat trend for 8 K–1 M).
+pub fn size_sensitivity(params: &EvalParams, s: Structure) -> Vec<(usize, f64, f64)> {
+    let sizes: &[usize] = match params.scale {
+        EvalScale::Full => &[32 * 1024, 128 * 1024, 512 * 1024],
+        EvalScale::Quick => &[16, 48, 128],
+    };
+    sizes
+        .iter()
+        .map(|&size| {
+            let t = WorkloadSpec::new(s)
+                .initial_size(size)
+                .threads(params.threads)
+                .ops_per_thread(params.ops_per_thread)
+                .seed(params.seed)
+                .build_trace();
+            let nop = run_sim(&t, Mechanism::Nop, NvmMode::Cached).cycles as f64;
+            let bb = run_sim(&t, Mechanism::Bb, NvmMode::Cached).cycles as f64;
+            let lrp = run_sim(&t, Mechanism::Lrp, NvmMode::Cached).cycles as f64;
+            (size, 100.0 * (bb / nop - 1.0), 100.0 * (lrp / nop - 1.0))
+        })
+        .collect()
+}
+
+/// Figure 2 micro-demonstration: cross-epoch writes to one line conflict
+/// under the full barrier but coalesce under RP's one-sided barrier.
+/// Returns `(bb_critical_flushes, lrp_critical_flushes, bb_cycles,
+/// lrp_cycles)`.
+pub fn fig2_conflicts() -> (u64, u64, u64, u64) {
+    use lrp_model::litmus::LitmusBuilder;
+    // One thread alternates: write A (line La), release F (line Lf),
+    // write A again — the Figure 2a pattern where WB hits WA's line from
+    // a newer epoch.
+    let mut b = LitmusBuilder::new(1);
+    let la = 0x1000;
+    let lf = 0x2000;
+    for i in 0..64u64 {
+        b.write(0, la, i);
+        b.write_rel(0, lf, i);
+    }
+    let t = b.build();
+    let bb = run_sim(&t, Mechanism::Bb, NvmMode::Cached);
+    let lrp = run_sim(&t, Mechanism::Lrp, NvmMode::Cached);
+    let crit = |s: &Stats| {
+        s.flushes
+            .get(&lrp_sim::stats::FlushClass::Critical)
+            .copied()
+            .unwrap_or(0)
+    };
+    (crit(&bb), crit(&lrp), bb.cycles, lrp.cycles)
+}
+
+/// Derived headline claims (paper vs measured), from Figure 5/6/7 data.
+#[derive(Debug, Clone)]
+pub struct Claims {
+    /// BB's improvement over SB per workload, %.
+    pub bb_over_sb: Vec<(Structure, f64)>,
+    /// LRP's improvement over BB per workload, %.
+    pub lrp_over_bb: Vec<(Structure, f64)>,
+    /// LRP overhead over NOP per workload, %.
+    pub lrp_over_nop: Vec<(Structure, f64)>,
+}
+
+/// Computes the claims table from Figure 5 rows.
+pub fn claims(rows: &[NormRow]) -> Claims {
+    let mut c = Claims {
+        bb_over_sb: Vec::new(),
+        lrp_over_bb: Vec::new(),
+        lrp_over_nop: Vec::new(),
+    };
+    for r in rows {
+        let sb = r.normalized[&Mechanism::Sb];
+        let bb = r.normalized[&Mechanism::Bb];
+        let lrp = r.normalized[&Mechanism::Lrp];
+        c.bb_over_sb.push((r.workload, 100.0 * (1.0 - bb / sb)));
+        c.lrp_over_bb.push((r.workload, 100.0 * (1.0 - lrp / bb)));
+        c.lrp_over_nop.push((r.workload, 100.0 * (lrp - 1.0)));
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_fig5_has_sane_shape() {
+        let rows = fig_norm_exec(&EvalParams::quick(), NvmMode::Cached);
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            for (&m, &v) in &r.normalized {
+                assert!(v >= 0.95, "{m} below NOP on {}: {v}", r.workload);
+                assert!(v < 20.0, "{m} absurd on {}: {v}", r.workload);
+            }
+        }
+    }
+
+    #[test]
+    fn quick_fig6_lrp_not_worse_than_bb() {
+        for r in fig6(&EvalParams::quick()) {
+            assert!(
+                r.lrp_pct <= r.bb_pct + 25.0,
+                "{}: lrp {} vs bb {}",
+                r.workload,
+                r.lrp_pct,
+                r.bb_pct
+            );
+        }
+    }
+
+    #[test]
+    fn quick_fig8_produces_all_points() {
+        let rows = fig8(&EvalParams::quick());
+        assert_eq!(rows.len(), 5);
+        for r in rows {
+            assert_eq!(r.points.len(), 3);
+        }
+    }
+
+    #[test]
+    fn fig2_bb_conflicts_lrp_coalesces() {
+        let (bb_crit, lrp_crit, bb_cycles, lrp_cycles) = fig2_conflicts();
+        assert!(bb_crit > 0, "BB must take critical conflict flushes");
+        assert_eq!(lrp_crit, 0, "LRP's one-sided barrier removes them");
+        assert!(lrp_cycles <= bb_cycles);
+    }
+
+    #[test]
+    fn claims_math() {
+        let rows = vec![NormRow {
+            workload: Structure::Queue,
+            normalized: [
+                (Mechanism::Sb, 2.0),
+                (Mechanism::Bb, 1.5),
+                (Mechanism::Lrp, 1.2),
+            ]
+            .into_iter()
+            .collect(),
+        }];
+        let c = claims(&rows);
+        assert!((c.bb_over_sb[0].1 - 25.0).abs() < 1e-9);
+        assert!((c.lrp_over_bb[0].1 - 20.0).abs() < 1e-9);
+        assert!((c.lrp_over_nop[0].1 - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn size_sensitivity_runs() {
+        let pts = size_sensitivity(&EvalParams::quick(), Structure::HashMap);
+        assert_eq!(pts.len(), 3);
+    }
+}

@@ -1,0 +1,13 @@
+//! Benchmark harness: regenerates every table and figure of the paper's
+//! evaluation (§6).
+//!
+//! [`experiments`] holds one runner per artifact; the `lrp-eval` binary
+//! prints them as paper-style text tables, and the Criterion benches
+//! under `benches/` wrap the same runners for regression tracking.
+//!
+//! Full-size figure generation is minutes of CPU; every runner takes an
+//! [`experiments::EvalParams`] whose `quick` preset keeps CI fast.
+
+pub mod experiments;
+
+pub use experiments::{EvalParams, EvalScale};

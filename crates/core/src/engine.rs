@@ -1,0 +1,158 @@
+//! Persist-engine planning (§5.2.2).
+//!
+//! The engine scans the L1 and builds a staged flush plan:
+//!
+//! 1. **Stage 0**: every *only-written* dirty line with `min-epoch`
+//!    older than the subject release — these may flush concurrently
+//!    (the engine "immediately schedules" them while scanning).
+//! 2. One stage per older *released* line, in epoch order — releases
+//!    must persist in epoch order, each after everything before it
+//!    (the engine buffers them and drains the pending-persists counter
+//!    in between).
+//! 3. Optionally, the subject line itself as the final stage.
+//!
+//! The reordering of plain writes ahead of older releases is the
+//! paper's "persist engine correctness" argument: RP only mandates that
+//! writes persist before *subsequent* releases, never before earlier
+//! ones.
+
+use crate::mech::{EngineRun, Epoch, L1View};
+use lrp_model::LineAddr;
+
+/// Plans the flushes needed before a release with epoch `upto` may
+/// persist: all only-written lines and all released lines with
+/// `min_epoch < upto`, plus `include` (the subject line) as the final
+/// stage.
+pub fn plan_release_run(l1: &dyn L1View, upto: Epoch, include: Option<LineAddr>) -> EngineRun {
+    let mut writes = Vec::new();
+    let mut releases = Vec::new();
+    for (line, meta) in l1.nvm_dirty_lines() {
+        if Some(line) == include || meta.min_epoch >= upto {
+            continue;
+        }
+        if meta.release {
+            releases.push((meta.min_epoch, line));
+        } else {
+            writes.push(line);
+        }
+    }
+    releases.sort_unstable();
+    let mut stages = Vec::with_capacity(2 + releases.len());
+    stages.push(writes);
+    for (_, line) in releases {
+        stages.push(vec![line]);
+    }
+    if let Some(line) = include {
+        stages.push(vec![line]);
+    }
+    stages.retain(|s| !s.is_empty());
+    EngineRun { stages }
+}
+
+/// Plans a full-barrier flush in strict epoch order: one stage per
+/// distinct epoch `< upto` (ascending), plus `include` as a final stage.
+/// Used by the buffered/strict barrier baselines, where writes of one
+/// epoch may not persist before writes of an older epoch.
+pub fn plan_epoch_stages(l1: &dyn L1View, upto: Epoch, include: Option<LineAddr>) -> EngineRun {
+    let mut by_epoch: std::collections::BTreeMap<Epoch, Vec<LineAddr>> =
+        std::collections::BTreeMap::new();
+    for (line, meta) in l1.nvm_dirty_lines() {
+        if Some(line) == include || meta.min_epoch >= upto {
+            continue;
+        }
+        by_epoch.entry(meta.min_epoch).or_default().push(line);
+    }
+    let mut stages: Vec<Vec<LineAddr>> = by_epoch.into_values().collect();
+    if let Some(line) = include {
+        stages.push(vec![line]);
+    }
+    EngineRun { stages }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mech::mock::MockL1;
+    use crate::mech::LineMeta;
+
+    fn meta(nvm_dirty: bool, release: bool, min_epoch: Epoch) -> LineMeta {
+        LineMeta {
+            nvm_dirty,
+            release,
+            min_epoch,
+        }
+    }
+
+    /// The paper's Figure 4: written lines A(0), B(1), Y(1), Z(2)... and
+    /// releases F1(1), F2(2). Persisting F2 must first flush all written
+    /// lines, then F1, then F2.
+    #[test]
+    fn figure_4_schedule() {
+        let mut l1 = MockL1::default();
+        l1.set_meta(0xA, meta(true, false, 0)); // CLa: writes A, B (epoch 0)
+        l1.set_meta(0xB, meta(true, false, 1)); // CLb: write Y (epoch 1)
+        l1.set_meta(0xC, meta(true, true, 1)); // CLc: Release F1
+        l1.set_meta(0xD, meta(true, false, 0)); // CLd: write X (epoch 0)
+        l1.set_meta(0xE, meta(true, true, 2)); // CLe: Release F2 (subject)
+        let run = plan_release_run(&l1, 2, Some(0xE));
+        assert_eq!(run.stages.len(), 3);
+        let mut s0 = run.stages[0].clone();
+        s0.sort_unstable();
+        assert_eq!(s0, vec![0xA, 0xB, 0xD], "only-written lines first");
+        assert_eq!(run.stages[1], vec![0xC], "older release next");
+        assert_eq!(run.stages[2], vec![0xE], "subject release last");
+    }
+
+    #[test]
+    fn newer_lines_are_excluded() {
+        let mut l1 = MockL1::default();
+        l1.set_meta(0xA, meta(true, false, 5));
+        l1.set_meta(0xB, meta(true, true, 7));
+        let run = plan_release_run(&l1, 5, None);
+        assert!(run.is_empty(), "nothing older than epoch 5");
+    }
+
+    #[test]
+    fn clean_lines_are_ignored() {
+        let mut l1 = MockL1::default();
+        l1.set_meta(0xA, meta(false, false, 1));
+        let run = plan_release_run(&l1, 10, None);
+        assert!(run.is_empty());
+    }
+
+    #[test]
+    fn multiple_releases_flush_in_epoch_order() {
+        let mut l1 = MockL1::default();
+        l1.set_meta(0x1, meta(true, true, 9));
+        l1.set_meta(0x2, meta(true, true, 3));
+        l1.set_meta(0x3, meta(true, true, 6));
+        let run = plan_release_run(&l1, 10, None);
+        assert_eq!(run.flat(), vec![0x2, 0x3, 0x1]);
+        assert_eq!(run.stages.len(), 3, "one stage per release");
+    }
+
+    #[test]
+    fn epoch_stages_group_by_epoch() {
+        let mut l1 = MockL1::default();
+        l1.set_meta(0x1, meta(true, false, 2));
+        l1.set_meta(0x2, meta(true, false, 1));
+        l1.set_meta(0x3, meta(true, false, 2));
+        l1.set_meta(0x4, meta(true, true, 3));
+        let run = plan_epoch_stages(&l1, 4, Some(0x9));
+        assert_eq!(run.stages.len(), 4);
+        assert_eq!(run.stages[0], vec![0x2]);
+        let mut s1 = run.stages[1].clone();
+        s1.sort_unstable();
+        assert_eq!(s1, vec![0x1, 0x3]);
+        assert_eq!(run.stages[2], vec![0x4]);
+        assert_eq!(run.stages[3], vec![0x9]);
+    }
+
+    #[test]
+    fn include_line_not_duplicated() {
+        let mut l1 = MockL1::default();
+        l1.set_meta(0xE, meta(true, true, 2));
+        let run = plan_release_run(&l1, 3, Some(0xE));
+        assert_eq!(run.flat(), vec![0xE], "subject appears once, as last stage");
+    }
+}

@@ -1,0 +1,89 @@
+//! The per-thread epoch counter (§5.2.1).
+//!
+//! Incremented on every release; the new value becomes the
+//! release-epoch, guaranteeing that every write preceding the release
+//! carries a smaller epoch. The paper provisions 8 bits per line, so the
+//! counter wraps; on wrap, every not-yet-persisted line must be flushed
+//! before epochs restart (§5.2.1, "Hardware Overhead").
+
+use crate::mech::Epoch;
+
+/// Per-thread epoch counter with configurable wrap limit.
+#[derive(Debug, Clone)]
+pub struct EpochCounter {
+    current: Epoch,
+    limit: Epoch,
+}
+
+impl EpochCounter {
+    /// A counter that wraps after `limit` (the paper's 8-bit metadata
+    /// gives 255).
+    pub fn new(limit: Epoch) -> Self {
+        assert!(limit >= 2, "epoch limit must allow at least one increment");
+        EpochCounter { current: 1, limit }
+    }
+
+    /// The epoch assigned to new plain writes.
+    pub fn current(&self) -> Epoch {
+        self.current
+    }
+
+    /// The wrap limit.
+    pub fn limit(&self) -> Epoch {
+        self.limit
+    }
+
+    /// Restarts the counter at 1. The caller must have flushed every
+    /// line still tagged with an old epoch.
+    pub fn reset(&mut self) {
+        self.current = 1;
+    }
+
+    /// Advances to the next epoch for a release. Returns
+    /// `(release_epoch, wrapped)`; when `wrapped` is true the caller must
+    /// flush all unpersisted lines and has had the counter restarted.
+    pub fn advance(&mut self) -> (Epoch, bool) {
+        if self.current == self.limit {
+            self.current = 1;
+            (1, true)
+        } else {
+            self.current += 1;
+            (self.current, false)
+        }
+    }
+}
+
+impl Default for EpochCounter {
+    fn default() -> Self {
+        EpochCounter::new(255)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically_until_wrap() {
+        let mut c = EpochCounter::new(4);
+        assert_eq!(c.current(), 1);
+        assert_eq!(c.advance(), (2, false));
+        assert_eq!(c.advance(), (3, false));
+        assert_eq!(c.advance(), (4, false));
+        assert_eq!(c.advance(), (1, true), "wrap flushes and restarts");
+        assert_eq!(c.current(), 1);
+        assert_eq!(c.advance(), (2, false));
+    }
+
+    #[test]
+    fn default_matches_paper_metadata_width() {
+        let c = EpochCounter::default();
+        assert_eq!(c.limit, 255);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch limit")]
+    fn degenerate_limit_rejected() {
+        EpochCounter::new(1);
+    }
+}

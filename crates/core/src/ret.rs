@@ -1,0 +1,195 @@
+//! The Release Epoch Table (§5.2.1).
+//!
+//! A small content-addressable table holding the release-epoch of every
+//! L1 line that currently buffers a released value. An entry is
+//! allocated when a release executes and squashed when the released line
+//! is handed to the persist subsystem. When occupancy reaches the
+//! watermark, the oldest release is drained proactively so the table
+//! (almost) never fills; if it does fill, the release must stall behind
+//! a synchronous drain.
+
+use crate::mech::Epoch;
+use lrp_model::LineAddr;
+use std::collections::BTreeMap;
+
+/// Content-addressable release-epoch table.
+#[derive(Debug, Clone)]
+pub struct ReleaseEpochTable {
+    /// Release-epoch → line (epochs are unique per thread).
+    by_epoch: BTreeMap<Epoch, LineAddr>,
+    capacity: usize,
+    watermark: usize,
+}
+
+impl ReleaseEpochTable {
+    /// A table with `capacity` entries (paper: 32) draining at
+    /// `watermark`.
+    pub fn new(capacity: usize, watermark: usize) -> Self {
+        assert!(capacity >= 1 && watermark <= capacity);
+        ReleaseEpochTable {
+            by_epoch: BTreeMap::new(),
+            capacity,
+            watermark,
+        }
+    }
+
+    /// The paper's configuration: 32 entries, drain at 28.
+    pub fn paper_default() -> Self {
+        ReleaseEpochTable::new(32, 28)
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.by_epoch.len()
+    }
+
+    /// True if no releases are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.by_epoch.is_empty()
+    }
+
+    /// True if occupancy reached the drain watermark.
+    pub fn at_watermark(&self) -> bool {
+        self.by_epoch.len() >= self.watermark
+    }
+
+    /// True if no entry can be allocated.
+    pub fn full(&self) -> bool {
+        self.by_epoch.len() >= self.capacity
+    }
+
+    /// Allocates an entry for a release to `line` at `epoch`. The caller
+    /// must have made room (the table panics on overflow — hardware
+    /// cannot drop a release).
+    pub fn insert(&mut self, line: LineAddr, epoch: Epoch) {
+        assert!(!self.full(), "RET overflow: caller must drain first");
+        self.by_epoch.insert(epoch, line);
+    }
+
+    /// Looks up the release-epoch of `line`.
+    pub fn epoch_of(&self, line: LineAddr) -> Option<Epoch> {
+        self.by_epoch
+            .iter()
+            .find(|&(_, &l)| l == line)
+            .map(|(&e, _)| e)
+    }
+
+    /// The oldest buffered release, if any.
+    pub fn oldest(&self) -> Option<(Epoch, LineAddr)> {
+        self.by_epoch.iter().next().map(|(&e, &l)| (e, l))
+    }
+
+    /// Squashes the entry for `line` (when the release is handed to the
+    /// persist subsystem).
+    pub fn squash_line(&mut self, line: LineAddr) {
+        self.by_epoch.retain(|_, &mut l| l != line);
+    }
+
+    /// Squashes every entry with epoch `< upto` plus, optionally, the
+    /// entry for `line` itself. Returns the squashed lines in epoch
+    /// order — exactly the release stages of an engine run.
+    pub fn drain_older(&mut self, upto: Epoch, line: Option<LineAddr>) -> Vec<LineAddr> {
+        let epochs: Vec<Epoch> = self
+            .by_epoch
+            .range(..upto)
+            .map(|(&e, _)| e)
+            .collect();
+        let mut out = Vec::with_capacity(epochs.len() + 1);
+        for e in epochs {
+            out.push(self.by_epoch.remove(&e).expect("epoch key exists"));
+        }
+        if let Some(l) = line {
+            self.squash_line(l);
+        }
+        out
+    }
+
+    /// Removes every entry (epoch wrap flush) and returns the lines in
+    /// epoch order.
+    pub fn drain_all(&mut self) -> Vec<LineAddr> {
+        let out: Vec<LineAddr> = self.by_epoch.values().copied().collect();
+        self.by_epoch.clear();
+        out
+    }
+}
+
+impl Default for ReleaseEpochTable {
+    fn default() -> Self {
+        ReleaseEpochTable::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut t = ReleaseEpochTable::new(4, 3);
+        t.insert(0x10, 2);
+        t.insert(0x20, 5);
+        assert_eq!(t.epoch_of(0x10), Some(2));
+        assert_eq!(t.epoch_of(0x20), Some(5));
+        assert_eq!(t.epoch_of(0x30), None);
+        assert_eq!(t.oldest(), Some((2, 0x10)));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn watermark_and_full() {
+        let mut t = ReleaseEpochTable::new(3, 2);
+        assert!(!t.at_watermark());
+        t.insert(1, 1);
+        t.insert(2, 2);
+        assert!(t.at_watermark());
+        assert!(!t.full());
+        t.insert(3, 3);
+        assert!(t.full());
+    }
+
+    #[test]
+    #[should_panic(expected = "RET overflow")]
+    fn overflow_panics() {
+        let mut t = ReleaseEpochTable::new(1, 1);
+        t.insert(1, 1);
+        t.insert(2, 2);
+    }
+
+    #[test]
+    fn drain_older_returns_epoch_order() {
+        let mut t = ReleaseEpochTable::new(8, 6);
+        t.insert(0xA, 7);
+        t.insert(0xB, 3);
+        t.insert(0xC, 5);
+        t.insert(0xD, 9);
+        let drained = t.drain_older(7, Some(0xA));
+        assert_eq!(drained, vec![0xB, 0xC], "epochs 3,5 in order");
+        assert_eq!(t.epoch_of(0xA), None, "own entry squashed");
+        assert_eq!(t.epoch_of(0xD), Some(9), "newer release untouched");
+    }
+
+    #[test]
+    fn squash_line_is_idempotent() {
+        let mut t = ReleaseEpochTable::new(4, 3);
+        t.insert(0xA, 1);
+        t.squash_line(0xA);
+        t.squash_line(0xA);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn drain_all_clears() {
+        let mut t = ReleaseEpochTable::new(4, 3);
+        t.insert(0xA, 2);
+        t.insert(0xB, 1);
+        assert_eq!(t.drain_all(), vec![0xB, 0xA]);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn paper_default_dimensions() {
+        let t = ReleaseEpochTable::paper_default();
+        assert_eq!(t.capacity, 32);
+        assert_eq!(t.watermark, 28);
+    }
+}

@@ -1,0 +1,386 @@
+//! The persistent-memory access trait ([`PmemCtx`]) that data-structure
+//! code is written against, the per-thread bump allocator, the trace
+//! [`Recorder`], and the immediate (single-threaded) [`DirectCtx`].
+
+use crate::mem::SharedMem;
+use crate::rng::Xorshift64;
+use lrp_model::{Addr, Annot, Event, EventId, EventKind, OpKind, OpMarker, ThreadId};
+use std::collections::HashMap;
+
+/// Base byte address of the simulated heap.
+pub const HEAP_BASE: Addr = 0x1000_0000;
+
+/// Bytes reserved per arena. Each thread allocates from its own arena
+/// (as a scalable NVM allocator would), so concurrent allocations never
+/// share cache lines across threads; nodes within one thread's arena pack
+/// at word granularity, preserving the intra-thread line-sharing that the
+/// buffered-barrier baseline's conflicts depend on (§2.2.1).
+pub const ARENA_BYTES: Addr = 1 << 26;
+
+/// Per-thread bump allocators.
+#[derive(Debug, Clone)]
+pub struct Arenas {
+    next: Vec<Addr>,
+}
+
+impl Arenas {
+    /// Creates `n` arenas.
+    pub fn new(n: usize) -> Self {
+        Arenas {
+            next: (0..n as Addr)
+                .map(|i| HEAP_BASE + i * ARENA_BYTES)
+                .collect(),
+        }
+    }
+
+    /// Allocates `words` 8-byte words from arena `idx`.
+    pub fn alloc(&mut self, idx: usize, words: usize) -> Addr {
+        let base = self.next[idx];
+        let bytes = words as Addr * 8;
+        let limit = HEAP_BASE + (idx as Addr + 1) * ARENA_BYTES;
+        assert!(
+            base + bytes <= limit,
+            "arena {idx} exhausted ({} bytes in use)",
+            base - (HEAP_BASE + idx as Addr * ARENA_BYTES)
+        );
+        self.next[idx] = base + bytes;
+        base
+    }
+
+    /// `[lo, hi)` byte range actually used across all arenas.
+    pub fn used_range(&self) -> (Addr, Addr) {
+        let hi = self
+            .next
+            .iter()
+            .enumerate()
+            .filter(|&(i, &n)| n > HEAP_BASE + i as Addr * ARENA_BYTES)
+            .map(|(_, &n)| n)
+            .max()
+            .unwrap_or(HEAP_BASE);
+        (HEAP_BASE, hi)
+    }
+}
+
+/// The access interface data structures are written against.
+///
+/// Mirrors the ISA-level model of the paper: word-granular loads, stores,
+/// and CASes, each carrying a consistency [`Annot`]. Implementations gate
+/// and record accesses ([`crate::GateCtx`]) or apply them immediately
+/// ([`DirectCtx`]).
+pub trait PmemCtx {
+    /// The logical thread id of this context.
+    fn tid(&self) -> ThreadId;
+
+    /// Load with explicit annotation.
+    fn read_annot(&mut self, addr: Addr, annot: Annot) -> u64;
+    /// Store with explicit annotation.
+    fn write_annot(&mut self, addr: Addr, val: u64, annot: Annot);
+    /// Compare-and-swap with explicit annotation; returns
+    /// `(succeeded, observed)`.
+    fn cas_annot(&mut self, addr: Addr, old: u64, new: u64, annot: Annot) -> (bool, u64);
+    /// Allocates `words` contiguous words and returns the base address.
+    fn alloc(&mut self, words: usize) -> Addr;
+    /// Deterministic per-thread random value (e.g. skip-list levels).
+    fn rand(&mut self) -> u64;
+    /// Marks the start of a data-structure operation.
+    fn op_begin(&mut self, op: OpKind);
+    /// Marks the end of the current operation with its result.
+    fn op_end(&mut self, result: u64);
+
+    /// Plain load.
+    fn read(&mut self, addr: Addr) -> u64 {
+        self.read_annot(addr, Annot::Plain)
+    }
+    /// Acquire load.
+    fn read_acq(&mut self, addr: Addr) -> u64 {
+        self.read_annot(addr, Annot::Acquire)
+    }
+    /// Plain store.
+    fn write(&mut self, addr: Addr, val: u64) {
+        self.write_annot(addr, val, Annot::Plain)
+    }
+    /// Release store.
+    fn write_rel(&mut self, addr: Addr, val: u64) {
+        self.write_annot(addr, val, Annot::Release)
+    }
+    /// CAS with acquire-release semantics (the common LFD linking CAS).
+    fn cas_acq_rel(&mut self, addr: Addr, old: u64, new: u64) -> (bool, u64) {
+        self.cas_annot(addr, old, new, Annot::AcqRel)
+    }
+    /// CAS with release semantics.
+    fn cas_rel(&mut self, addr: Addr, old: u64, new: u64) -> (bool, u64) {
+        self.cas_annot(addr, old, new, Annot::Release)
+    }
+}
+
+/// Records events and operation markers while an execution runs.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    /// Recorded events in interleaving order.
+    pub events: Vec<Event>,
+    /// Completed operation markers.
+    pub markers: Vec<OpMarker>,
+    open: HashMap<ThreadId, (OpKind, EventId)>,
+    last_writer: HashMap<Addr, EventId>,
+}
+
+impl Recorder {
+    /// A fresh recorder.
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// Records a load.
+    pub fn read(&mut self, tid: ThreadId, addr: Addr, annot: Annot, val: u64) -> EventId {
+        debug_assert!(!annot.is_release(), "a load cannot be a release");
+        let id = self.events.len() as EventId;
+        self.events.push(Event {
+            id,
+            tid,
+            kind: EventKind::Read,
+            annot,
+            addr,
+            rval: val,
+            wval: 0,
+            rf: self.last_writer.get(&addr).copied(),
+        });
+        id
+    }
+
+    /// Records a store.
+    pub fn write(&mut self, tid: ThreadId, addr: Addr, annot: Annot, val: u64) -> EventId {
+        debug_assert!(!annot.is_acquire(), "a store cannot be an acquire");
+        let id = self.events.len() as EventId;
+        self.events.push(Event {
+            id,
+            tid,
+            kind: EventKind::Write,
+            annot,
+            addr,
+            rval: 0,
+            wval: val,
+            rf: None,
+        });
+        self.last_writer.insert(addr, id);
+        id
+    }
+
+    /// Records a CAS.
+    pub fn cas(
+        &mut self,
+        tid: ThreadId,
+        addr: Addr,
+        annot: Annot,
+        ok: bool,
+        observed: u64,
+        new: u64,
+    ) -> EventId {
+        let id = self.events.len() as EventId;
+        self.events.push(Event {
+            id,
+            tid,
+            kind: if ok {
+                EventKind::RmwSuccess
+            } else {
+                EventKind::RmwFail
+            },
+            annot,
+            addr,
+            rval: observed,
+            wval: if ok { new } else { 0 },
+            rf: self.last_writer.get(&addr).copied(),
+        });
+        if ok {
+            self.last_writer.insert(addr, id);
+        }
+        id
+    }
+
+    /// Opens an operation marker for `tid`.
+    pub fn begin(&mut self, tid: ThreadId, op: OpKind) {
+        let at = self.events.len() as EventId;
+        self.open.insert(tid, (op, at));
+    }
+
+    /// Closes the open marker for `tid`.
+    pub fn end(&mut self, tid: ThreadId, result: u64) {
+        if let Some((op, first)) = self.open.remove(&tid) {
+            self.markers.push(OpMarker {
+                tid,
+                op,
+                first_event: first,
+                end_event: self.events.len() as EventId,
+                result,
+            });
+        }
+    }
+}
+
+/// An immediate, single-threaded context: accesses apply directly to a
+/// [`SharedMem`] with no gating. Used for pre-population (§6.1 collects
+/// statistics only after the structure reaches its initial size) and for
+/// fast sequential tests of data-structure logic.
+#[derive(Debug)]
+pub struct DirectCtx {
+    /// The functional memory.
+    pub mem: SharedMem,
+    /// Per-thread allocators (workers `0..n`, setup uses arena `n`).
+    pub arenas: Arenas,
+    /// Named root addresses registered by setup code.
+    pub roots: Vec<(String, Addr)>,
+    /// Optional recorder (when setup itself must appear in the trace).
+    pub rec: Option<Recorder>,
+    tid: ThreadId,
+    rng: Xorshift64,
+}
+
+impl DirectCtx {
+    /// A context for `workers` worker threads; the context itself
+    /// allocates from the extra arena `workers` and acts as thread id
+    /// `workers`.
+    pub fn new(workers: ThreadId, seed: u64) -> Self {
+        DirectCtx {
+            mem: SharedMem::new(),
+            arenas: Arenas::new(workers as usize + 1),
+            roots: Vec::new(),
+            rec: None,
+            tid: workers,
+            rng: Xorshift64::new(seed ^ 0xC0FF_EE00),
+        }
+    }
+
+    /// Registers a named root address (e.g. a list head) for recovery.
+    pub fn set_root(&mut self, name: &str, addr: Addr) {
+        self.roots.push((name.to_string(), addr));
+    }
+
+    /// Starts recording events (used when setup must be traced).
+    pub fn start_recording(&mut self) {
+        self.rec = Some(Recorder::new());
+    }
+}
+
+impl PmemCtx for DirectCtx {
+    fn tid(&self) -> ThreadId {
+        self.tid
+    }
+
+    fn read_annot(&mut self, addr: Addr, annot: Annot) -> u64 {
+        let v = self.mem.read(addr);
+        if let Some(rec) = &mut self.rec {
+            rec.read(self.tid, addr, annot, v);
+        }
+        v
+    }
+
+    fn write_annot(&mut self, addr: Addr, val: u64, annot: Annot) {
+        self.mem.write(addr, val);
+        if let Some(rec) = &mut self.rec {
+            rec.write(self.tid, addr, annot, val);
+        }
+    }
+
+    fn cas_annot(&mut self, addr: Addr, old: u64, new: u64, annot: Annot) -> (bool, u64) {
+        let (ok, observed) = self.mem.cas(addr, old, new);
+        if let Some(rec) = &mut self.rec {
+            rec.cas(self.tid, addr, annot, ok, observed, new);
+        }
+        (ok, observed)
+    }
+
+    fn alloc(&mut self, words: usize) -> Addr {
+        let idx = self.tid as usize;
+        self.arenas.alloc(idx, words)
+    }
+
+    fn rand(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    fn op_begin(&mut self, op: OpKind) {
+        if let Some(rec) = &mut self.rec {
+            rec.begin(self.tid, op);
+        }
+    }
+
+    fn op_end(&mut self, result: u64) {
+        if let Some(rec) = &mut self.rec {
+            rec.end(self.tid, result);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arenas_are_disjoint() {
+        let mut a = Arenas::new(3);
+        let x = a.alloc(0, 4);
+        let y = a.alloc(1, 4);
+        let x2 = a.alloc(0, 1);
+        assert_eq!(x, HEAP_BASE);
+        assert_eq!(y, HEAP_BASE + ARENA_BYTES);
+        assert_eq!(x2, x + 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn arena_overflow_panics() {
+        let mut a = Arenas::new(1);
+        a.alloc(0, (ARENA_BYTES / 8) as usize + 1);
+    }
+
+    #[test]
+    fn used_range_tracks_high_water() {
+        let mut a = Arenas::new(2);
+        assert_eq!(a.used_range(), (HEAP_BASE, HEAP_BASE));
+        a.alloc(1, 2);
+        assert_eq!(a.used_range(), (HEAP_BASE, HEAP_BASE + ARENA_BYTES + 16));
+    }
+
+    #[test]
+    fn direct_ctx_reads_writes_cas() {
+        let mut c = DirectCtx::new(2, 1);
+        let p = c.alloc(2);
+        c.write(p, 10);
+        assert_eq!(c.read(p), 10);
+        assert_eq!(c.cas_acq_rel(p, 10, 11), (true, 10));
+        assert_eq!(c.cas_acq_rel(p, 10, 12), (false, 11));
+    }
+
+    #[test]
+    fn direct_ctx_records_when_asked() {
+        let mut c = DirectCtx::new(1, 1);
+        c.start_recording();
+        c.op_begin(OpKind::Setup);
+        c.write(0x1000, 1);
+        c.read(0x1000);
+        c.op_end(1);
+        let rec = c.rec.take().unwrap();
+        assert_eq!(rec.events.len(), 2);
+        assert_eq!(rec.events[1].rf, Some(0));
+        assert_eq!(rec.markers.len(), 1);
+        assert_eq!(rec.markers[0].op, OpKind::Setup);
+    }
+
+    #[test]
+    fn recorder_tracks_rf_through_cas() {
+        let mut r = Recorder::new();
+        let w = r.write(0, 0x8, Annot::Plain, 5);
+        let c = r.cas(0, 0x8, Annot::AcqRel, true, 5, 6);
+        let rd = r.read(0, 0x8, Annot::Plain, 6);
+        assert_eq!(r.events[c as usize].rf, Some(w));
+        assert_eq!(r.events[rd as usize].rf, Some(c));
+    }
+
+    #[test]
+    fn failed_cas_does_not_become_writer() {
+        let mut r = Recorder::new();
+        let w = r.write(0, 0x8, Annot::Plain, 5);
+        r.cas(0, 0x8, Annot::AcqRel, false, 5, 6);
+        let rd = r.read(0, 0x8, Annot::Plain, 5);
+        assert_eq!(r.events[rd as usize].rf, Some(w));
+    }
+}

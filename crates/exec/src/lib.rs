@@ -1,0 +1,45 @@
+//! Deterministic lockstep concurrent executor.
+//!
+//! The paper's methodology (§6.3) instruments x86 binaries with Pin and
+//! feeds the resulting memory-event stream into a timing simulator. This
+//! crate plays Pin's role: data-structure code written against the
+//! [`PmemCtx`] trait runs on real OS threads, but every memory access is
+//! *gated* by a central scheduler that owns the functional memory, grants
+//! one access at a time, and records the global interleaving as an
+//! [`lrp_model::Trace`]. Because the scheduler's choices are a pure
+//! function of the seed and the recorded history, executions are fully
+//! deterministic and reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use lrp_exec::{ExecConfig, PmemCtx, SchedPolicy, run};
+//!
+//! let cfg = ExecConfig::new(2).policy(SchedPolicy::Random(42));
+//! let flag = 0x1000;
+//! let trace = run(
+//!     &cfg,
+//!     |setup| setup.write(flag, 0),
+//!     vec![
+//!         Box::new(move |ctx| {
+//!             ctx.write(0x2000, 7);
+//!             ctx.write_rel(flag, 1);
+//!         }),
+//!         Box::new(move |ctx| {
+//!             while ctx.read_acq(flag) == 0 {}
+//!             ctx.read(0x2000);
+//!         }),
+//!     ],
+//! );
+//! trace.validate().unwrap();
+//! ```
+
+pub mod ctx;
+pub mod executor;
+pub mod mem;
+pub mod rng;
+
+pub use ctx::{DirectCtx, PmemCtx};
+pub use executor::{run, ExecConfig, GateCtx, SchedPolicy, ThreadBody};
+pub use mem::SharedMem;
+pub use rng::Xorshift64;

@@ -1,0 +1,109 @@
+//! Word-granular functional shared memory.
+
+use lrp_model::{Addr, Trace};
+use std::collections::HashMap;
+
+/// The functional memory owned by the scheduler. Words that were never
+/// written read as [`Trace::POISON`], modelling the arbitrary contents of
+/// freshly allocated NVM (this is what lets recovery validators detect
+/// structurally reachable but never-persisted data).
+#[derive(Debug, Clone, Default)]
+pub struct SharedMem {
+    words: HashMap<Addr, u64>,
+}
+
+impl SharedMem {
+    /// An empty memory.
+    pub fn new() -> Self {
+        SharedMem::default()
+    }
+
+    /// A memory pre-loaded from an image.
+    pub fn from_image(image: &[(Addr, u64)]) -> Self {
+        SharedMem {
+            words: image.iter().copied().collect(),
+        }
+    }
+
+    /// Reads the word at `addr`.
+    pub fn read(&self, addr: Addr) -> u64 {
+        debug_assert_eq!(addr % 8, 0, "unaligned word access at {addr:#x}");
+        self.words.get(&addr).copied().unwrap_or(Trace::POISON)
+    }
+
+    /// Writes the word at `addr`.
+    pub fn write(&mut self, addr: Addr, val: u64) {
+        debug_assert_eq!(addr % 8, 0, "unaligned word access at {addr:#x}");
+        self.words.insert(addr, val);
+    }
+
+    /// Compare-and-swap; returns `(succeeded, observed_value)`.
+    pub fn cas(&mut self, addr: Addr, old: u64, new: u64) -> (bool, u64) {
+        let cur = self.read(addr);
+        if cur == old {
+            self.write(addr, new);
+            (true, cur)
+        } else {
+            (false, cur)
+        }
+    }
+
+    /// Snapshot of all written words, sorted by address.
+    pub fn snapshot(&self) -> Vec<(Addr, u64)> {
+        let mut v: Vec<(Addr, u64)> = self.words.iter().map(|(&a, &x)| (a, x)).collect();
+        v.sort_unstable_by_key(|&(a, _)| a);
+        v
+    }
+
+    /// Number of distinct words written.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if no word has been written.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_words_are_poison() {
+        let m = SharedMem::new();
+        assert_eq!(m.read(0x10), Trace::POISON);
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut m = SharedMem::new();
+        m.write(0x10, 99);
+        assert_eq!(m.read(0x10), 99);
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let mut m = SharedMem::new();
+        m.write(0x10, 1);
+        assert_eq!(m.cas(0x10, 1, 2), (true, 1));
+        assert_eq!(m.cas(0x10, 1, 3), (false, 2));
+        assert_eq!(m.read(0x10), 2);
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        let mut m = SharedMem::new();
+        m.write(0x20, 2);
+        m.write(0x10, 1);
+        assert_eq!(m.snapshot(), vec![(0x10, 1), (0x20, 2)]);
+    }
+
+    #[test]
+    fn from_image_round_trips() {
+        let m = SharedMem::from_image(&[(0x10, 5)]);
+        assert_eq!(m.read(0x10), 5);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,396 @@
+//! SynchroBench-style workload generation (§6.1 of the paper).
+//!
+//! For each workload: a harness creates 1–32 workers issuing inserts and
+//! deletes at a 1:1 ratio (100% update rate), over a key range of twice
+//! the initial size so the structure stays at its steady-state size. The
+//! structure is pre-populated before statistics (events) are collected.
+
+use crate::{bst::Bst, hashmap::HashMap, list::LinkedList, queue::Queue, skiplist::SkipList};
+use lrp_exec::{run, ExecConfig, PmemCtx, SchedPolicy, ThreadBody, Xorshift64};
+use lrp_model::{OpKind, ThreadId, Trace};
+use std::sync::{Arc, OnceLock};
+
+/// The five LFD workloads of §6.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Structure {
+    /// Harris/Michael sorted linked list.
+    LinkedList,
+    /// Michael hash map.
+    HashMap,
+    /// Natarajan–Mittal external BST.
+    Bst,
+    /// Lock-free skip list.
+    SkipList,
+    /// Michael–Scott queue.
+    Queue,
+}
+
+impl Structure {
+    /// All five workloads, in the paper's figure order.
+    pub const ALL: [Structure; 5] = [
+        Structure::LinkedList,
+        Structure::HashMap,
+        Structure::Bst,
+        Structure::SkipList,
+        Structure::Queue,
+    ];
+
+    /// The paper's workload name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Structure::LinkedList => "linkedlist",
+            Structure::HashMap => "hashmap",
+            Structure::Bst => "bstree",
+            Structure::SkipList => "skiplist",
+            Structure::Queue => "queue",
+        }
+    }
+}
+
+impl std::fmt::Display for Structure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Handle {
+    List(LinkedList),
+    Map(HashMap),
+    Bst(Bst),
+    Skip(SkipList),
+    Queue(Queue),
+}
+
+/// A complete workload description; [`WorkloadSpec::build_trace`] turns
+/// it into an execution trace deterministically.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Which data structure to drive.
+    pub structure: Structure,
+    /// Initial number of elements (pre-populated before recording).
+    pub initial_size: usize,
+    /// Keys are drawn uniformly from `[1, key_range]`; defaults to twice
+    /// the initial size (SynchroBench convention).
+    pub key_range: u64,
+    /// Number of worker threads (the paper sweeps 1–32).
+    pub threads: ThreadId,
+    /// Operations per worker.
+    pub ops_per_thread: usize,
+    /// Master seed (drives population, scheduling, and key draws).
+    pub seed: u64,
+    /// Percentage of read-only (`contains`) operations; the paper's
+    /// update-rate is 100%, i.e. 0 here.
+    pub read_pct: u8,
+    /// Bucket count for the hash map (0 = `initial_size`, load factor
+    /// ~1 as in Michael's evaluation; min 4).
+    pub nbuckets: u64,
+}
+
+impl WorkloadSpec {
+    /// Defaults: 256 initial elements, 4 threads, 64 ops each, 100%
+    /// updates.
+    pub fn new(structure: Structure) -> Self {
+        WorkloadSpec {
+            structure,
+            initial_size: 256,
+            key_range: 0,
+            threads: 4,
+            ops_per_thread: 64,
+            seed: 1,
+            read_pct: 0,
+            nbuckets: 0,
+        }
+    }
+
+    /// Sets the initial size.
+    pub fn initial_size(mut self, n: usize) -> Self {
+        self.initial_size = n;
+        self
+    }
+
+    /// Sets the key range explicitly.
+    pub fn key_range(mut self, r: u64) -> Self {
+        self.key_range = r;
+        self
+    }
+
+    /// Sets the worker count.
+    pub fn threads(mut self, t: ThreadId) -> Self {
+        self.threads = t;
+        self
+    }
+
+    /// Sets operations per worker.
+    pub fn ops_per_thread(mut self, n: usize) -> Self {
+        self.ops_per_thread = n;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Sets the percentage of `contains` operations.
+    pub fn read_pct(mut self, p: u8) -> Self {
+        assert!(p <= 100);
+        self.read_pct = p;
+        self
+    }
+
+    /// Sets the hash-map bucket count.
+    pub fn nbuckets(mut self, n: u64) -> Self {
+        self.nbuckets = n;
+        self
+    }
+
+    fn effective_key_range(&self) -> u64 {
+        if self.key_range != 0 {
+            self.key_range
+        } else {
+            (self.initial_size as u64 * 2).max(2)
+        }
+    }
+
+    fn effective_nbuckets(&self) -> u64 {
+        if self.nbuckets != 0 {
+            self.nbuckets
+        } else {
+            (self.initial_size as u64).max(4)
+        }
+    }
+
+    /// Draws `initial_size` distinct keys from `[1, key_range]`, sorted.
+    fn initial_keys(&self) -> Vec<u64> {
+        let range = self.effective_key_range();
+        assert!(
+            self.initial_size as u64 <= range,
+            "initial size exceeds key range"
+        );
+        let mut rng = Xorshift64::new(self.seed.wrapping_add(0xA11C));
+        let mut set = std::collections::BTreeSet::new();
+        while set.len() < self.initial_size {
+            set.insert(rng.below(range) + 1);
+        }
+        set.into_iter().collect()
+    }
+
+    /// Runs the workload under the lockstep executor and returns the
+    /// trace.
+    pub fn build_trace(&self) -> Trace {
+        let structure = self.structure;
+        let keys = self.initial_keys();
+        let nbuckets = self.effective_nbuckets();
+        let range = self.effective_key_range();
+        let handle: Arc<OnceLock<Handle>> = Arc::new(OnceLock::new());
+
+        let setup_handle = handle.clone();
+        let setup = move |s: &mut lrp_exec::DirectCtx| {
+            let h = match structure {
+                Structure::LinkedList => {
+                    let l = LinkedList::new(s);
+                    l.populate(s, &keys);
+                    s.set_root("head", l.head_loc);
+                    Handle::List(l)
+                }
+                Structure::HashMap => {
+                    let m = HashMap::new(s, nbuckets);
+                    m.populate(s, &keys);
+                    s.set_root("buckets", m.buckets);
+                    s.set_root("nbuckets", m.nbuckets);
+                    Handle::Map(m)
+                }
+                Structure::Bst => {
+                    let b = Bst::new(s);
+                    b.populate(s, &keys);
+                    s.set_root("bst_r", b.r);
+                    s.set_root("bst_s", b.s);
+                    Handle::Bst(b)
+                }
+                Structure::SkipList => {
+                    let sl = SkipList::new(s);
+                    sl.populate(s, &keys);
+                    s.set_root("sl_head", sl.head);
+                    Handle::Skip(sl)
+                }
+                Structure::Queue => {
+                    let q = Queue::new(s);
+                    let values: Vec<u64> = (1..=keys.len() as u64).collect();
+                    q.populate(s, &values);
+                    s.set_root("q_anchor", q.anchor);
+                    Handle::Queue(q)
+                }
+            };
+            let _ = setup_handle.set(h);
+        };
+
+        let bodies: Vec<ThreadBody> = (0..self.threads)
+            .map(|t| {
+                let handle = handle.clone();
+                let ops = self.ops_per_thread;
+                let read_pct = self.read_pct;
+                let seed = self.seed;
+                Box::new(move |c: &mut lrp_exec::GateCtx| {
+                    let h = *handle.get().expect("setup ran before workers");
+                    let mut rng =
+                        Xorshift64::new(seed.wrapping_mul(0x5851_F42D).wrapping_add(t as u64 + 1));
+                    for i in 0..ops {
+                        let key = rng.below(range) + 1;
+                        let is_read = rng.below(100) < read_pct as u64;
+                        let is_insert = rng.below(2) == 0;
+                        match h {
+                            Handle::List(l) => {
+                                drive_set(c, key, is_read, is_insert, |c, k| l.contains(c, k),
+                                    |c, k| l.insert(c, k, k), |c, k| l.delete(c, k));
+                            }
+                            Handle::Map(m) => {
+                                drive_set(c, key, is_read, is_insert, |c, k| m.contains(c, k),
+                                    |c, k| m.insert(c, k, k), |c, k| m.delete(c, k));
+                            }
+                            Handle::Bst(b) => {
+                                drive_set(c, key, is_read, is_insert, |c, k| b.contains(c, k),
+                                    |c, k| b.insert(c, k, k), |c, k| b.delete(c, k));
+                            }
+                            Handle::Skip(sl) => {
+                                drive_set(c, key, is_read, is_insert, |c, k| sl.contains(c, k),
+                                    |c, k| sl.insert(c, k, k), |c, k| sl.delete(c, k));
+                            }
+                            Handle::Queue(q) => {
+                                if is_insert {
+                                    let v = (t as u64 + 1) * 1_000_000 + i as u64;
+                                    c.op_begin(OpKind::Enqueue(v));
+                                    q.enqueue(c, v);
+                                    c.op_end(1);
+                                } else {
+                                    c.op_begin(OpKind::Dequeue);
+                                    let r = q.dequeue(c);
+                                    c.op_end(r.map(|v| v + 1).unwrap_or(0));
+                                }
+                            }
+                        }
+                    }
+                }) as ThreadBody
+            })
+            .collect();
+
+        let cfg = ExecConfig::new(self.threads)
+            .policy(SchedPolicy::Random(self.seed.wrapping_add(0x5EED)))
+            .seed(self.seed);
+        run(&cfg, setup, bodies)
+    }
+}
+
+/// Issues one set-structure operation with markers.
+fn drive_set<C: PmemCtx>(
+    c: &mut C,
+    key: u64,
+    is_read: bool,
+    is_insert: bool,
+    contains: impl Fn(&mut C, u64) -> bool,
+    insert: impl Fn(&mut C, u64) -> bool,
+    delete: impl Fn(&mut C, u64) -> bool,
+) {
+    if is_read {
+        c.op_begin(OpKind::Contains(key));
+        let r = contains(c, key);
+        c.op_end(r as u64);
+    } else if is_insert {
+        c.op_begin(OpKind::Insert(key, key));
+        let r = insert(c, key);
+        c.op_end(r as u64);
+    } else {
+        c.op_begin(OpKind::Delete(key));
+        let r = delete(c, key);
+        c.op_end(r as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_structures_build_valid_traces() {
+        for s in Structure::ALL {
+            let spec = WorkloadSpec::new(s)
+                .initial_size(32)
+                .threads(2)
+                .ops_per_thread(12)
+                .seed(9);
+            let t = spec.build_trace();
+            t.validate()
+                .unwrap_or_else(|e| panic!("{s}: invalid trace: {e}"));
+            assert!(!t.events.is_empty(), "{s}: empty trace");
+            assert_eq!(t.markers.len(), 2 * 12, "{s}: marker count");
+            assert!(!t.initial_mem.is_empty(), "{s}: missing initial image");
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let spec = WorkloadSpec::new(Structure::HashMap)
+            .initial_size(32)
+            .threads(3)
+            .ops_per_thread(10)
+            .seed(4);
+        let a = spec.build_trace();
+        let b = spec.build_trace();
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.initial_mem, b.initial_mem);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let base = WorkloadSpec::new(Structure::SkipList)
+            .initial_size(32)
+            .threads(2)
+            .ops_per_thread(10);
+        let a = base.clone().seed(1).build_trace();
+        let b = base.seed(2).build_trace();
+        assert_ne!(a.events, b.events);
+    }
+
+    #[test]
+    fn update_only_traces_have_releases_and_acquires() {
+        let spec = WorkloadSpec::new(Structure::LinkedList)
+            .initial_size(16)
+            .threads(2)
+            .ops_per_thread(10);
+        let t = spec.build_trace();
+        assert!(t.events.iter().any(|e| e.is_release()));
+        assert!(t.events.iter().any(|e| e.is_acquire()));
+    }
+
+    #[test]
+    fn read_pct_produces_contains_markers() {
+        let spec = WorkloadSpec::new(Structure::Bst)
+            .initial_size(16)
+            .threads(1)
+            .ops_per_thread(50)
+            .read_pct(100);
+        let t = spec.build_trace();
+        assert!(t
+            .markers
+            .iter()
+            .all(|m| matches!(m.op, OpKind::Contains(_))));
+    }
+
+    #[test]
+    fn key_range_defaults_to_double_size() {
+        let spec = WorkloadSpec::new(Structure::LinkedList).initial_size(100);
+        assert_eq!(spec.effective_key_range(), 200);
+        let spec = spec.key_range(500);
+        assert_eq!(spec.effective_key_range(), 500);
+    }
+
+    #[test]
+    fn initial_keys_are_distinct_and_in_range() {
+        let spec = WorkloadSpec::new(Structure::HashMap).initial_size(64);
+        let keys = spec.initial_keys();
+        assert_eq!(keys.len(), 64);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        assert!(keys.iter().all(|&k| (1..=128).contains(&k)));
+    }
+}

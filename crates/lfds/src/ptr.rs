@@ -1,0 +1,75 @@
+//! Tagged-pointer helpers.
+//!
+//! All heap words are 8-byte aligned, so the low three bits of a pointer
+//! word are free. The list and skip list use bit 0 as the Harris *mark*
+//! (logical deletion); the Natarajan–Mittal BST uses bit 0 as *flag* and
+//! bit 1 as *tag* on child edges.
+
+use lrp_model::Addr;
+
+/// Harris mark / NM flag bit.
+pub const MARK: u64 = 1;
+/// NM tag bit.
+pub const TAG: u64 = 2;
+/// All tag bits.
+pub const BITS: u64 = 7;
+
+/// The pointer with all tag bits cleared.
+#[inline]
+pub fn addr(p: u64) -> Addr {
+    p & !BITS
+}
+
+/// True if the mark/flag bit is set.
+#[inline]
+pub fn marked(p: u64) -> bool {
+    p & MARK != 0
+}
+
+/// True if the tag bit is set.
+#[inline]
+pub fn tagged(p: u64) -> bool {
+    p & TAG != 0
+}
+
+/// Sets the mark/flag bit.
+#[inline]
+pub fn with_mark(p: u64) -> u64 {
+    p | MARK
+}
+
+/// Sets the tag bit.
+#[inline]
+pub fn with_tag(p: u64) -> u64 {
+    p | TAG
+}
+
+/// Packs an address with explicit flag and tag bits.
+#[inline]
+pub fn pack(a: Addr, flag: bool, tag: bool) -> u64 {
+    debug_assert_eq!(a & BITS, 0, "unaligned pointer {a:#x}");
+    a | u64::from(flag) | (u64::from(tag) << 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_tags() {
+        let p = pack(0x1000, true, false);
+        assert!(marked(p));
+        assert!(!tagged(p));
+        assert_eq!(addr(p), 0x1000);
+        let q = pack(0x1000, false, true);
+        assert!(!marked(q));
+        assert!(tagged(q));
+        assert_eq!(addr(with_mark(with_tag(0x2000))), 0x2000);
+    }
+
+    #[test]
+    fn null_is_unmarked() {
+        assert!(!marked(0));
+        assert_eq!(addr(0), 0);
+    }
+}

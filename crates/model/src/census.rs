@@ -1,0 +1,159 @@
+//! Trace statistics: the census used by the CLI tools, the examples,
+//! and the experiment reports.
+
+use crate::event::Trace;
+use crate::types::{line_of, LineAddr, ThreadId};
+use std::collections::{BTreeMap, HashSet};
+
+/// Aggregate counts over a trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Census {
+    /// Total events.
+    pub events: usize,
+    /// Read effects (loads + RMWs).
+    pub reads: usize,
+    /// Write effects (stores + successful RMWs).
+    pub writes: usize,
+    /// Successful RMWs.
+    pub rmw_success: usize,
+    /// Failed RMWs.
+    pub rmw_fail: usize,
+    /// Acquire-annotated read effects.
+    pub acquires: usize,
+    /// Release-annotated write effects.
+    pub releases: usize,
+    /// Events per thread.
+    pub per_thread: BTreeMap<ThreadId, usize>,
+    /// Distinct 64 B cache lines touched.
+    pub lines_touched: usize,
+    /// Distinct lines written.
+    pub lines_written: usize,
+    /// Operation markers, by kind name.
+    pub ops: BTreeMap<&'static str, usize>,
+}
+
+impl Census {
+    /// Computes the census of a trace.
+    pub fn of(trace: &Trace) -> Self {
+        let mut c = Census {
+            events: trace.events.len(),
+            ..Census::default()
+        };
+        let mut touched: HashSet<LineAddr> = HashSet::new();
+        let mut written: HashSet<LineAddr> = HashSet::new();
+        for e in &trace.events {
+            if e.is_read_effect() {
+                c.reads += 1;
+            }
+            if e.is_write_effect() {
+                c.writes += 1;
+                written.insert(line_of(e.addr));
+            }
+            match e.kind {
+                crate::event::EventKind::RmwSuccess => c.rmw_success += 1,
+                crate::event::EventKind::RmwFail => c.rmw_fail += 1,
+                _ => {}
+            }
+            if e.is_acquire() {
+                c.acquires += 1;
+            }
+            if e.is_release() {
+                c.releases += 1;
+            }
+            *c.per_thread.entry(e.tid).or_insert(0) += 1;
+            touched.insert(line_of(e.addr));
+        }
+        c.lines_touched = touched.len();
+        c.lines_written = written.len();
+        for m in &trace.markers {
+            let name = match m.op {
+                crate::event::OpKind::Insert(..) => "insert",
+                crate::event::OpKind::Delete(..) => "delete",
+                crate::event::OpKind::Contains(..) => "contains",
+                crate::event::OpKind::Enqueue(..) => "enqueue",
+                crate::event::OpKind::Dequeue => "dequeue",
+                crate::event::OpKind::Setup => "setup",
+            };
+            *c.ops.entry(name).or_insert(0) += 1;
+        }
+        c
+    }
+}
+
+impl std::fmt::Display for Census {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} events: {} reads, {} writes ({} rmw ok, {} rmw fail)",
+            self.events, self.reads, self.writes, self.rmw_success, self.rmw_fail
+        )?;
+        writeln!(
+            f,
+            "annotations: {} acquires, {} releases",
+            self.acquires, self.releases
+        )?;
+        writeln!(
+            f,
+            "footprint: {} lines touched, {} lines written",
+            self.lines_touched, self.lines_written
+        )?;
+        write!(f, "threads:")?;
+        for (t, n) in &self.per_thread {
+            write!(f, " t{t}={n}")?;
+        }
+        if !self.ops.is_empty() {
+            write!(f, "\nops:")?;
+            for (k, n) in &self.ops {
+                write!(f, " {k}={n}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::litmus::LitmusBuilder;
+    use crate::types::Annot;
+
+    #[test]
+    fn census_counts_everything() {
+        let mut b = LitmusBuilder::new(2);
+        b.init(0x100, 0);
+        b.write(0, 0x100, 1);
+        b.write_rel(0, 0x140, 2);
+        b.read_acq(1, 0x140);
+        b.cas(1, 0x100, 1, 2, Annot::Release);
+        b.cas(1, 0x100, 1, 3, Annot::Release); // fails
+        let t = b.build();
+        let c = Census::of(&t);
+        assert_eq!(c.events, 5);
+        assert_eq!(c.reads, 3); // acq read + two CAS reads
+        assert_eq!(c.writes, 3); // write + rel + successful CAS
+        assert_eq!(c.rmw_success, 1);
+        assert_eq!(c.rmw_fail, 1);
+        assert_eq!(c.acquires, 1);
+        assert_eq!(c.releases, 2);
+        assert_eq!(c.per_thread[&0], 2);
+        assert_eq!(c.per_thread[&1], 3);
+        assert_eq!(c.lines_touched, 2);
+        assert_eq!(c.lines_written, 2);
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let mut b = LitmusBuilder::new(1);
+        b.write(0, 0x100, 1);
+        let s = Census::of(&b.build()).to_string();
+        assert!(s.contains("1 events"));
+        assert!(s.contains("t0=1"));
+    }
+
+    #[test]
+    fn empty_trace_census() {
+        let c = Census::of(&Trace::new(3));
+        assert_eq!(c.events, 0);
+        assert_eq!(c.lines_touched, 0);
+    }
+}

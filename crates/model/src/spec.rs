@@ -1,0 +1,677 @@
+//! Persistency-model specifications as checkable predicates over persist
+//! schedules.
+//!
+//! A [`PersistSchedule`] assigns each write event an optional *persist
+//! stamp*: the sequence number of the NVM flush that made its effect
+//! durable. Equal stamps mean the writes became durable atomically (they
+//! rode the same cache-line flush); `None` means the write never became
+//! durable before the end of the execution.
+//!
+//! [`check_rp`] verifies **Release Persistency** (§4.1 of the paper) by
+//! checking exactly its generator rules; because a schedule is a total
+//! order, the generator rules imply the transitive closure, so no
+//! happens-before closure is required and the check streams in O(n).
+//!
+//! [`check_arp`] verifies only the weaker **ARP rule** (§3.1):
+//! `W po→ Rel sw→ Acq po→ W' ⇒ W p→ W'` — notably, it does *not* require
+//! a release to persist after the writes that precede it, which is the
+//! gap Figure 1 of the paper exploits.
+//!
+//! [`check_cut_closure`] verifies the Izraelevitz–Scott criterion used
+//! for null recovery: every stamp-prefix of the schedule is a
+//! *consistent cut* of happens-before.
+
+use crate::event::Trace;
+use crate::hb::HbClosure;
+use crate::types::{EventId, ThreadId};
+use std::collections::HashSet;
+
+/// Assignment of persist stamps to write events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistSchedule {
+    stamps: Vec<Option<u64>>,
+}
+
+impl PersistSchedule {
+    /// A schedule over `n` events in which nothing has persisted.
+    pub fn new(n: usize) -> Self {
+        PersistSchedule {
+            stamps: vec![None; n],
+        }
+    }
+
+    /// Builds a schedule from an explicit persist order: `order[i]`
+    /// receives stamp `i`.
+    pub fn from_order(n: usize, order: &[EventId]) -> Self {
+        let mut s = Self::new(n);
+        for (i, &e) in order.iter().enumerate() {
+            s.set(e, i as u64);
+        }
+        s
+    }
+
+    /// Records that event `e` persisted at stamp `stamp`.
+    pub fn set(&mut self, e: EventId, stamp: u64) {
+        self.stamps[e as usize] = Some(stamp);
+    }
+
+    /// The stamp of event `e`, if it persisted.
+    pub fn stamp(&self, e: EventId) -> Option<u64> {
+        self.stamps[e as usize]
+    }
+
+    /// Number of events covered.
+    pub fn len(&self) -> usize {
+        self.stamps.len()
+    }
+
+    /// True if the schedule covers no events.
+    pub fn is_empty(&self) -> bool {
+        self.stamps.is_empty()
+    }
+
+    /// The set of writes with stamp `<= cut` (the durable state if a
+    /// crash happens just after flush `cut` completes).
+    pub fn cut_at(&self, trace: &Trace, cut: u64) -> HashSet<EventId> {
+        trace
+            .events
+            .iter()
+            .filter(|e| e.is_write_effect())
+            .filter(|e| matches!(self.stamps[e.id as usize], Some(s) if s <= cut))
+            .map(|e| e.id)
+            .collect()
+    }
+
+    /// All distinct stamps in ascending order.
+    pub fn distinct_stamps(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.stamps.iter().flatten().copied().collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// Extended stamp domain with `None` treated as "never" (+∞).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ext {
+    Fin(u64),
+    Inf,
+}
+
+fn ext(s: Option<u64>) -> Ext {
+    match s {
+        Some(v) => Ext::Fin(v),
+        None => Ext::Inf,
+    }
+}
+
+/// Which RP rule a violation falls under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpRule {
+    /// `W po→ Rel ⇒ W p→ Rel` (release one-sided barrier, §4.1).
+    ReleaseBarrier,
+    /// `Rel sw→ Acq po→ W ⇒ Rel p→ W` (sw plus acquire one-sided barrier).
+    AcquireBarrier,
+    /// `W1 po→ W2` same address `⇒ W1 p→ W2`.
+    SameAddr,
+}
+
+/// A persist-order violation: `first` was required to persist no later
+/// than `second` but did not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Violation {
+    /// The event that had to persist first.
+    pub first: EventId,
+    /// The event that persisted too early.
+    pub second: EventId,
+    /// The violated rule.
+    pub rule: RpRule,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?}: event {} must persist before event {}",
+            self.rule, self.first, self.second
+        )
+    }
+}
+
+const MAX_REPORTED: usize = 16;
+
+/// Checks the Release Persistency rules of §4.1 against a schedule.
+///
+/// Implements the paper's *expanded* rules (the ones a microarchitecture
+/// can enforce) as a single streaming recurrence: for every event, the
+/// maximum persist stamp over its persist-order predecessors is
+/// propagated through the rule edges — prior acquires (acquire one-sided
+/// barrier), prior writes at a release (release one-sided barrier), the
+/// previous write to the same address, and the release an acquire reads
+/// from (synchronizes-with). A write whose own stamp is smaller than the
+/// propagated bound is a violation.
+///
+/// Note the deliberate fidelity point: the paper's succinct statement
+/// ("any two writes in happens-before persist in that order") is
+/// *stronger* than its expanded rules — full RC happens-before contains
+/// read-mediated same-address edges (e.g. an acquire reading the
+/// thread's own plain write) that no rule lifts into persist order and
+/// that LRP's hardware does not enforce. This checker implements the
+/// expanded (implementable) specification; [`check_cut_closure`] paired
+/// with [`HbClosure::compute_persist`] is its closure-based equivalent.
+///
+/// Returns the first few violations (capped) on failure.
+pub fn check_rp(trace: &Trace, sched: &PersistSchedule) -> Result<(), Vec<Violation>> {
+    assert_eq!(sched.len(), trace.events.len(), "schedule/trace size mismatch");
+    let nt = trace.nthreads as usize;
+    let n = trace.events.len();
+    let mut viol = Vec::new();
+    // folded[e]: max stamp over ({e} if write) ∪ persist-predecessors(e).
+    let mut folded: Vec<Option<(Ext, EventId, RpRule)>> = vec![None; n];
+    // Per-thread aggregates over folded values.
+    let mut all_w: Vec<Option<(Ext, EventId, RpRule)>> = vec![None; nt];
+    let mut acqs: Vec<Option<(Ext, EventId, RpRule)>> = vec![None; nt];
+    let mut last_w: std::collections::HashMap<(ThreadId, u64), (Ext, EventId, RpRule)> =
+        std::collections::HashMap::new();
+
+    fn join(
+        b: &mut Option<(Ext, EventId, RpRule)>,
+        other: Option<(Ext, EventId, RpRule)>,
+        rule: Option<RpRule>,
+    ) {
+        if let Some((e2, src, r2)) = other {
+            let r = rule.unwrap_or(r2);
+            match b {
+                Some((e1, _, _)) if *e1 >= e2 => {}
+                _ => *b = Some((e2, src, r)),
+            }
+        }
+    }
+
+    for e in &trace.events {
+        let t = e.tid as usize;
+        let s = ext(sched.stamp(e.id));
+        let mut bound: Option<(Ext, EventId, RpRule)> = None;
+        // Acquire one-sided barrier: every earlier acquire of this thread
+        // bounds everything after it.
+        join(&mut bound, acqs[t], Some(RpRule::AcquireBarrier));
+        // Release one-sided barrier: every earlier write of this thread
+        // bounds a release.
+        if e.is_release() {
+            join(&mut bound, all_w[t], Some(RpRule::ReleaseBarrier));
+        }
+        // Program-order address dependency (writes to one address; a
+        // read at the same address inherits nothing — no §4.1 rule
+        // orders a write before a later read, even an acquire).
+        if e.is_write_effect() {
+            if let Some(&lw) = last_w.get(&(e.tid, e.addr)) {
+                join(&mut bound, Some(lw), Some(RpRule::SameAddr));
+            }
+        }
+        // Synchronizes-with: an acquire inherits the release it read.
+        if e.is_acquire() {
+            if let Some(w) = e.rf {
+                let we = &trace.events[w as usize];
+                if we.is_release() && we.tid != e.tid {
+                    join(&mut bound, folded[w as usize], Some(RpRule::AcquireBarrier));
+                }
+            }
+        }
+        // The check: a persisted write may not beat its bound.
+        if e.is_write_effect() {
+            if let (Some((b, src, rule)), Ext::Fin(_)) = (bound, s) {
+                if b > s {
+                    viol.push(Violation {
+                        first: src,
+                        second: e.id,
+                        rule,
+                    });
+                    if viol.len() >= MAX_REPORTED {
+                        break;
+                    }
+                }
+            }
+        }
+        // Fold the event's own stamp (writes only) and update aggregates.
+        let mut f = bound;
+        if e.is_write_effect() {
+            join(&mut f, Some((s, e.id, RpRule::SameAddr)), None);
+        }
+        folded[e.id as usize] = f;
+        if e.is_write_effect() {
+            join(&mut all_w[t], f, None);
+            last_w.insert((e.tid, e.addr), f.expect("write folds its own stamp"));
+        }
+        if e.is_acquire() {
+            join(&mut acqs[t], f, Some(RpRule::AcquireBarrier));
+        }
+    }
+    if viol.is_empty() {
+        Ok(())
+    } else {
+        Err(viol)
+    }
+}
+
+/// Checks only the ARP rule of §3.1:
+/// `W po→ Rel sw→ Acq po→ W' ⇒ W p→ W'`.
+pub fn check_arp(trace: &Trace, sched: &PersistSchedule) -> Result<(), Vec<Violation>> {
+    assert_eq!(sched.len(), trace.events.len(), "schedule/trace size mismatch");
+    let nt = trace.nthreads as usize;
+    // Pass 1: for each release, the max stamp over writes strictly
+    // po-before it in its thread.
+    let mut relmax: std::collections::HashMap<EventId, (Ext, Option<EventId>)> =
+        std::collections::HashMap::new();
+    {
+        let mut maxw: Vec<Option<(Ext, EventId)>> = vec![None; nt];
+        for e in &trace.events {
+            let t = e.tid as usize;
+            if e.is_release() {
+                let m = maxw[t].map(|(m, src)| (m, Some(src))).unwrap_or((Ext::Fin(0), None));
+                relmax.insert(e.id, m);
+            }
+            if e.is_write_effect() {
+                let s = ext(sched.stamp(e.id));
+                match maxw[t] {
+                    Some((m, _)) if m >= s => {}
+                    _ => maxw[t] = Some((s, e.id)),
+                }
+            }
+        }
+    }
+    // Pass 2: propagate lower bounds through sw edges.
+    let mut viol = Vec::new();
+    let mut lb: Vec<Option<(Ext, EventId)>> = vec![None; nt];
+    for e in &trace.events {
+        let t = e.tid as usize;
+        if e.is_write_effect() {
+            if let (Some((b, src)), Ext::Fin(_)) = (lb[t], ext(sched.stamp(e.id))) {
+                if b > ext(sched.stamp(e.id)) {
+                    viol.push(Violation {
+                        first: src,
+                        second: e.id,
+                        rule: RpRule::AcquireBarrier,
+                    });
+                    if viol.len() >= MAX_REPORTED {
+                        break;
+                    }
+                }
+            }
+        }
+        if e.is_acquire() {
+            if let Some(w) = e.rf {
+                let we = &trace.events[w as usize];
+                if we.is_release() && we.tid != e.tid {
+                    if let Some(&(m, Some(src))) = relmax.get(&w) {
+                        match lb[t] {
+                            Some((b, _)) if b >= m => {}
+                            _ => lb[t] = Some((m, src)),
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if viol.is_empty() {
+        Ok(())
+    } else {
+        Err(viol)
+    }
+}
+
+/// Checks the *intra-thread full persist barrier* semantics that the
+/// strict and buffered barriers (SB/BB, §6.2) enforce by surrounding
+/// every release with barriers: for each thread, every write that
+/// precedes a release in program order persists no later than the
+/// release, and the release persists no later than any write that
+/// follows it. This is strictly stronger than RP — Figure 2's point is
+/// precisely that RP does **not** require it, so LRP schedules may fail
+/// this check while satisfying [`check_rp`].
+pub fn check_epoch_full_barrier(
+    trace: &Trace,
+    sched: &PersistSchedule,
+) -> Result<(), Vec<Violation>> {
+    assert_eq!(sched.len(), trace.events.len(), "schedule/trace size mismatch");
+    let nt = trace.nthreads as usize;
+    let mut viol = Vec::new();
+    // Per thread: max stamp over earlier segments (lower bound for later
+    // writes) and the running max of the current segment. Same-address
+    // program order also holds under any epoch model (writes to one
+    // line coalesce or persist in order).
+    let mut seg_lb: Vec<Option<(Ext, EventId)>> = vec![None; nt];
+    let mut cur_max: Vec<Option<(Ext, EventId)>> = vec![None; nt];
+    let mut last_w: std::collections::HashMap<(ThreadId, u64), EventId> =
+        std::collections::HashMap::new();
+    for e in &trace.events {
+        if !e.is_write_effect() {
+            continue;
+        }
+        let t = e.tid as usize;
+        let s = ext(sched.stamp(e.id));
+        if let (Some((b, src)), Ext::Fin(_)) = (seg_lb[t], s) {
+            if b > s {
+                viol.push(Violation {
+                    first: src,
+                    second: e.id,
+                    rule: RpRule::ReleaseBarrier,
+                });
+                if viol.len() >= MAX_REPORTED {
+                    break;
+                }
+            }
+        }
+        if let Some(&p) = last_w.get(&(e.tid, e.addr)) {
+            if let Ext::Fin(_) = s {
+                if ext(sched.stamp(p)) > s {
+                    viol.push(Violation {
+                        first: p,
+                        second: e.id,
+                        rule: RpRule::SameAddr,
+                    });
+                    if viol.len() >= MAX_REPORTED {
+                        break;
+                    }
+                }
+            }
+        }
+        last_w.insert((e.tid, e.addr), e.id);
+        if e.is_release() {
+            // The barrier sits *before* the release: every earlier write
+            // of the segment must persist no later than the release
+            // itself.
+            if let (Some((m, src)), Ext::Fin(_)) = (cur_max[t], s) {
+                if m > s {
+                    viol.push(Violation {
+                        first: src,
+                        second: e.id,
+                        rule: RpRule::ReleaseBarrier,
+                    });
+                    if viol.len() >= MAX_REPORTED {
+                        break;
+                    }
+                }
+            }
+        }
+        match cur_max[t] {
+            Some((m, _)) if m >= s => {}
+            _ => cur_max[t] = Some((s, e.id)),
+        }
+        if e.is_release() {
+            // Barrier after the release: everything so far lower-bounds
+            // the next segment.
+            seg_lb[t] = cur_max[t];
+        }
+    }
+    if viol.is_empty() {
+        Ok(())
+    } else {
+        Err(viol)
+    }
+}
+
+/// A consistent-cut violation: `present` is durable while its
+/// happens-before predecessor `missing` is not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CutViolation {
+    /// Durable write.
+    pub present: EventId,
+    /// Its non-durable hb-predecessor write.
+    pub missing: EventId,
+}
+
+/// Checks that `cut` (a set of durable writes) is a consistent cut: it is
+/// closed under happens-before predecessors among writes.
+pub fn check_consistent_cut(
+    trace: &Trace,
+    hb: &HbClosure,
+    cut: &HashSet<EventId>,
+) -> Result<(), CutViolation> {
+    for &w in cut {
+        for p in hb.preds_of(w) {
+            if trace.events[p as usize].is_write_effect() && !cut.contains(&p) {
+                return Err(CutViolation {
+                    present: w,
+                    missing: p,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks that *every* stamp-prefix of the schedule is a consistent cut,
+/// i.e. for every pair of writes `w1 hb→ w2`, `stamp(w1) <= stamp(w2)`
+/// (with unpersisted treated as +∞). This is the paper's recovery
+/// criterion for the whole execution.
+pub fn check_cut_closure(
+    trace: &Trace,
+    hb: &HbClosure,
+    sched: &PersistSchedule,
+) -> Result<(), CutViolation> {
+    for e in &trace.events {
+        if !e.is_write_effect() {
+            continue;
+        }
+        let s2 = ext(sched.stamp(e.id));
+        if s2 == Ext::Inf {
+            continue;
+        }
+        for p in hb.preds_of(e.id) {
+            if trace.events[p as usize].is_write_effect() && ext(sched.stamp(p)) > s2 {
+                return Err(CutViolation {
+                    present: e.id,
+                    missing: p,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::litmus::LitmusBuilder;
+    use crate::types::Annot;
+
+    /// Figure 1 message-passing trace: W1; Rel || Acq; W4.
+    fn fig1() -> (Trace, EventId, EventId, EventId, EventId) {
+        let mut b = LitmusBuilder::new(2);
+        b.init(0x200, 0);
+        let w1 = b.write(0, 0x100, 42);
+        let rel = b.cas(0, 0x200, 0, 0x100, Annot::AcqRel);
+        let acq = b.cas(1, 0x200, 0x100, 0x300, Annot::AcqRel);
+        let w4 = b.write(1, 0x310, 9);
+        (b.build(), w1, rel, acq, w4)
+    }
+
+    #[test]
+    fn rp_accepts_hb_respecting_schedule() {
+        let (t, w1, rel, acq, w4) = fig1();
+        let sched = PersistSchedule::from_order(t.events.len(), &[w1, rel, acq, w4]);
+        check_rp(&t, &sched).unwrap();
+        check_arp(&t, &sched).unwrap();
+    }
+
+    #[test]
+    fn rmw_acquire_write_must_persist_before_later_writes() {
+        // The acquire-CAS's own write (the link update of the acquiring
+        // thread) must persist before the thread's subsequent writes.
+        let (t, w1, rel, acq, w4) = fig1();
+        let sched = PersistSchedule::from_order(t.events.len(), &[w1, rel, w4, acq]);
+        let v = check_rp(&t, &sched).unwrap_err();
+        assert!(v
+            .iter()
+            .any(|v| v.rule == RpRule::AcquireBarrier && v.first == acq && v.second == w4));
+    }
+
+    #[test]
+    fn rp_rejects_release_before_preceding_write() {
+        let (t, w1, rel, _acq, w4) = fig1();
+        let sched = PersistSchedule::from_order(t.events.len(), &[rel, w1, w4]);
+        let v = check_rp(&t, &sched).unwrap_err();
+        assert!(v
+            .iter()
+            .any(|v| v.rule == RpRule::ReleaseBarrier && v.first == w1 && v.second == rel));
+        // But ARP allows it — this is exactly the paper's complaint (§3.1.1).
+        check_arp(&t, &sched).unwrap();
+    }
+
+    #[test]
+    fn rp_rejects_acquirer_write_before_release() {
+        let (t, w1, rel, _acq, w4) = fig1();
+        let sched = PersistSchedule::from_order(t.events.len(), &[w1, w4, rel]);
+        let v = check_rp(&t, &sched).unwrap_err();
+        assert!(v
+            .iter()
+            .any(|v| v.rule == RpRule::AcquireBarrier && v.second == w4));
+    }
+
+    #[test]
+    fn arp_rejects_w1_after_w4() {
+        let (t, w1, rel, _acq, w4) = fig1();
+        let sched = PersistSchedule::from_order(t.events.len(), &[rel, w4, w1]);
+        assert!(check_arp(&t, &sched).is_err());
+        assert!(check_rp(&t, &sched).is_err());
+    }
+
+    #[test]
+    fn unpersisted_release_blocks_acquirer_writes() {
+        let (t, w1, _rel, _acq, w4) = fig1();
+        // Release never persisted, but acquirer's write did.
+        let sched = PersistSchedule::from_order(t.events.len(), &[w1, w4]);
+        let v = check_rp(&t, &sched).unwrap_err();
+        assert!(v.iter().any(|v| v.rule == RpRule::AcquireBarrier));
+    }
+
+    #[test]
+    fn unpersisted_write_blocks_release() {
+        let (t, _w1, rel, _acq, _w4) = fig1();
+        let sched = PersistSchedule::from_order(t.events.len(), &[rel]);
+        let v = check_rp(&t, &sched).unwrap_err();
+        assert!(v.iter().any(|v| v.rule == RpRule::ReleaseBarrier));
+    }
+
+    #[test]
+    fn nothing_persisted_is_always_fine() {
+        let (t, ..) = fig1();
+        let sched = PersistSchedule::new(t.events.len());
+        check_rp(&t, &sched).unwrap();
+        check_arp(&t, &sched).unwrap();
+    }
+
+    #[test]
+    fn same_addr_order_enforced() {
+        let mut b = LitmusBuilder::new(1);
+        let a = b.write(0, 0x10, 1);
+        let c = b.write(0, 0x10, 2);
+        let t = b.build();
+        let bad = PersistSchedule::from_order(t.events.len(), &[c, a]);
+        let v = check_rp(&t, &bad).unwrap_err();
+        assert_eq!(v[0].rule, RpRule::SameAddr);
+        let good = PersistSchedule::from_order(t.events.len(), &[a, c]);
+        check_rp(&t, &good).unwrap();
+    }
+
+    #[test]
+    fn coalesced_equal_stamps_allowed() {
+        let mut b = LitmusBuilder::new(1);
+        let w = b.write(0, 0x10, 1);
+        let rel = b.write_rel(0, 0x18, 2); // same 64B line as 0x10
+        let t = b.build();
+        let mut sched = PersistSchedule::new(t.events.len());
+        sched.set(w, 3);
+        sched.set(rel, 3); // atomic line flush
+        check_rp(&t, &sched).unwrap();
+    }
+
+    #[test]
+    fn plain_writes_may_persist_out_of_order() {
+        // RP's one-sided barrier (Figure 2b): WB may persist before WA.
+        let mut b = LitmusBuilder::new(1);
+        let wa = b.write(0, 0x10, 1);
+        let rel = b.write_rel(0, 0x20, 2);
+        let wb = b.write(0, 0x30, 3);
+        let t = b.build();
+        let sched = PersistSchedule::from_order(t.events.len(), &[wb, wa, rel]);
+        check_rp(&t, &sched).unwrap();
+    }
+
+    #[test]
+    fn cut_closure_matches_pairwise_checks() {
+        let (t, w1, rel, _acq, w4) = fig1();
+        let hb = HbClosure::compute(&t).unwrap();
+        let good = PersistSchedule::from_order(t.events.len(), &[w1, rel, _acq, w4]);
+        check_cut_closure(&t, &hb, &good).unwrap();
+        let bad = PersistSchedule::from_order(t.events.len(), &[rel, w1, _acq, w4]);
+        let v = check_cut_closure(&t, &hb, &bad).unwrap_err();
+        assert_eq!(v.missing, w1);
+        assert_eq!(v.present, rel);
+    }
+
+    #[test]
+    fn explicit_cut_checking() {
+        let (t, w1, rel, _acq, w4) = fig1();
+        let hb = HbClosure::compute(&t).unwrap();
+        let ok: HashSet<EventId> = [w1, rel].into_iter().collect();
+        check_consistent_cut(&t, &hb, &ok).unwrap();
+        let bad: HashSet<EventId> = [rel].into_iter().collect();
+        assert!(check_consistent_cut(&t, &hb, &bad).is_err());
+        let bad2: HashSet<EventId> = [w4].into_iter().collect();
+        assert!(check_consistent_cut(&t, &hb, &bad2).is_err());
+    }
+
+    #[test]
+    fn cut_at_selects_by_stamp() {
+        let (t, w1, rel, _acq, w4) = fig1();
+        let sched = PersistSchedule::from_order(t.events.len(), &[w1, rel, w4]);
+        assert_eq!(sched.cut_at(&t, 0), [w1].into_iter().collect());
+        assert_eq!(sched.cut_at(&t, 1), [w1, rel].into_iter().collect());
+        assert_eq!(sched.cut_at(&t, 2), [w1, rel, w4].into_iter().collect());
+        assert_eq!(sched.distinct_stamps(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn full_barrier_is_stricter_than_rp() {
+        // Figure 2b: WA; Rel; WB — RP lets WB persist before WA, the
+        // full barrier does not.
+        let mut b = LitmusBuilder::new(1);
+        let wa = b.write(0, 0x10, 1);
+        let rel = b.write_rel(0, 0x80, 2);
+        let wb = b.write(0, 0x100, 3);
+        let t = b.build();
+        let reordered = PersistSchedule::from_order(t.events.len(), &[wb, wa, rel]);
+        check_rp(&t, &reordered).unwrap();
+        let v = check_epoch_full_barrier(&t, &reordered).unwrap_err();
+        assert_eq!(v[0].second, wb);
+        let strict = PersistSchedule::from_order(t.events.len(), &[wa, rel, wb]);
+        check_epoch_full_barrier(&t, &strict).unwrap();
+    }
+
+    #[test]
+    fn full_barrier_requires_release_before_later_writes() {
+        let mut b = LitmusBuilder::new(1);
+        let wa = b.write(0, 0x10, 1);
+        let rel = b.write_rel(0, 0x80, 2);
+        let wb = b.write(0, 0x100, 3);
+        let t = b.build();
+        // Release never persisted but a later write did.
+        let sched = PersistSchedule::from_order(t.events.len(), &[wa, wb]);
+        assert!(check_epoch_full_barrier(&t, &sched).is_err());
+        let _ = rel;
+    }
+
+    #[test]
+    fn rp_implies_every_prefix_is_consistent() {
+        // Property glue: a schedule passing check_rp has only consistent
+        // stamp-prefixes (checked exhaustively on this small trace).
+        let (t, w1, rel, _acq, w4) = fig1();
+        let hb = HbClosure::compute(&t).unwrap();
+        let sched = PersistSchedule::from_order(t.events.len(), &[w1, rel, _acq, w4]);
+        check_rp(&t, &sched).unwrap();
+        for s in sched.distinct_stamps() {
+            let cut = sched.cut_at(&t, s);
+            check_consistent_cut(&t, &hb, &cut).unwrap();
+        }
+    }
+}

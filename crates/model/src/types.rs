@@ -1,0 +1,108 @@
+//! Shared scalar types: addresses, thread/event identifiers, and memory
+//! ordering annotations.
+
+/// Byte address of a memory word. All accesses in the model are
+/// word-granular (8 bytes) and word-aligned, mirroring the paper's
+/// "ordering between individual word-granular writes".
+pub type Addr = u64;
+
+/// Identifier of a (hardware) thread. The simulated machine has one
+/// thread per core (Table 1 of the paper).
+pub type ThreadId = u16;
+
+/// Index of an event in the global interleaving of a [`crate::Trace`].
+pub type EventId = u32;
+
+/// Address of a 64-byte cache line (i.e. `addr >> 6`).
+pub type LineAddr = u64;
+
+/// Size of a memory word in bytes.
+pub const WORD_BYTES: u64 = 8;
+
+/// Size of a cache line in bytes (Table 1: 64 B line width).
+pub const LINE_BYTES: u64 = 64;
+
+/// Returns the cache line containing `addr`.
+#[inline]
+pub fn line_of(addr: Addr) -> LineAddr {
+    addr / LINE_BYTES
+}
+
+/// Returns the base byte address of line `line`.
+#[inline]
+pub fn line_base(line: LineAddr) -> Addr {
+    line * LINE_BYTES
+}
+
+/// Memory-ordering annotation attached to an access (§2.1).
+///
+/// Releases and acquires carry the one-sided barrier semantics of RC; under
+/// Release Persistency they additionally act as one-sided *persist*
+/// barriers (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Annot {
+    /// Ordinary access with no ordering semantics of its own.
+    Plain,
+    /// Acquire read (or acquire-RMW read half).
+    Acquire,
+    /// Release write (or release-RMW write half).
+    Release,
+    /// Both acquire and release (e.g. a CAS used for synchronization in
+    /// both directions, as in the linked-list insert of Figure 1).
+    AcqRel,
+}
+
+impl Annot {
+    /// True if the annotation has acquire semantics.
+    #[inline]
+    pub fn is_acquire(self) -> bool {
+        matches!(self, Annot::Acquire | Annot::AcqRel)
+    }
+
+    /// True if the annotation has release semantics.
+    #[inline]
+    pub fn is_release(self) -> bool {
+        matches!(self, Annot::Release | Annot::AcqRel)
+    }
+}
+
+impl std::fmt::Display for Annot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Annot::Plain => "plain",
+            Annot::Acquire => "acq",
+            Annot::Release => "rel",
+            Annot::AcqRel => "acq_rel",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_mapping_round_trips() {
+        assert_eq!(line_of(0), 0);
+        assert_eq!(line_of(63), 0);
+        assert_eq!(line_of(64), 1);
+        assert_eq!(line_base(line_of(1000)), 960);
+    }
+
+    #[test]
+    fn annot_classification() {
+        assert!(Annot::Acquire.is_acquire());
+        assert!(!Annot::Acquire.is_release());
+        assert!(Annot::Release.is_release());
+        assert!(!Annot::Release.is_acquire());
+        assert!(Annot::AcqRel.is_acquire() && Annot::AcqRel.is_release());
+        assert!(!Annot::Plain.is_acquire() && !Annot::Plain.is_release());
+    }
+
+    #[test]
+    fn annot_display() {
+        assert_eq!(Annot::Plain.to_string(), "plain");
+        assert_eq!(Annot::AcqRel.to_string(), "acq_rel");
+    }
+}

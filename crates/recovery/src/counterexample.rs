@@ -1,0 +1,111 @@
+//! The paper's Figure 1, end to end.
+//!
+//! Thread 0 inserts node A1 into a log-free linked list: it prepares the
+//! node with plain writes and links it with a release CAS. Under ARP, a
+//! legal persist order puts the link *before* the node's fields; a crash
+//! between the two leaves a reachable node full of garbage — the list is
+//! unrecoverable. Under RP (and the LRP hardware run), every crash
+//! prefix is a consistent cut and the list always validates.
+
+use crate::check::check_null_recovery;
+use crate::crash::CrashPlan;
+use lrp_baselines::arp::{arp_schedule, ArpOrder};
+use lrp_exec::{run, ExecConfig, PmemCtx, SchedPolicy};
+use lrp_lfds::list::LinkedList;
+use lrp_lfds::Structure;
+use lrp_model::spec::{check_arp, check_rp};
+use lrp_model::Trace;
+use lrp_sim::{Mechanism, Sim, SimConfig};
+
+/// The outcome of the Figure 1 demonstration.
+#[derive(Debug)]
+pub struct Figure1 {
+    /// The recorded two-thread insert execution.
+    pub trace: Trace,
+    /// Crash points at which the adversarial ARP schedule failed.
+    pub arp_failures: usize,
+    /// Crash points examined under ARP.
+    pub arp_points: usize,
+    /// Crash points examined under the LRP hardware run (all recover).
+    pub lrp_points: usize,
+}
+
+/// Builds the Figure 1 execution (two threads inserting adjacent keys)
+/// and checks recovery under the adversarial ARP schedule and under a
+/// full LRP simulator run.
+///
+/// Panics if ARP unexpectedly recovers everywhere or if LRP fails — the
+/// library's own tests rely on both properties.
+pub fn figure1() -> Figure1 {
+    // Two threads insert into a shared list; the second thread's insert
+    // follows the first (it must traverse through A1), giving the
+    // rel -> acq -> write chain of Figure 1d.
+    let cfg = ExecConfig::new(2).policy(SchedPolicy::RoundRobin).seed(7);
+    let trace = run(
+        &cfg,
+        |s| {
+            let l = LinkedList::new(s);
+            l.populate(s, &[10, 50]);
+            s.set_root("head", l.head_loc);
+        },
+        vec![
+            Box::new(|c: &mut lrp_exec::GateCtx| {
+                let head = lrp_exec::ctx::HEAP_BASE + 2 * lrp_exec::ctx::ARENA_BYTES;
+                lrp_lfds::list::insert(c, head, 20, 2020); // A1
+            }),
+            Box::new(|c: &mut lrp_exec::GateCtx| {
+                let head = lrp_exec::ctx::HEAP_BASE + 2 * lrp_exec::ctx::ARENA_BYTES;
+                // Give T0 a head start so T1 observes A1 (B2 of Fig. 1c).
+                for _ in 0..8 {
+                    c.read(head);
+                }
+                lrp_lfds::list::insert(c, head, 30, 3030); // B2
+            }),
+        ],
+    );
+    trace.validate().expect("well-formed trace");
+
+    // ARP: the schedule satisfies the ARP rule yet breaks recovery.
+    let arp = arp_schedule(&trace, ArpOrder::ReleaseFirst);
+    check_arp(&trace, &arp).expect("schedule is ARP-legal");
+    assert!(
+        check_rp(&trace, &arp).is_err(),
+        "the adversarial ARP schedule must violate RP"
+    );
+    let arp_report =
+        check_null_recovery(Structure::LinkedList, &trace, &arp, &CrashPlan::Exhaustive);
+
+    // LRP hardware: the recorded persist schedule satisfies RP and every
+    // crash point recovers.
+    let lrp = Sim::new(SimConfig::new(Mechanism::Lrp), &trace).run();
+    check_rp(&trace, &lrp.schedule).expect("LRP enforces RP");
+    let lrp_report =
+        check_null_recovery(Structure::LinkedList, &trace, &lrp.schedule, &CrashPlan::Exhaustive);
+    assert!(
+        lrp_report.all_recovered(),
+        "LRP must recover everywhere: {lrp_report}"
+    );
+
+    Figure1 {
+        trace,
+        arp_failures: arp_report.failures.len(),
+        arp_points: arp_report.crash_points,
+        lrp_points: lrp_report.crash_points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_demonstrates_the_gap() {
+        let f = figure1();
+        assert!(
+            f.arp_failures > 0,
+            "ARP must fail recovery at some crash point"
+        );
+        assert!(f.lrp_points > 1);
+        assert!(!f.trace.events.is_empty());
+    }
+}

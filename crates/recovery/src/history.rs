@@ -1,0 +1,243 @@
+//! History consistency: beyond structural integrity, a recovered state
+//! must be *explainable* by the operations the program executed.
+//!
+//! For set structures, a crash-state key set `R` is history-consistent
+//! when:
+//!
+//! * `R ⊆ initial ∪ inserted` — nothing materializes from thin air;
+//! * `initial ∖ R ⊆ deleted` — an initial key can only vanish if some
+//!   delete of it succeeded.
+//!
+//! For the queue: every recovered value was initially present or
+//! enqueued, values are unique, and each producer's values appear in
+//! FIFO order.
+//!
+//! These are necessary conditions for any linearizable crash state; they
+//! catch bugs the structural validators cannot (e.g. a persist order
+//! that resurrects deleted keys by losing the deleting mark while
+//! keeping a later unlink... ).
+
+use lrp_lfds::validate::Recovered;
+use lrp_lfds::{validate_image, MemImage, Structure, ValidationError};
+use lrp_model::{OpKind, Trace};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Why a recovered state cannot be explained by the history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HistoryViolation {
+    /// A key present in the recovered state was never initial nor
+    /// inserted.
+    PhantomKey(u64),
+    /// An initial key is missing although no delete of it succeeded.
+    LostKey(u64),
+    /// A queue value was never initial nor enqueued.
+    PhantomValue(u64),
+    /// A queue value appears twice.
+    DuplicateValue(u64),
+    /// Two values of one producer appear out of FIFO order.
+    ProducerOrder(u64, u64),
+    /// The initial image itself failed structural validation.
+    BadInitialImage(ValidationError),
+}
+
+impl std::fmt::Display for HistoryViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HistoryViolation::PhantomKey(k) => write!(f, "recovered key {k} was never inserted"),
+            HistoryViolation::LostKey(k) => {
+                write!(f, "initial key {k} lost without a successful delete")
+            }
+            HistoryViolation::PhantomValue(v) => {
+                write!(f, "recovered value {v} was never enqueued")
+            }
+            HistoryViolation::DuplicateValue(v) => write!(f, "value {v} recovered twice"),
+            HistoryViolation::ProducerOrder(a, b) => {
+                write!(f, "producer values {a}, {b} out of FIFO order")
+            }
+            HistoryViolation::BadInitialImage(e) => write!(f, "initial image invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HistoryViolation {}
+
+/// The initial abstract contents, recovered from the trace's initial
+/// durable image.
+pub fn initial_state(structure: Structure, trace: &Trace) -> Result<Recovered, HistoryViolation> {
+    let img = MemImage::new(trace.initial_mem.iter().copied());
+    validate_image(structure, &trace.roots, &img).map_err(HistoryViolation::BadInitialImage)
+}
+
+/// Checks that `recovered` is explainable by the trace's operation
+/// markers.
+pub fn history_consistent(
+    structure: Structure,
+    trace: &Trace,
+    recovered: &Recovered,
+) -> Result<(), HistoryViolation> {
+    match recovered {
+        Recovered::Set(keys) => {
+            let initial = match initial_state(structure, trace)? {
+                Recovered::Set(s) => s,
+                Recovered::Queue(_) => unreachable!("set structure"),
+            };
+            let mut inserted = BTreeSet::new();
+            let mut deleted = BTreeSet::new();
+            for m in &trace.markers {
+                match m.op {
+                    OpKind::Insert(k, _) => {
+                        inserted.insert(k);
+                    }
+                    OpKind::Delete(k) if m.result == 1 => {
+                        deleted.insert(k);
+                    }
+                    _ => {}
+                }
+            }
+            for &k in keys {
+                if !initial.contains(&k) && !inserted.contains(&k) {
+                    return Err(HistoryViolation::PhantomKey(k));
+                }
+            }
+            for &k in &initial {
+                if !keys.contains(&k) && !deleted.contains(&k) {
+                    return Err(HistoryViolation::LostKey(k));
+                }
+            }
+            Ok(())
+        }
+        Recovered::Queue(values) => {
+            let initial = match initial_state(structure, trace)? {
+                Recovered::Queue(v) => v,
+                Recovered::Set(_) => unreachable!("queue structure"),
+            };
+            let mut allowed: BTreeSet<u64> = initial.iter().copied().collect();
+            for m in &trace.markers {
+                if let OpKind::Enqueue(v) = m.op {
+                    allowed.insert(v);
+                }
+            }
+            let mut seen = BTreeSet::new();
+            // Producer id encoding from the harness: value / 1_000_000.
+            let mut last_by_producer: BTreeMap<u64, u64> = BTreeMap::new();
+            for &v in values {
+                if !allowed.contains(&v) {
+                    return Err(HistoryViolation::PhantomValue(v));
+                }
+                if !seen.insert(v) {
+                    return Err(HistoryViolation::DuplicateValue(v));
+                }
+                let producer = v / 1_000_000;
+                if let Some(&prev) = last_by_producer.get(&producer) {
+                    if v <= prev {
+                        return Err(HistoryViolation::ProducerOrder(prev, v));
+                    }
+                }
+                last_by_producer.insert(producer, v);
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crash::{nvm_at, CrashPlan};
+    use lrp_lfds::WorkloadSpec;
+    use lrp_sim::{Mechanism, Sim, SimConfig};
+
+    #[test]
+    fn lrp_crash_states_are_history_consistent_for_all_structures() {
+        for s in Structure::ALL {
+            let t = WorkloadSpec::new(s)
+                .initial_size(24)
+                .threads(3)
+                .ops_per_thread(10)
+                .seed(41)
+                .build_trace();
+            let r = Sim::new(SimConfig::new(Mechanism::Lrp), &t).run();
+            for stamp in CrashPlan::Exhaustive.stamps(&r.schedule) {
+                let img = nvm_at(&t, &r.schedule, stamp);
+                let rec = validate_image(s, &t.roots, &img)
+                    .unwrap_or_else(|e| panic!("{s} at {stamp:?}: {e}"));
+                history_consistent(s, &t, &rec)
+                    .unwrap_or_else(|e| panic!("{s} at {stamp:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn phantom_key_detected() {
+        let t = WorkloadSpec::new(Structure::LinkedList)
+            .initial_size(8)
+            .threads(1)
+            .ops_per_thread(4)
+            .seed(2)
+            .build_trace();
+        let mut keys = match initial_state(Structure::LinkedList, &t).unwrap() {
+            Recovered::Set(s) => s,
+            _ => unreachable!(),
+        };
+        keys.insert(999_999); // never inserted
+        let err = history_consistent(Structure::LinkedList, &t, &Recovered::Set(keys)).unwrap_err();
+        assert_eq!(err, HistoryViolation::PhantomKey(999_999));
+    }
+
+    #[test]
+    fn lost_key_detected() {
+        let t = WorkloadSpec::new(Structure::LinkedList)
+            .initial_size(8)
+            .threads(1)
+            .ops_per_thread(0)
+            .seed(2)
+            .build_trace();
+        let mut keys = match initial_state(Structure::LinkedList, &t).unwrap() {
+            Recovered::Set(s) => s,
+            _ => unreachable!(),
+        };
+        let victim = *keys.iter().next().unwrap();
+        keys.remove(&victim);
+        // No delete ops at all, so the key cannot be missing.
+        let err = history_consistent(Structure::LinkedList, &t, &Recovered::Set(keys)).unwrap_err();
+        assert_eq!(err, HistoryViolation::LostKey(victim));
+    }
+
+    #[test]
+    fn queue_phantom_and_duplicate_detected() {
+        let t = WorkloadSpec::new(Structure::Queue)
+            .initial_size(4)
+            .threads(1)
+            .ops_per_thread(0)
+            .seed(2)
+            .build_trace();
+        let initial = match initial_state(Structure::Queue, &t).unwrap() {
+            Recovered::Queue(v) => v,
+            _ => unreachable!(),
+        };
+        let err =
+            history_consistent(Structure::Queue, &t, &Recovered::Queue(vec![123_456_789]))
+                .unwrap_err();
+        assert_eq!(err, HistoryViolation::PhantomValue(123_456_789));
+        let twice = vec![initial[0], initial[0]];
+        let err = history_consistent(Structure::Queue, &t, &Recovered::Queue(twice)).unwrap_err();
+        assert_eq!(err, HistoryViolation::DuplicateValue(initial[0]));
+    }
+
+    #[test]
+    fn queue_producer_order_detected() {
+        let t = WorkloadSpec::new(Structure::Queue)
+            .initial_size(2)
+            .threads(2)
+            .ops_per_thread(6)
+            .seed(6)
+            .build_trace();
+        // Two values of producer 1 (t=0) out of order.
+        let bad = vec![1_000_005, 1_000_001];
+        let err = history_consistent(Structure::Queue, &t, &Recovered::Queue(bad));
+        assert!(matches!(
+            err,
+            Err(HistoryViolation::ProducerOrder(_, _)) | Err(HistoryViolation::PhantomValue(_))
+        ));
+    }
+}

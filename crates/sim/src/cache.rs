@@ -1,0 +1,221 @@
+//! Set-associative L1 data cache array with per-line coherence state,
+//! persistency metadata, and covered-write tracking.
+
+use lrp_core::mech::{L1View, LineMeta};
+use lrp_model::{EventId, LineAddr};
+
+/// MESI stable states of an L1 line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CohState {
+    /// Shared (read-only).
+    S,
+    /// Exclusive (clean, sole copy).
+    E,
+    /// Modified (dirty, sole copy).
+    M,
+}
+
+/// One resident L1 line.
+#[derive(Debug, Clone)]
+pub struct L1Line {
+    /// The line address.
+    pub line: LineAddr,
+    /// Coherence state.
+    pub state: CohState,
+    /// Persistency metadata (min-epoch, release bit, nvm-dirty).
+    pub meta: LineMeta,
+    /// Write events buffered since the line was last flushed.
+    pub covered: Vec<EventId>,
+    /// Written since fill (data differs from the LLC copy).
+    pub dirty: bool,
+    /// LRU timestamp.
+    pub lru: u64,
+}
+
+/// A set-associative L1.
+#[derive(Debug)]
+pub struct L1Cache {
+    sets: Vec<Vec<L1Line>>,
+    ways: usize,
+    clock: u64,
+}
+
+impl L1Cache {
+    /// Creates a cache with `sets` sets of `ways` ways.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        L1Cache {
+            sets: (0..sets).map(|_| Vec::new()).collect(),
+            ways,
+            clock: 0,
+        }
+    }
+
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line as usize) % self.sets.len()
+    }
+
+    /// Immutable lookup.
+    pub fn get(&self, line: LineAddr) -> Option<&L1Line> {
+        self.sets[self.set_of(line)].iter().find(|l| l.line == line)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, line: LineAddr) -> Option<&mut L1Line> {
+        let s = self.set_of(line);
+        self.sets[s].iter_mut().find(|l| l.line == line)
+    }
+
+    /// Touches the line for LRU.
+    pub fn touch(&mut self, line: LineAddr) {
+        self.clock += 1;
+        let c = self.clock;
+        if let Some(l) = self.get_mut(line) {
+            l.lru = c;
+        }
+    }
+
+    /// True if inserting `line` requires evicting a resident line.
+    pub fn needs_victim(&self, line: LineAddr) -> bool {
+        self.get(line).is_none() && self.sets[self.set_of(line)].len() >= self.ways
+    }
+
+    /// The LRU victim of `line`'s set (must be full).
+    pub fn victim_of(&self, line: LineAddr) -> LineAddr {
+        let set = &self.sets[self.set_of(line)];
+        set.iter().min_by_key(|l| l.lru).expect("set not empty").line
+    }
+
+    /// Removes and returns a resident line.
+    pub fn remove(&mut self, line: LineAddr) -> Option<L1Line> {
+        let s = self.set_of(line);
+        let idx = self.sets[s].iter().position(|l| l.line == line)?;
+        Some(self.sets[s].swap_remove(idx))
+    }
+
+    /// Inserts a line (the caller has made room).
+    pub fn insert(&mut self, line: LineAddr, state: CohState) {
+        assert!(self.get(line).is_none(), "line {line:#x} already resident");
+        let s = self.set_of(line);
+        assert!(self.sets[s].len() < self.ways, "no room in set");
+        self.clock += 1;
+        let lru = self.clock;
+        self.sets[s].push(L1Line {
+            line,
+            state,
+            meta: LineMeta::default(),
+            covered: Vec::new(),
+            dirty: false,
+            lru,
+        });
+    }
+
+    /// Hands the line's buffered writes to the persist subsystem: drains
+    /// `covered` and clears the persistency metadata (the data is on its
+    /// way to NVM; later writes re-dirty the line with a fresh epoch).
+    pub fn take_covered(&mut self, line: LineAddr) -> Vec<EventId> {
+        if let Some(l) = self.get_mut(line) {
+            l.meta.nvm_dirty = false;
+            l.meta.release = false;
+            std::mem::take(&mut l.covered)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// All resident lines (for statistics).
+    pub fn lines(&self) -> impl Iterator<Item = &L1Line> {
+        self.sets.iter().flatten()
+    }
+}
+
+/// [`L1View`] adapter handed to persistency mechanisms.
+pub struct L1ViewAdapter<'a>(pub &'a mut L1Cache);
+
+impl L1View for L1ViewAdapter<'_> {
+    fn nvm_dirty_lines(&self) -> Vec<(LineAddr, LineMeta)> {
+        self.0
+            .lines()
+            .filter(|l| l.meta.nvm_dirty)
+            .map(|l| (l.line, l.meta))
+            .collect()
+    }
+
+    fn meta(&self, line: LineAddr) -> LineMeta {
+        self.0.get(line).map(|l| l.meta).unwrap_or_default()
+    }
+
+    fn set_meta(&mut self, line: LineAddr, meta: LineMeta) {
+        if let Some(l) = self.0.get_mut(line) {
+            l.meta = meta;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut c = L1Cache::new(4, 2);
+        c.insert(0x40, CohState::E);
+        assert_eq!(c.get(0x40).unwrap().state, CohState::E);
+        assert!(c.get(0x44).is_none());
+        let l = c.remove(0x40).unwrap();
+        assert_eq!(l.line, 0x40);
+        assert!(c.get(0x40).is_none());
+    }
+
+    #[test]
+    fn victim_is_lru() {
+        let mut c = L1Cache::new(1, 2);
+        c.insert(1, CohState::S);
+        c.insert(2, CohState::S);
+        c.touch(1); // 2 becomes LRU
+        assert!(c.needs_victim(3));
+        assert_eq!(c.victim_of(3), 2);
+        assert!(!c.needs_victim(1), "resident line needs no victim");
+    }
+
+    #[test]
+    fn take_covered_clears_meta() {
+        let mut c = L1Cache::new(1, 2);
+        c.insert(8, CohState::M);
+        {
+            let l = c.get_mut(8).unwrap();
+            l.covered = vec![1, 2, 3];
+            l.meta.nvm_dirty = true;
+            l.meta.release = true;
+        }
+        assert_eq!(c.take_covered(8), vec![1, 2, 3]);
+        let l = c.get(8).unwrap();
+        assert!(!l.meta.nvm_dirty && !l.meta.release);
+        assert!(c.take_covered(8).is_empty(), "second take is empty");
+    }
+
+    #[test]
+    fn view_adapter_reports_dirty_lines() {
+        let mut c = L1Cache::new(2, 2);
+        c.insert(1, CohState::M);
+        c.insert(2, CohState::M);
+        c.get_mut(1).unwrap().meta.nvm_dirty = true;
+        let mut view = L1ViewAdapter(&mut c);
+        use lrp_core::mech::L1View as _;
+        assert_eq!(view.nvm_dirty_lines().len(), 1);
+        let mut m = view.meta(2);
+        m.nvm_dirty = true;
+        view.set_meta(2, m);
+        assert_eq!(view.nvm_dirty_lines().len(), 2);
+    }
+
+    #[test]
+    fn sets_isolate_conflicts() {
+        let mut c = L1Cache::new(2, 1);
+        c.insert(0, CohState::S); // set 0
+        c.insert(1, CohState::S); // set 1
+        assert!(c.needs_victim(2)); // set 0 full
+        assert_eq!(c.victim_of(2), 0);
+        assert!(c.needs_victim(3)); // set 1 full
+        assert_eq!(c.victim_of(3), 1);
+    }
+}

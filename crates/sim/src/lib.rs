@@ -1,0 +1,33 @@
+//! Discrete-event multicore timing simulator — the substrate on which
+//! the paper's evaluation (§6.3) runs.
+//!
+//! The simulated machine reproduces Table 1: out-of-order-issue cores
+//! with non-blocking store buffers, private L1s (32 KB, 8-way, 2-cycle),
+//! a banked NUCA LLC (30-cycle) with an embedded MESI directory, a 2D
+//! mesh interconnect, and PCM-like NVM controllers with a cached
+//! (battery-backed DRAM, 120-cycle) and an uncached (350-cycle) mode.
+//!
+//! Execution is trace-driven, like the paper's Pin/PRiME methodology:
+//! each core replays one thread's memory events from an
+//! [`lrp_model::Trace`], enforcing the recorded reads-from edges so that
+//! synchronization (and therefore the coherence downgrades LRP hooks
+//! into) re-occurs faithfully.
+//!
+//! Persistency enforcement is pluggable: any [`lrp_core::PersistMech`]
+//! (LRP, SB, BB, NOP) attaches to each L1 controller. The simulator
+//! executes the mechanism's staged flush plans through a per-core
+//! sequencer that models the paper's pending-persists counter, persists
+//! write-backs at the directory (invariant I4), and records a
+//! [`lrp_model::spec::PersistSchedule`] so every run can be checked
+//! against the RP specification and replayed for crash recovery.
+
+pub mod cache;
+pub mod config;
+pub mod machine;
+pub mod noc;
+pub mod report;
+pub mod stats;
+
+pub use config::{Mechanism, NvmMode, SimConfig};
+pub use machine::{RunResult, Sim};
+pub use stats::Stats;

@@ -1,0 +1,92 @@
+//! 2D-mesh interconnect latency model (Table 1: 8×8 mesh, 32-bit links).
+//!
+//! Latency-only XY routing: `base + per_hop × manhattan(src, dst)`, plus
+//! a serialization term for messages carrying a 64 B line. Contention is
+//! not modeled per link — the NVM service queue, not the mesh, is the
+//! contended resource in every experiment — but delivery on each
+//! (src, dst) channel is FIFO (enforced by the machine, not here).
+
+/// Mesh geometry and timing parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Mesh {
+    /// Side length (8 for the 64-core machine).
+    pub dim: usize,
+    /// Router/base traversal cycles.
+    pub base: u64,
+    /// Cycles per hop.
+    pub per_hop: u64,
+    /// Serialization cycles for a data (64 B) payload.
+    pub data_extra: u64,
+}
+
+impl Mesh {
+    /// Manhattan hop count between two tiles.
+    pub fn hops(&self, src: usize, dst: usize) -> usize {
+        let (sx, sy) = (src % self.dim, src / self.dim);
+        let (dx, dy) = (dst % self.dim, dst / self.dim);
+        sx.abs_diff(dx) + sy.abs_diff(dy)
+    }
+
+    /// One-way message latency.
+    pub fn latency(&self, src: usize, dst: usize, data: bool) -> u64 {
+        self.base + self.per_hop * self.hops(src, dst) as u64 + if data { self.data_extra } else { 0 }
+    }
+
+    /// The tile hosting NVM controller `n` (the four mesh corners).
+    pub fn nvm_tile(&self, n: usize) -> usize {
+        let d = self.dim;
+        [0, d - 1, d * (d - 1), d * d - 1][n % 4]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh {
+            dim: 8,
+            base: 3,
+            per_hop: 2,
+            data_extra: 8,
+        }
+    }
+
+    #[test]
+    fn hops_are_manhattan() {
+        let m = mesh();
+        assert_eq!(m.hops(0, 0), 0);
+        assert_eq!(m.hops(0, 7), 7); // same row
+        assert_eq!(m.hops(0, 56), 7); // same column
+        assert_eq!(m.hops(0, 63), 14); // opposite corner
+        assert_eq!(m.hops(9, 18), 2); // (1,1) -> (2,2)
+        assert_eq!(m.hops(18, 9), 2, "symmetric");
+    }
+
+    #[test]
+    fn latency_components() {
+        let m = mesh();
+        assert_eq!(m.latency(0, 0, false), 3);
+        assert_eq!(m.latency(0, 1, false), 5);
+        assert_eq!(m.latency(0, 1, true), 13);
+        assert_eq!(m.latency(0, 63, false), 3 + 2 * 14);
+    }
+
+    #[test]
+    fn nvm_controllers_sit_at_corners() {
+        let m = mesh();
+        assert_eq!(m.nvm_tile(0), 0);
+        assert_eq!(m.nvm_tile(1), 7);
+        assert_eq!(m.nvm_tile(2), 56);
+        assert_eq!(m.nvm_tile(3), 63);
+        assert_eq!(m.nvm_tile(4), 0, "wraps modulo 4");
+    }
+
+    #[test]
+    fn latency_is_symmetric() {
+        let m = mesh();
+        for (a, b) in [(0, 63), (5, 40), (17, 17)] {
+            assert_eq!(m.latency(a, b, true), m.latency(b, a, true));
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Human-readable run reports (gem5-style stat dumps).
+
+use crate::machine::RunResult;
+use crate::stats::{FlushClass, StallCause};
+use std::fmt::Write as _;
+
+/// Renders a multi-section text report of one run.
+pub fn render(name: &str, r: &RunResult) -> String {
+    let s = &r.stats;
+    let mut out = String::new();
+    let _ = writeln!(out, "==== run report: {name} ====");
+    let _ = writeln!(out, "cycles                 {:>12}", s.cycles);
+    let _ = writeln!(out, "memory ops replayed    {:>12}", s.ops);
+    let _ = writeln!(
+        out,
+        "ops per kilo-cycle     {:>12.2}",
+        if s.cycles == 0 {
+            0.0
+        } else {
+            1000.0 * s.ops as f64 / s.cycles as f64
+        }
+    );
+    let _ = writeln!(out, "-- memory system --");
+    let _ = writeln!(out, "load hits / misses     {:>12} / {}", s.load_hits, s.load_misses);
+    let _ = writeln!(out, "stores performed       {:>12}", s.stores);
+    let _ = writeln!(out, "downgrades served      {:>12}", s.downgrades);
+    let _ = writeln!(out, "dirty evictions        {:>12}", s.evictions);
+    let _ = writeln!(out, "noc messages           {:>12}", s.noc_messages);
+    let _ = writeln!(out, "nvm requests           {:>12}", s.nvm_requests);
+    let _ = writeln!(out, "-- persistency --");
+    let _ = writeln!(out, "flushes total          {:>12}", s.total_flushes());
+    for class in [
+        FlushClass::Critical,
+        FlushClass::Background,
+        FlushClass::Sync,
+        FlushClass::Directory,
+    ] {
+        let n = s.flushes.get(&class).copied().unwrap_or(0);
+        let _ = writeln!(out, "  {:<20} {:>12}", format!("{class:?}").to_lowercase(), n);
+    }
+    let _ = writeln!(
+        out,
+        "critical wb fraction   {:>11.1}%",
+        100.0 * s.critical_writeback_fraction()
+    );
+    let _ = writeln!(out, "writes per flush       {:>12.2}", s.coalescing());
+    let _ = writeln!(out, "engine runs            {:>12}", s.engine_runs);
+    let _ = writeln!(out, "-- stall cycles (summed over cores) --");
+    for cause in [
+        StallCause::LoadMiss,
+        StallCause::StoreDrain,
+        StallCause::MechFlush,
+        StallCause::PersistAck,
+        StallCause::RfWait,
+    ] {
+        let n = s.stalls.get(&cause).copied().unwrap_or(0);
+        let _ = writeln!(out, "  {:<20} {:>12}", format!("{cause:?}").to_lowercase(), n);
+    }
+    let _ = writeln!(out, "-- persist log --");
+    let _ = writeln!(out, "entries                {:>12}", r.persist_log.len());
+    if let (Some(first), Some(last)) = (r.persist_log.first(), r.persist_log.last()) {
+        let _ = writeln!(out, "first / last stamp     {:>12} / {}", first.stamp, last.stamp);
+        let _ = writeln!(out, "first / last cycle     {:>12} / {}", first.time, last.time);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Mechanism, Sim, SimConfig};
+    use lrp_model::litmus::LitmusBuilder;
+
+    #[test]
+    fn report_contains_all_sections() {
+        let mut b = LitmusBuilder::new(1);
+        b.write(0, 0x100, 1);
+        b.write_rel(0, 0x140, 2);
+        b.read(0, 0x100);
+        let t = b.build();
+        let r = Sim::new(SimConfig::new(Mechanism::Sb), &t).run();
+        let text = render("sb-smoke", &r);
+        for needle in [
+            "run report: sb-smoke",
+            "cycles",
+            "-- memory system --",
+            "-- persistency --",
+            "-- stall cycles",
+            "-- persist log --",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn empty_run_reports_zero() {
+        let t = lrp_model::Trace::new(1);
+        let r = Sim::new(SimConfig::new(Mechanism::Nop), &t).run();
+        let text = render("empty", &r);
+        assert!(text.contains("entries                           0"));
+    }
+}

@@ -1,0 +1,14 @@
+//! Facade crate for the *Lazy Release Persistency* (ASPLOS 2020)
+//! reproduction workspace.
+//!
+//! Re-exports the public API of every subsystem crate so examples and
+//! integration tests can use a single dependency. See the README for the
+//! architecture overview and DESIGN.md for the per-experiment index.
+
+pub use lrp_baselines as baselines;
+pub use lrp_core as core;
+pub use lrp_exec as exec;
+pub use lrp_lfds as lfds;
+pub use lrp_model as model;
+pub use lrp_recovery as recovery;
+pub use lrp_sim as sim;

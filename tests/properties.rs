@@ -1,0 +1,154 @@
+//! Property-based tests over the whole stack.
+
+use lrp_repro::exec::Xorshift64;
+use lrp_repro::lfds::{Structure, WorkloadSpec};
+use lrp_repro::model::hb::HbClosure;
+use lrp_repro::model::litmus::LitmusBuilder;
+use lrp_repro::model::spec::{check_cut_closure, check_rp, PersistSchedule};
+use lrp_repro::model::{codec, Annot, EventId, Trace};
+use proptest::prelude::*;
+
+/// A random small multi-threaded trace built through the litmus
+/// interpreter (always well-formed).
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    // Each op: (thread, kind 0..5, addr index, value)
+    let op = (0..3u16, 0..5u8, 0..6u64, 1..100u64);
+    proptest::collection::vec(op, 1..60).prop_map(|ops| {
+        let mut b = LitmusBuilder::new(3);
+        for (t, kind, a, v) in ops {
+            let addr = 0x100 + 8 * a;
+            match kind {
+                0 => {
+                    b.write(t, addr, v);
+                }
+                1 => {
+                    b.write_rel(t, addr, v);
+                }
+                2 => {
+                    b.read(t, addr);
+                }
+                3 => {
+                    b.read_acq(t, addr);
+                }
+                _ => {
+                    let cur = {
+                        // CAS against the current value half the time.
+                        let id = b.read(t, addr);
+                        id
+                    };
+                    let _ = cur;
+                    b.cas(t, addr, v, v + 1, Annot::Release);
+                }
+            }
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Traces from the litmus interpreter always validate.
+    #[test]
+    fn litmus_traces_validate(t in arb_trace()) {
+        prop_assert!(t.validate().is_ok());
+    }
+
+    /// The text codec is lossless.
+    #[test]
+    fn codec_round_trips(t in arb_trace()) {
+        let u = codec::from_text(&codec::to_text(&t)).unwrap();
+        prop_assert_eq!(t.events, u.events);
+        prop_assert_eq!(t.initial_mem, u.initial_mem);
+    }
+
+    /// Happens-before is irreflexive and transitive.
+    #[test]
+    fn hb_is_a_strict_partial_order(t in arb_trace()) {
+        let hb = HbClosure::compute(&t).unwrap();
+        let n = t.events.len() as EventId;
+        for a in 0..n {
+            prop_assert!(!hb.hb(a, a));
+        }
+        // Transitivity on sampled triples.
+        for a in 0..n.min(20) {
+            for bb in 0..n.min(20) {
+                for c in 0..n.min(20) {
+                    if hb.hb(a, bb) && hb.hb(bb, c) {
+                        prop_assert!(hb.hb(a, c), "a={a} b={bb} c={c}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// For a total persist order (distinct stamps), the streaming RP
+    /// checker agrees exactly with the consistent-cut criterion over the
+    /// persist-order happens-before closure (the paper's expanded §4.1
+    /// rules) — the theorem the streaming checker's O(n) design rests on.
+    #[test]
+    fn streaming_rp_equals_cut_closure(t in arb_trace(), seed in 0u64..1000) {
+        let writes: Vec<EventId> = t
+            .events
+            .iter()
+            .filter(|e| e.is_write_effect())
+            .map(|e| e.id)
+            .collect();
+        // Random permutation of the writes as persist order.
+        let mut order = writes.clone();
+        let mut rng = Xorshift64::new(seed + 1);
+        for i in (1..order.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            order.swap(i, j);
+        }
+        let sched = PersistSchedule::from_order(t.events.len(), &order);
+        let hb = HbClosure::compute_persist(&t).unwrap();
+        let rp = check_rp(&t, &sched).is_ok();
+        let cut = check_cut_closure(&t, &hb, &sched).is_ok();
+        prop_assert_eq!(rp, cut, "streaming RP and persist-hb cut closure disagree");
+    }
+
+    /// Workload traces are deterministic functions of their spec.
+    #[test]
+    fn workload_generation_is_deterministic(seed in 0u64..50) {
+        let spec = WorkloadSpec::new(Structure::HashMap)
+            .initial_size(16)
+            .threads(2)
+            .ops_per_thread(6)
+            .seed(seed);
+        let a = spec.build_trace();
+        let b = spec.build_trace();
+        prop_assert_eq!(a.events, b.events);
+    }
+
+    /// Xorshift bounded sampling stays in range.
+    #[test]
+    fn xorshift_below_in_range(seed: u64, bound in 1u64..1_000_000) {
+        let mut r = Xorshift64::new(seed);
+        for _ in 0..32 {
+            prop_assert!(r.below(bound) < bound);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The full simulator upholds RP on random small workloads under
+    /// every enforcing mechanism (expensive: few cases).
+    #[test]
+    fn simulator_upholds_rp(seed in 0u64..1000, s_idx in 0usize..5) {
+        use lrp_repro::sim::{Mechanism, Sim, SimConfig};
+        let s = Structure::ALL[s_idx];
+        let t = WorkloadSpec::new(s)
+            .initial_size(16)
+            .threads(3)
+            .ops_per_thread(8)
+            .seed(seed)
+            .build_trace();
+        for m in [Mechanism::Lrp, Mechanism::Bb, Mechanism::Sb] {
+            let r = Sim::new(SimConfig::new(m), &t).run();
+            prop_assert!(check_rp(&t, &r.schedule).is_ok(), "{}/{}", s, m);
+        }
+    }
+}
