@@ -200,7 +200,12 @@ mod tests {
     use super::*;
     use lrp_core::mech::mock::MockL1;
 
-    fn store(bb: &mut BufferedBarrier, l1: &mut MockL1, line: LineAddr, kind: StoreKind) -> StoreAction {
+    fn store(
+        bb: &mut BufferedBarrier,
+        l1: &mut MockL1,
+        line: LineAddr,
+        kind: StoreKind,
+    ) -> StoreAction {
         let act = bb.on_store(l1, line, kind);
         for ln in act.flush_before.flat() {
             let mut m = l1.meta(ln);
@@ -233,7 +238,11 @@ mod tests {
         store(&mut bb, &mut l1, 0x10, StoreKind::Plain);
         let act = bb.on_store(&mut l1, 0x20, StoreKind::Release);
         assert!(act.flush_before.is_empty(), "clean release line: no stall");
-        assert_eq!(act.background.flat(), vec![0x10], "closed epoch flushes proactively");
+        assert_eq!(
+            act.background.flat(),
+            vec![0x10],
+            "closed epoch flushes proactively"
+        );
         bb.on_store_commit(&mut l1, 0x20, StoreKind::Release);
     }
 
@@ -256,7 +265,7 @@ mod tests {
         let mut l1 = MockL1::default();
         store(&mut bb, &mut l1, 0x10, StoreKind::Plain); // epoch 1
         store(&mut bb, &mut l1, 0x20, StoreKind::Release); // epoch 2
-        // Writing 0x10 again at epoch 3 conflicts with its epoch-1 tag.
+                                                           // Writing 0x10 again at epoch 3 conflicts with its epoch-1 tag.
         let act = bb.on_store(&mut l1, 0x10, StoreKind::Plain);
         assert_eq!(
             act.flush_before.flat(),
@@ -309,11 +318,15 @@ mod tests {
         let mut l1 = MockL1::default();
         store(&mut bb, &mut l1, 0x10, StoreKind::Plain); // epoch 1
         store(&mut bb, &mut l1, 0x20, StoreKind::Release); // epochs 2, 3
-        // The next release needs epochs 4 and 5 > limit: full flush.
+                                                           // The next release needs epochs 4 and 5 > limit: full flush.
         let act = store(&mut bb, &mut l1, 0x30, StoreKind::Release);
         assert!(act.flush_before.flat().contains(&0x10));
         assert!(act.flush_before.flat().contains(&0x20));
         assert_eq!(bb.current_epoch(), 3, "counter restarted past the release");
-        assert_eq!(l1.meta(0x30).min_epoch, 2, "release tagged with fresh epoch");
+        assert_eq!(
+            l1.meta(0x30).min_epoch,
+            2,
+            "release tagged with fresh epoch"
+        );
     }
 }

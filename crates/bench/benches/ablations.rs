@@ -7,107 +7,87 @@
 //! * **D3** — RET sizing sweep,
 //! * **BB proactive flushing** on/off.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lrp_bench::experiments::EvalParams;
+use lrp_bench::microbench::Runner;
 use lrp_lfds::Structure;
 use lrp_sim::{Mechanism, NvmMode, Sim, SimConfig};
 
-fn bench_ret_size(c: &mut Criterion) {
+fn bench_ret_size(runner: &Runner) {
     let params = EvalParams::quick();
     let trace = params.trace(Structure::SkipList, params.threads);
-    let mut g = c.benchmark_group("ablation_ret_size");
+    let mut g = runner.group("ablation_ret_size");
     g.sample_size(10);
     for ret in [4usize, 8, 16, 32, 64] {
-        g.bench_with_input(BenchmarkId::from_parameter(ret), &ret, |b, &ret| {
-            b.iter(|| {
-                let mut cfg = SimConfig::new(Mechanism::Lrp);
-                cfg.lrp.ret_capacity = ret;
-                cfg.lrp.ret_watermark = ret.saturating_sub(4).max(1);
-                std::hint::black_box(Sim::new(cfg, &trace).run().stats.cycles)
-            })
+        g.bench(&ret.to_string(), || {
+            let mut cfg = SimConfig::new(Mechanism::Lrp);
+            cfg.lrp.ret_capacity = ret;
+            cfg.lrp.ret_watermark = ret.saturating_sub(4).max(1);
+            Sim::new(cfg, &trace).run().stats.cycles
         });
     }
-    g.finish();
 }
 
-fn bench_bb_proactive(c: &mut Criterion) {
+fn bench_bb_proactive(runner: &Runner) {
     let params = EvalParams::quick();
     let trace = params.trace(Structure::HashMap, params.threads);
-    let mut g = c.benchmark_group("ablation_bb_proactive");
+    let mut g = runner.group("ablation_bb_proactive");
     g.sample_size(10);
     for proactive in [true, false] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(proactive),
-            &proactive,
-            |b, &p| {
-                b.iter(|| {
-                    let mut cfg = SimConfig::new(Mechanism::Bb);
-                    cfg.bb.proactive_flush = p;
-                    std::hint::black_box(Sim::new(cfg, &trace).run().stats.cycles)
-                })
-            },
-        );
+        g.bench(&proactive.to_string(), || {
+            let mut cfg = SimConfig::new(Mechanism::Bb);
+            cfg.bb.proactive_flush = proactive;
+            Sim::new(cfg, &trace).run().stats.cycles
+        });
     }
-    g.finish();
 }
 
-fn bench_scan_cost(c: &mut Criterion) {
+fn bench_scan_cost(runner: &Runner) {
     let params = EvalParams::quick();
     let trace = params.trace(Structure::Bst, params.threads);
-    let mut g = c.benchmark_group("ablation_engine_scan_cycles");
+    let mut g = runner.group("ablation_engine_scan_cycles");
     g.sample_size(10);
     for scan in [0u64, 16, 64, 128] {
-        g.bench_with_input(BenchmarkId::from_parameter(scan), &scan, |b, &scan| {
-            b.iter(|| {
-                let mut cfg = SimConfig::new(Mechanism::Lrp);
-                cfg.lrp.scan_cycles = scan;
-                std::hint::black_box(Sim::new(cfg, &trace).run().stats.cycles)
-            })
+        g.bench(&scan.to_string(), || {
+            let mut cfg = SimConfig::new(Mechanism::Lrp);
+            cfg.lrp.scan_cycles = scan;
+            Sim::new(cfg, &trace).run().stats.cycles
         });
     }
-    g.finish();
 }
 
-fn bench_nvm_mode(c: &mut Criterion) {
+fn bench_nvm_mode(runner: &Runner) {
     let params = EvalParams::quick();
     let trace = params.trace(Structure::Queue, params.threads);
-    let mut g = c.benchmark_group("ablation_nvm_mode");
+    let mut g = runner.group("ablation_nvm_mode");
     g.sample_size(10);
     for (name, mode) in [("cached", NvmMode::Cached), ("uncached", NvmMode::Uncached)] {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
-            b.iter(|| {
-                let cfg = SimConfig::new(Mechanism::Lrp).nvm_mode(mode);
-                std::hint::black_box(Sim::new(cfg, &trace).run().stats.cycles)
-            })
+        g.bench(name, || {
+            let cfg = SimConfig::new(Mechanism::Lrp).nvm_mode(mode);
+            Sim::new(cfg, &trace).run().stats.cycles
         });
     }
-    g.finish();
 }
 
-fn bench_engine_order(c: &mut Criterion) {
+fn bench_engine_order(runner: &Runner) {
     // Design choice D2: writes-first engine vs strict epoch order.
     let params = EvalParams::quick();
     let trace = params.trace(Structure::SkipList, params.threads);
-    let mut g = c.benchmark_group("ablation_engine_order");
+    let mut g = runner.group("ablation_engine_order");
     g.sample_size(10);
     for (name, strict) in [("writes_first", false), ("strict_epoch", true)] {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &strict, |b, &strict| {
-            b.iter(|| {
-                let mut cfg = SimConfig::new(Mechanism::Lrp);
-                cfg.lrp.strict_epoch_engine = strict;
-                std::hint::black_box(Sim::new(cfg, &trace).run().stats.cycles)
-            })
+        g.bench(name, || {
+            let mut cfg = SimConfig::new(Mechanism::Lrp);
+            cfg.lrp.strict_epoch_engine = strict;
+            Sim::new(cfg, &trace).run().stats.cycles
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_ret_size,
-    bench_bb_proactive,
-    bench_scan_cost,
-    bench_nvm_mode,
-    bench_engine_order
-);
-criterion_main!(benches);
+fn main() {
+    let runner = Runner::from_args();
+    bench_ret_size(&runner);
+    bench_bb_proactive(&runner);
+    bench_scan_cost(&runner);
+    bench_nvm_mode(&runner);
+    bench_engine_order(&runner);
+}

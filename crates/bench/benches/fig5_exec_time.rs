@@ -1,34 +1,24 @@
 //! Figure 5 bench: simulated execution time of each mechanism over the
-//! five LFDs (cached NVM). Criterion tracks the *simulation outcome*
-//! (cycles are deterministic) and the harness runtime; the full-size
+//! five LFDs (cached NVM). The harness tracks the *simulation outcome*
+//! (cycles are deterministic) and the runner wall time; the full-size
 //! figure is produced by `lrp-eval fig5`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lrp_bench::experiments::{run_sim, EvalParams};
+use lrp_bench::microbench::Runner;
 use lrp_lfds::Structure;
 use lrp_sim::{Mechanism, NvmMode};
 
-fn bench_fig5(c: &mut Criterion) {
+fn main() {
+    let runner = Runner::from_args();
     let params = EvalParams::quick();
-    let mut g = c.benchmark_group("fig5_exec_time");
+    let mut g = runner.group("fig5_exec_time");
     g.sample_size(10);
     for s in Structure::ALL {
         let trace = params.trace(s, params.threads);
         for m in Mechanism::ALL {
-            g.bench_with_input(
-                BenchmarkId::new(s.name(), m.name()),
-                &(&trace, m),
-                |b, (t, m)| {
-                    b.iter(|| {
-                        let stats = run_sim(t, *m, NvmMode::Cached);
-                        std::hint::black_box(stats.cycles)
-                    })
-                },
-            );
+            g.bench(&format!("{}/{}", s.name(), m.name()), || {
+                run_sim(&trace, m, NvmMode::Cached).cycles
+            });
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_fig5);
-criterion_main!(benches);

@@ -2,32 +2,27 @@
 //! Asserts the paper's ordering (LRP fraction ≤ BB fraction) on every
 //! run; full-size data via `lrp-eval fig6`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lrp_bench::experiments::{run_sim, EvalParams};
+use lrp_bench::microbench::Runner;
 use lrp_lfds::Structure;
 use lrp_sim::{Mechanism, NvmMode};
 
-fn bench_fig6(c: &mut Criterion) {
+fn main() {
+    let runner = Runner::from_args();
     let params = EvalParams::quick();
-    let mut g = c.benchmark_group("fig6_critical_writebacks");
+    let mut g = runner.group("fig6_critical_writebacks");
     g.sample_size(10);
     for s in Structure::ALL {
         let trace = params.trace(s, params.threads);
-        g.bench_with_input(BenchmarkId::new("bb_vs_lrp", s.name()), &trace, |b, t| {
-            b.iter(|| {
-                let bb = run_sim(t, Mechanism::Bb, NvmMode::Cached);
-                let lrp = run_sim(t, Mechanism::Lrp, NvmMode::Cached);
-                let (bf, lf) = (
-                    bb.critical_writeback_fraction(),
-                    lrp.critical_writeback_fraction(),
-                );
-                assert!(lf <= bf + 0.25, "{s}: lrp {lf} vs bb {bf}");
-                std::hint::black_box((bf, lf))
-            })
+        g.bench(&format!("bb_vs_lrp/{}", s.name()), || {
+            let bb = run_sim(&trace, Mechanism::Bb, NvmMode::Cached);
+            let lrp = run_sim(&trace, Mechanism::Lrp, NvmMode::Cached);
+            let (bf, lf) = (
+                bb.critical_writeback_fraction(),
+                lrp.critical_writeback_fraction(),
+            );
+            assert!(lf <= bf + 0.25, "{s}: lrp {lf} vs bb {bf}");
+            (bf, lf)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_fig6);
-criterion_main!(benches);

@@ -1,32 +1,22 @@
 //! Figure 7 bench: normalized execution time in the uncached NVM mode
 //! (raw 350-cycle PCM persists). Full-size data via `lrp-eval fig7`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lrp_bench::experiments::{run_sim, EvalParams};
+use lrp_bench::microbench::Runner;
 use lrp_lfds::Structure;
 use lrp_sim::{Mechanism, NvmMode};
 
-fn bench_fig7(c: &mut Criterion) {
+fn main() {
+    let runner = Runner::from_args();
     let params = EvalParams::quick();
-    let mut g = c.benchmark_group("fig7_uncached");
+    let mut g = runner.group("fig7_uncached");
     g.sample_size(10);
     for s in Structure::ALL {
         let trace = params.trace(s, params.threads);
         for m in Mechanism::ALL {
-            g.bench_with_input(
-                BenchmarkId::new(s.name(), m.name()),
-                &(&trace, m),
-                |b, (t, m)| {
-                    b.iter(|| {
-                        let stats = run_sim(t, *m, NvmMode::Uncached);
-                        std::hint::black_box(stats.cycles)
-                    })
-                },
-            );
+            g.bench(&format!("{}/{}", s.name(), m.name()), || {
+                run_sim(&trace, m, NvmMode::Uncached).cycles
+            });
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_fig7);
-criterion_main!(benches);

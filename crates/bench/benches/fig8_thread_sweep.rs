@@ -1,34 +1,25 @@
 //! Figure 8 bench: persistency overhead vs thread count, BB vs LRP.
 //! Full-size sweep (1–32 workers) via `lrp-eval fig8`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lrp_bench::experiments::{run_sim, EvalParams};
+use lrp_bench::microbench::Runner;
 use lrp_lfds::Structure;
 use lrp_sim::{Mechanism, NvmMode};
 
-fn bench_fig8(c: &mut Criterion) {
+fn main() {
+    let runner = Runner::from_args();
     let params = EvalParams::quick();
-    let mut g = c.benchmark_group("fig8_thread_sweep");
+    let mut g = runner.group("fig8_thread_sweep");
     g.sample_size(10);
     for s in [Structure::HashMap, Structure::Queue] {
         for threads in [1u16, 2, 4] {
             let trace = params.trace(s, threads);
-            g.bench_with_input(
-                BenchmarkId::new(s.name(), threads),
-                &trace,
-                |b, t| {
-                    b.iter(|| {
-                        let nop = run_sim(t, Mechanism::Nop, NvmMode::Cached).cycles as f64;
-                        let bb = run_sim(t, Mechanism::Bb, NvmMode::Cached).cycles as f64;
-                        let lrp = run_sim(t, Mechanism::Lrp, NvmMode::Cached).cycles as f64;
-                        std::hint::black_box((bb / nop, lrp / nop))
-                    })
-                },
-            );
+            g.bench(&format!("{}/{}", s.name(), threads), || {
+                let nop = run_sim(&trace, Mechanism::Nop, NvmMode::Cached).cycles as f64;
+                let bb = run_sim(&trace, Mechanism::Bb, NvmMode::Cached).cycles as f64;
+                let lrp = run_sim(&trace, Mechanism::Lrp, NvmMode::Cached).cycles as f64;
+                (bb / nop, lrp / nop)
+            });
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_fig8);
-criterion_main!(benches);

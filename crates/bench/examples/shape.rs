@@ -20,7 +20,10 @@ fn main() {
             .seed(42);
         let t = spec.build_trace();
         let mut row = format!("{:<12} events={:<7}", s.name(), t.events.len());
-        let service: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(16);
+        let service: u64 = std::env::args()
+            .nth(1)
+            .and_then(|a| a.parse().ok())
+            .unwrap_or(16);
         let mk = |m: Mechanism| {
             let mut cfg = SimConfig::new(m);
             cfg.nvm_service = service;

@@ -6,55 +6,33 @@
 //!          [--threads N] [--ops N] [--seed N]
 //! ```
 
+use lrp_bench::cli::Cli;
 use lrp_bench::experiments::{
     claims, fig2_conflicts, fig6, fig8, fig_norm_exec, size_sensitivity, EvalParams,
 };
 use lrp_lfds::Structure;
 use lrp_sim::{Mechanism, NvmMode, SimConfig};
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: lrp-eval <table1|fig1|fig2|fig5|fig6|fig7|fig8|sens|claims|all> \
-         [--quick] [--threads N] [--ops N] [--seed N]"
-    );
-    std::process::exit(2);
-}
+const USAGE: &str = "usage: lrp-eval <table1|fig1|fig2|fig5|fig6|fig7|fig8|sens|claims|all> \
+                     [--quick] [--threads N] [--ops N] [--seed N]";
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first() else { usage() };
-    let mut params = EvalParams::full();
-    let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--quick" => {
-                params = EvalParams::quick();
-            }
-            "--threads" => {
-                i += 1;
-                params.threads = args
-                    .get(i)
-                    .and_then(|a| a.parse().ok())
-                    .unwrap_or_else(|| usage());
-            }
-            "--ops" => {
-                i += 1;
-                params.ops_per_thread = args
-                    .get(i)
-                    .and_then(|a| a.parse().ok())
-                    .unwrap_or_else(|| usage());
-            }
-            "--seed" => {
-                i += 1;
-                params.seed = args
-                    .get(i)
-                    .and_then(|a| a.parse().ok())
-                    .unwrap_or_else(|| usage());
-            }
-            _ => usage(),
-        }
-        i += 1;
+    let mut cli = Cli::from_env(USAGE);
+    let mut params = if cli.flag("quick") {
+        EvalParams::quick()
+    } else {
+        EvalParams::full()
+    };
+    if let Some(threads) = cli.opt_parse("threads") {
+        params.threads = threads;
     }
+    if let Some(ops) = cli.opt_parse("ops") {
+        params.ops_per_thread = ops;
+    }
+    if let Some(seed) = cli.opt_parse("seed") {
+        params.seed = seed;
+    }
+    let cmd = cli.positionals(1, 1).remove(0);
 
     match cmd.as_str() {
         "table1" => table1(),
@@ -93,7 +71,7 @@ fn main() {
             sens(&params);
             run_claims(&params);
         }
-        _ => usage(),
+        other => cli.fail(format!("unknown command {other:?}")),
     }
 }
 

@@ -12,26 +12,18 @@
 //! Traces use the plain-text format of `lrp_model::codec`, so they can
 //! be diffed, versioned, and shipped as regression inputs.
 
+use lrp_bench::cli::Cli;
 use lrp_lfds::{Structure, WorkloadSpec};
 use lrp_model::{codec, Census, Trace};
 use lrp_recovery::{check_null_recovery, CrashPlan};
 use lrp_sim::{Mechanism, Sim, SimConfig};
 
-fn usage() -> ! {
-    eprintln!(
-        "usage:\n  lrp-trace gen --structure <linkedlist|hashmap|bstree|skiplist|queue> \
-         [--size N] [--threads N] [--ops N] [--seed N] [--out FILE]\n  \
-         lrp-trace info <FILE>\n  lrp-trace check <FILE>"
-    );
-    std::process::exit(2);
-}
-
-fn parse_structure(name: &str) -> Structure {
-    Structure::ALL
-        .into_iter()
-        .find(|s| s.name() == name)
-        .unwrap_or_else(|| usage())
-}
+const USAGE: &str = "usage:\n  \
+    lrp-trace gen --structure <linkedlist|hashmap|bstree|skiplist|queue> \
+    [--size N] [--threads N] [--ops N] [--seed N] [--out FILE]\n  \
+    lrp-trace info <FILE>\n  \
+    lrp-trace check <FILE>\n  \
+    lrp-trace report <FILE> [mech]";
 
 fn load(path: &str) -> Trace {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -45,41 +37,45 @@ fn load(path: &str) -> Trace {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("gen") => gen(&args[1..]),
-        Some("info") => info(args.get(1).map(String::as_str).unwrap_or_else(|| usage())),
-        Some("check") => check(args.get(1).map(String::as_str).unwrap_or_else(|| usage())),
-        Some("report") => report(
-            args.get(1).map(String::as_str).unwrap_or_else(|| usage()),
-            args.get(2).map(String::as_str).unwrap_or("lrp"),
-        ),
-        _ => usage(),
+    let mut cli = Cli::from_env(USAGE);
+    let structure: Option<Structure> = cli.opt_parse("structure");
+    let size = cli.opt_parse("size").unwrap_or(64usize);
+    let threads = cli.opt_parse("threads").unwrap_or(4u16);
+    let ops = cli.opt_parse("ops").unwrap_or(25usize);
+    let seed = cli.opt_parse("seed").unwrap_or(1u64);
+    let out: Option<String> = cli.opt("out");
+    let pos = cli.positionals(1, 3);
+    match pos[0].as_str() {
+        "gen" => {
+            let Some(structure) = structure else {
+                cli.fail("gen needs --structure")
+            };
+            gen(structure, size, threads, ops, seed, out);
+        }
+        "info" => match pos.get(1) {
+            Some(path) => info(path),
+            None => cli.fail("info needs a trace file"),
+        },
+        "check" => match pos.get(1) {
+            Some(path) => check(path),
+            None => cli.fail("check needs a trace file"),
+        },
+        "report" => match pos.get(1) {
+            Some(path) => report(&cli, path, pos.get(2).map(String::as_str).unwrap_or("lrp")),
+            None => cli.fail("report needs a trace file"),
+        },
+        other => cli.fail(format!("unknown command {other:?}")),
     }
 }
 
-fn gen(args: &[String]) {
-    let mut structure = None;
-    let mut size = 64usize;
-    let mut threads = 4u16;
-    let mut ops = 25usize;
-    let mut seed = 1u64;
-    let mut out = None;
-    let mut i = 0;
-    while i < args.len() {
-        let val = || args.get(i + 1).cloned().unwrap_or_else(|| usage());
-        match args[i].as_str() {
-            "--structure" => structure = Some(parse_structure(&val())),
-            "--size" => size = val().parse().unwrap_or_else(|_| usage()),
-            "--threads" => threads = val().parse().unwrap_or_else(|_| usage()),
-            "--ops" => ops = val().parse().unwrap_or_else(|_| usage()),
-            "--seed" => seed = val().parse().unwrap_or_else(|_| usage()),
-            "--out" => out = Some(val()),
-            _ => usage(),
-        }
-        i += 2;
-    }
-    let Some(structure) = structure else { usage() };
+fn gen(
+    structure: Structure,
+    size: usize,
+    threads: u16,
+    ops: usize,
+    seed: u64,
+    out: Option<String>,
+) {
     let trace = WorkloadSpec::new(structure)
         .initial_size(size)
         .threads(threads)
@@ -120,27 +116,22 @@ fn info(path: &str) {
     }
 }
 
-fn report(path: &str, mech: &str) {
+fn report(cli: &Cli, path: &str, mech: &str) {
     let trace = load(path);
-    let m = Mechanism::EXTENDED
-        .into_iter()
-        .find(|m| m.name() == mech)
-        .unwrap_or_else(|| usage());
+    let Some(m) = Mechanism::EXTENDED.into_iter().find(|m| m.name() == mech) else {
+        cli.fail(format!("unknown mechanism {mech:?}"))
+    };
     let r = Sim::new(SimConfig::new(m), &trace).run();
-    print!("{}", lrp_sim::report::render(&format!("{path} under {mech}"), &r));
+    print!(
+        "{}",
+        lrp_sim::report::render(&format!("{path} under {mech}"), &r)
+    );
 }
 
 fn check(path: &str) {
     let trace = load(path);
     trace.validate().expect("trace is well-formed");
-    let structure = trace.roots.iter().find_map(|(name, _)| match name.as_str() {
-        "head" => Some(Structure::LinkedList),
-        "buckets" => Some(Structure::HashMap),
-        "bst_r" => Some(Structure::Bst),
-        "sl_head" => Some(Structure::SkipList),
-        "q_anchor" => Some(Structure::Queue),
-        _ => None,
-    });
+    let structure = Structure::infer_from_roots(trace.roots.iter().map(|(name, _)| name.as_str()));
     for m in Mechanism::ALL {
         let r = Sim::new(SimConfig::new(m), &trace).run();
         let rp = if m == Mechanism::Nop {

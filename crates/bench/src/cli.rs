@@ -1,0 +1,125 @@
+//! Shared command-line parsing for the workspace binaries.
+//!
+//! The workspace builds fully offline (no `clap`), so the binaries used
+//! to hand-roll their own `while i < args.len()` loops — each with
+//! slightly different error behaviour. This module centralises that:
+//! every binary gets `--help` (usage to stdout, exit 0), `--flag value`
+//! and `--flag=value` forms, and a uniform exit code 2 with usage on
+//! stderr for unknown flags, missing values, or unparseable values.
+//!
+//! Usage pattern: construct a [`Cli`], *extract* every flag the command
+//! understands (each call removes the flag from the argument list), then
+//! call [`Cli::positionals`] — anything left that still looks like a
+//! flag is an error.
+
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// An argument list being destructively matched against known flags.
+pub struct Cli {
+    usage: String,
+    args: Vec<String>,
+}
+
+impl Cli {
+    /// Captures the process arguments. Prints `usage` and exits 0 if
+    /// `--help`/`-h` appears anywhere.
+    pub fn from_env(usage: &str) -> Cli {
+        Cli::from_args(usage, std::env::args().skip(1).collect())
+    }
+
+    /// As [`Cli::from_env`] but over an explicit argument list
+    /// (subcommand tails, tests).
+    pub fn from_args(usage: &str, args: Vec<String>) -> Cli {
+        let cli = Cli {
+            usage: usage.to_string(),
+            args,
+        };
+        if cli.args.iter().any(|a| a == "--help" || a == "-h") {
+            println!("{}", cli.usage);
+            std::process::exit(0);
+        }
+        cli
+    }
+
+    /// Reports a usage error and exits with code 2.
+    pub fn fail(&self, msg: impl Display) -> ! {
+        eprintln!("error: {msg}");
+        eprintln!("{}", self.usage);
+        std::process::exit(2);
+    }
+
+    /// Extracts a boolean `--name` flag.
+    pub fn flag(&mut self, name: &str) -> bool {
+        let key = format!("--{name}");
+        if let Some(i) = self.args.iter().position(|a| *a == key) {
+            self.args.remove(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Extracts `--name VALUE` or `--name=VALUE`. Exits 2 when the flag
+    /// is present without a value.
+    pub fn opt(&mut self, name: &str) -> Option<String> {
+        let key = format!("--{name}");
+        let eq = format!("--{name}=");
+        let i = self
+            .args
+            .iter()
+            .position(|a| *a == key || a.starts_with(&eq))?;
+        let arg = self.args.remove(i);
+        if let Some(v) = arg.strip_prefix(&eq) {
+            return Some(v.to_string());
+        }
+        if i < self.args.len() && !self.args[i].starts_with("--") {
+            return Some(self.args.remove(i));
+        }
+        self.fail(format!("flag --{name} needs a value"))
+    }
+
+    /// Extracts and parses `--name VALUE`. Exits 2 on a value `T` can't
+    /// parse.
+    pub fn opt_parse<T: FromStr>(&mut self, name: &str) -> Option<T> {
+        let raw = self.opt(name)?;
+        match raw.parse() {
+            Ok(v) => Some(v),
+            Err(_) => self.fail(format!("invalid value {raw:?} for --{name}")),
+        }
+    }
+
+    /// Extracts and parses a comma-separated `--name a,b,c` list. Exits
+    /// 2 on any unparseable element or an empty list.
+    pub fn opt_list<T: FromStr>(&mut self, name: &str) -> Option<Vec<T>> {
+        let raw = self.opt(name)?;
+        let mut out = Vec::new();
+        for part in raw.split(',') {
+            match part.trim().parse() {
+                Ok(v) => out.push(v),
+                Err(_) => self.fail(format!("invalid element {part:?} in --{name}")),
+            }
+        }
+        if out.is_empty() {
+            self.fail(format!("--{name} needs at least one element"));
+        }
+        Some(out)
+    }
+
+    /// Consumes the remaining arguments as positionals. Exits 2 if any
+    /// unextracted flag remains or the count is outside
+    /// `[min, max]` (`max = usize::MAX` for unbounded).
+    pub fn positionals(&mut self, min: usize, max: usize) -> Vec<String> {
+        if let Some(bad) = self.args.iter().find(|a| a.starts_with("--")) {
+            self.fail(format!("unknown flag {bad}"));
+        }
+        if self.args.len() < min || self.args.len() > max {
+            self.fail(match (min, max) {
+                (0, 0) => "unexpected positional arguments".to_string(),
+                (a, b) if a == b => format!("expected {a} positional argument(s)"),
+                (a, _) => format!("expected at least {a} positional argument(s)"),
+            });
+        }
+        std::mem::take(&mut self.args)
+    }
+}

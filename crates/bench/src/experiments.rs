@@ -165,9 +165,8 @@ pub fn fig8(params: &EvalParams) -> Vec<SweepRow> {
                 .map(|&n| {
                     let t = params.trace(s, n);
                     let nop = run_sim(&t, Mechanism::Nop, NvmMode::Cached).cycles as f64;
-                    let ovh = |m| {
-                        100.0 * (run_sim(&t, m, NvmMode::Cached).cycles as f64 / nop - 1.0)
-                    };
+                    let ovh =
+                        |m| 100.0 * (run_sim(&t, m, NvmMode::Cached).cycles as f64 / nop - 1.0);
                     (n, ovh(Mechanism::Bb), ovh(Mechanism::Lrp))
                 })
                 .collect();

@@ -2,12 +2,17 @@
 //! evaluation (§6).
 //!
 //! [`experiments`] holds one runner per artifact; the `lrp-eval` binary
-//! prints them as paper-style text tables, and the Criterion benches
-//! under `benches/` wrap the same runners for regression tracking.
+//! prints them as paper-style text tables, and the harness-free benches
+//! under `benches/` wrap the same runners (via [`microbench`]) for
+//! regression tracking. The `lrp-campaign` binary drives the
+//! `lrp-campaign` crate's parallel evaluation-campaign runner. All
+//! binaries share the [`cli`] flag parser.
 //!
 //! Full-size figure generation is minutes of CPU; every runner takes an
 //! [`experiments::EvalParams`] whose `quick` preset keeps CI fast.
 
+pub mod cli;
 pub mod experiments;
+pub mod microbench;
 
 pub use experiments::{EvalParams, EvalScale};

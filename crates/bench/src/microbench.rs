@@ -1,0 +1,80 @@
+//! Minimal self-contained micro-benchmark harness.
+//!
+//! The workspace builds fully offline, so the `benches/` targets cannot
+//! pull in Criterion; this module provides the small slice of its API
+//! the figure benches need: named groups, per-case sample counts, and a
+//! substring filter from the command line. Results print one line per
+//! case with min/median/max wall time.
+//!
+//! The simulated *outcomes* these benches guard (cycle counts,
+//! write-back fractions) are deterministic; wall time is reported for
+//! trend-spotting only. The durable perf trajectory lives in
+//! `BENCH_campaign.json`, produced by `lrp-campaign`.
+
+use std::time::Instant;
+
+/// Top-level harness: parses the command line once.
+pub struct Runner {
+    filter: Option<String>,
+}
+
+impl Runner {
+    /// Builds a runner from `std::env::args`, ignoring harness flags
+    /// cargo passes (`--bench`, `--exact`, ...) and treating the first
+    /// bare argument as a substring filter on case names.
+    pub fn from_args() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Runner { filter }
+    }
+
+    /// Starts a named benchmark group.
+    pub fn group(&self, name: &str) -> Group<'_> {
+        Group {
+            name: name.to_string(),
+            filter: self.filter.as_deref(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A group of related cases sharing a sample size.
+pub struct Group<'a> {
+    name: String,
+    filter: Option<&'a str>,
+    sample_size: usize,
+}
+
+impl Group<'_> {
+    /// Sets the number of timed samples per case.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times one case. The closure runs once for warmup and then
+    /// `sample_size` timed iterations.
+    pub fn bench<R>(&mut self, id: &str, mut f: impl FnMut() -> R) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(fil) = self.filter {
+            if !full.contains(fil) {
+                return;
+            }
+        }
+        std::hint::black_box(f());
+        let mut samples: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let t0 = Instant::now();
+                std::hint::black_box(f());
+                t0.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        println!(
+            "{full:<52} median {median:>9.3} ms  (min {:.3}, max {:.3}, n={})",
+            samples[0],
+            samples[samples.len() - 1],
+            samples.len()
+        );
+    }
+}

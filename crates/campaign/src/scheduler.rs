@@ -1,0 +1,202 @@
+//! Work-stealing parallel execution of a campaign's cells.
+//!
+//! Cells are dealt round-robin onto per-worker deques; each worker
+//! drains its own deque from the front and, when empty, steals from the
+//! back of a victim's. Results stream to the caller's sink in completion
+//! order (for JSONL persistence) and are returned sorted by cell index,
+//! so every aggregate downstream is a pure function of the matrix — the
+//! worker count and steal interleaving cannot perturb reports.
+
+use crate::isolation::{run_isolated, with_quiet_cell_panics, CellRecord};
+use crate::matrix::CellSpec;
+use std::collections::VecDeque;
+use std::sync::{mpsc, Mutex};
+use std::time::Duration;
+
+/// Execution policy for one campaign run.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Worker OS threads (1 = serial; results are identical either way).
+    pub workers: usize,
+    /// Watchdog timeout per cell.
+    pub timeout: Duration,
+    /// Cell id or index that should deliberately panic (isolation-path
+    /// fault injection; `None` in real campaigns).
+    pub inject_panic: Option<String>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            timeout: Duration::from_secs(300),
+            inject_panic: None,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// True when fault injection targets `spec`.
+    fn injects(&self, spec: &CellSpec) -> bool {
+        self.inject_panic
+            .as_deref()
+            .is_some_and(|t| t == spec.id() || t == spec.index.to_string())
+    }
+}
+
+/// Runs `cells` under `cfg`, invoking `sink` once per completed cell in
+/// completion order, and returns all records sorted by cell index.
+pub fn run_campaign(
+    cells: Vec<CellSpec>,
+    cfg: &CampaignConfig,
+    mut sink: impl FnMut(&CellRecord),
+) -> Vec<CellRecord> {
+    let total = cells.len();
+    if total == 0 {
+        return Vec::new();
+    }
+    let workers = cfg.workers.clamp(1, total.max(1));
+
+    // Deal cells round-robin so every worker starts with a comparable
+    // slice of the matrix (neighbouring cells have similar cost).
+    let mut deques: Vec<VecDeque<CellSpec>> = (0..workers).map(|_| VecDeque::new()).collect();
+    for (i, cell) in cells.into_iter().enumerate() {
+        deques[i % workers].push_back(cell);
+    }
+    let deques: Vec<Mutex<VecDeque<CellSpec>>> = deques.into_iter().map(Mutex::new).collect();
+
+    let (tx, rx) = mpsc::channel::<CellRecord>();
+    let mut records: Vec<CellRecord> = Vec::with_capacity(total);
+
+    with_quiet_cell_panics(|| {
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let tx = tx.clone();
+                let deques = &deques;
+                let cfg = cfg.clone();
+                scope.spawn(move || {
+                    loop {
+                        // Own work first (front), then steal (back).
+                        let next = deques[w].lock().unwrap().pop_front().or_else(|| {
+                            (1..workers)
+                                .find_map(|d| deques[(w + d) % workers].lock().unwrap().pop_back())
+                        });
+                        let Some(spec) = next else { break };
+                        let record = run_isolated(&spec, cfg.timeout, cfg.injects(&spec));
+                        if tx.send(record).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            for record in rx {
+                sink(&record);
+                records.push(record);
+            }
+        });
+    });
+
+    records.sort_by_key(|r| r.spec.index);
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isolation::CellOutcome;
+    use crate::matrix::MatrixSpec;
+
+    fn quick_matrix() -> MatrixSpec {
+        let mut m = MatrixSpec::smoke();
+        m.seeds = vec![1, 2];
+        m.threads = vec![1, 2];
+        m
+    }
+
+    fn strip_wall(records: &[CellRecord]) -> Vec<(usize, CellOutcome)> {
+        records
+            .iter()
+            .map(|r| (r.spec.index, r.outcome.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let cells = quick_matrix().cells();
+        let serial = run_campaign(
+            cells.clone(),
+            &CampaignConfig {
+                workers: 1,
+                ..CampaignConfig::default()
+            },
+            |_| {},
+        );
+        let parallel = run_campaign(
+            cells,
+            &CampaignConfig {
+                workers: 4,
+                ..CampaignConfig::default()
+            },
+            |_| {},
+        );
+        assert_eq!(strip_wall(&serial), strip_wall(&parallel));
+        assert!(serial
+            .iter()
+            .all(|r| matches!(r.outcome, CellOutcome::Ok(_))));
+    }
+
+    #[test]
+    fn sink_sees_every_cell_once() {
+        let cells = quick_matrix().cells();
+        let n = cells.len();
+        let mut seen = Vec::new();
+        let records = run_campaign(
+            cells,
+            &CampaignConfig {
+                workers: 3,
+                ..CampaignConfig::default()
+            },
+            |r| seen.push(r.spec.index),
+        );
+        assert_eq!(records.len(), n);
+        seen.sort_unstable();
+        assert_eq!(seen, (0..n).collect::<Vec<_>>());
+        assert!(records
+            .windows(2)
+            .all(|w| w[0].spec.index < w[1].spec.index));
+    }
+
+    #[test]
+    fn injected_panic_degrades_one_cell_only() {
+        let cells = quick_matrix().cells();
+        let target = cells[1].id();
+        let records = run_campaign(
+            cells,
+            &CampaignConfig {
+                workers: 2,
+                inject_panic: Some(target.clone()),
+                ..CampaignConfig::default()
+            },
+            |_| {},
+        );
+        let failed: Vec<_> = records
+            .iter()
+            .filter(|r| matches!(r.outcome, CellOutcome::Failed { .. }))
+            .collect();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].spec.id(), target);
+        assert!(records
+            .iter()
+            .filter(|r| r.spec.id() != target)
+            .all(|r| matches!(r.outcome, CellOutcome::Ok(_))));
+    }
+
+    #[test]
+    fn empty_matrix_is_a_noop() {
+        let records = run_campaign(Vec::new(), &CampaignConfig::default(), |_| {
+            panic!("no cells should complete")
+        });
+        assert!(records.is_empty());
+    }
+}

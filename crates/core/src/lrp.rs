@@ -273,7 +273,12 @@ mod tests {
         let act = l.on_store(l1, line, kind);
         // Emulate the substrate: materialize all planned flushes
         // (clearing meta and squashing RET), then commit.
-        for ln in act.flush_before.flat().into_iter().chain(act.background.flat()) {
+        for ln in act
+            .flush_before
+            .flat()
+            .into_iter()
+            .chain(act.background.flat())
+        {
             let mut m = l1.meta(ln);
             m.nvm_dirty = false;
             m.release = false;
@@ -331,7 +336,10 @@ mod tests {
             vec![0x10],
             "old contents are handed to the persist subsystem, without a stall"
         );
-        assert!(act.flush_before.is_empty(), "the release itself does not wait");
+        assert!(
+            act.flush_before.is_empty(),
+            "the release itself does not wait"
+        );
         let m = l1.meta(0x10);
         assert!(m.release);
         assert_eq!(m.min_epoch, 2);
@@ -344,8 +352,8 @@ mod tests {
         store(&mut l, &mut l1, 0x10, StoreKind::Plain); // epoch 1
         store(&mut l, &mut l1, 0x20, StoreKind::Release); // epoch 2
         let act = store(&mut l, &mut l1, 0x20, StoreKind::Release); // epoch 3
-        // The old release on 0x20 must persist with release ordering:
-        // the epoch-1 write first, then the line.
+                                                                    // The old release on 0x20 must persist with release ordering:
+                                                                    // the epoch-1 write first, then the line.
         assert_eq!(act.background.stages.len(), 2);
         assert_eq!(act.background.stages[0], vec![0x10]);
         assert_eq!(act.background.stages[1], vec![0x20]);
@@ -426,7 +434,10 @@ mod tests {
             0x20,
             StoreKind::RmwAcquire { release: true },
         );
-        assert!(act.persist_line_after, "pipeline blocks until the write persists");
+        assert!(
+            act.persist_line_after,
+            "pipeline blocks until the write persists"
+        );
         assert_eq!(
             act.flush_before.flat(),
             vec![0x10],
@@ -481,7 +492,10 @@ mod tests {
         // Third release: watermark reached, oldest drains in background.
         let act = l.on_store(&mut l1, 0x30, StoreKind::Release);
         assert!(!act.background.is_empty());
-        assert!(act.background.flat().contains(&0x10), "oldest release drains");
+        assert!(
+            act.background.flat().contains(&0x10),
+            "oldest release drains"
+        );
         l.on_store_commit(&mut l1, 0x30, StoreKind::Release);
     }
 

@@ -86,7 +86,10 @@ pub enum StoreKind {
 impl StoreKind {
     /// True if the store has release semantics.
     pub fn is_release(self) -> bool {
-        matches!(self, StoreKind::Release | StoreKind::RmwAcquire { release: true })
+        matches!(
+            self,
+            StoreKind::Release | StoreKind::RmwAcquire { release: true }
+        )
     }
 }
 

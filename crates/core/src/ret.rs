@@ -89,11 +89,7 @@ impl ReleaseEpochTable {
     /// entry for `line` itself. Returns the squashed lines in epoch
     /// order — exactly the release stages of an engine run.
     pub fn drain_older(&mut self, upto: Epoch, line: Option<LineAddr>) -> Vec<LineAddr> {
-        let epochs: Vec<Epoch> = self
-            .by_epoch
-            .range(..upto)
-            .map(|(&e, _)| e)
-            .collect();
+        let epochs: Vec<Epoch> = self.by_epoch.range(..upto).map(|(&e, _)| e).collect();
         let mut out = Vec::with_capacity(epochs.len() + 1);
         for e in epochs {
             out.push(self.by_epoch.remove(&e).expect("epoch key exists"));

@@ -158,18 +158,12 @@ impl PmemCtx for GateCtx {
 ///
 /// Panics in worker bodies are propagated after the remaining workers
 /// finish or park.
-pub fn run(
-    cfg: &ExecConfig,
-    setup: impl FnOnce(&mut DirectCtx),
-    bodies: Vec<ThreadBody>,
-) -> Trace {
+pub fn run(cfg: &ExecConfig, setup: impl FnOnce(&mut DirectCtx), bodies: Vec<ThreadBody>) -> Trace {
     let n = bodies.len();
     assert_eq!(
-        n,
-        cfg.threads as usize,
+        n, cfg.threads as usize,
         "bodies must match cfg.threads ({} != {})",
-        n,
-        cfg.threads
+        n, cfg.threads
     );
 
     let mut direct = DirectCtx::new(cfg.threads, cfg.seed);
@@ -213,7 +207,11 @@ pub fn run(
             tid: i as ThreadId,
             tx: req_tx,
             rx: resp_rx,
-            rng: Xorshift64::new(cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(i as u64 + 1)),
+            rng: Xorshift64::new(
+                cfg.seed
+                    .wrapping_mul(0x9E37_79B9)
+                    .wrapping_add(i as u64 + 1),
+            ),
         };
         handles.push(std::thread::spawn(move || {
             body(&mut ctx);

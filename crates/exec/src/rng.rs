@@ -14,7 +14,11 @@ impl Xorshift64 {
     /// non-zero constant, since an all-zero state would be absorbing).
     pub fn new(seed: u64) -> Self {
         Xorshift64 {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 

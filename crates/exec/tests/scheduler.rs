@@ -53,7 +53,10 @@ fn random_scheduling_completes_unequal_programs() {
     );
     assert_eq!(t.events.len(), 61);
     for tid in 0..3u16 {
-        assert!(t.events.iter().any(|e| e.tid == tid), "thread {tid} starved");
+        assert!(
+            t.events.iter().any(|e| e.tid == tid),
+            "thread {tid} starved"
+        );
     }
 }
 
@@ -70,9 +73,7 @@ fn spinning_reader_eventually_observes_writer() {
                     c.write(0x200, 42);
                     c.write_rel(0x100, 1);
                 }),
-                Box::new(|c: &mut GateCtx| {
-                    while c.read_acq(0x100) == 0 {}
-                }),
+                Box::new(|c: &mut GateCtx| while c.read_acq(0x100) == 0 {}),
             ],
         );
         t.validate().unwrap();

@@ -137,7 +137,11 @@ impl Bst {
         // If the key-side edge is not flagged, we got here through the
         // tagged sibling edge of someone else's delete: the survivor to
         // splice up is the key-side child itself.
-        let sib_off = if marked(child_val) { other_off } else { child_off };
+        let sib_off = if marked(child_val) {
+            other_off
+        } else {
+            child_off
+        };
         // Freeze the sibling edge.
         loop {
             let sv = ctx.read_acq(parent + sib_off);
@@ -365,11 +369,13 @@ mod tests {
                         // Recompute the sentinel addresses: setup's arena
                         // is deterministic (first two allocations after
                         // three leaves are S then R).
-                        let base =
-                            lrp_exec::ctx::HEAP_BASE + 4 * lrp_exec::ctx::ARENA_BYTES;
+                        let base = lrp_exec::ctx::HEAP_BASE + 4 * lrp_exec::ctx::ARENA_BYTES;
                         let s_addr = base + (3 * NODE_WORDS as u64) * 8;
                         let r_addr = s_addr + NODE_WORDS as u64 * 8;
-                        let b = Bst { r: r_addr, s: s_addr };
+                        let b = Bst {
+                            r: r_addr,
+                            s: s_addr,
+                        };
                         let mut rng = lrp_exec::Xorshift64::new(t + 1);
                         for _ in 0..30 {
                             let k = rng.below(50) + 1;
@@ -417,6 +423,9 @@ mod tests {
         walk(&read, r_addr, 0, u64::MAX, &mut leaves, 0);
         assert!(leaves.windows(2).all(|w| w[0] <= w[1]), "leaves in order");
         let real: Vec<u64> = leaves.into_iter().filter(|&k| k < INF1).collect();
-        assert!(real.windows(2).all(|w| w[0] < w[1]), "leaf keys sorted/unique");
+        assert!(
+            real.windows(2).all(|w| w[0] < w[1]),
+            "leaf keys sorted/unique"
+        );
     }
 }

@@ -45,6 +45,47 @@ impl Structure {
             Structure::Queue => "queue",
         }
     }
+
+    /// Parses a paper workload name back into a [`Structure`].
+    pub fn from_name(name: &str) -> Option<Structure> {
+        Structure::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// The distinguishing root-pointer name this structure registers in
+    /// its traces (see [`WorkloadSpec::build_trace`]).
+    pub fn primary_root(self) -> &'static str {
+        match self {
+            Structure::LinkedList => "head",
+            Structure::HashMap => "buckets",
+            Structure::Bst => "bst_r",
+            Structure::SkipList => "sl_head",
+            Structure::Queue => "q_anchor",
+        }
+    }
+
+    /// Identifies the structure a trace was generated from by its
+    /// registered root names.
+    pub fn infer_from_roots<'a>(roots: impl IntoIterator<Item = &'a str>) -> Option<Structure> {
+        roots.into_iter().find_map(|name| {
+            Structure::ALL
+                .into_iter()
+                .find(|s| s.primary_root() == name)
+        })
+    }
+}
+
+impl std::str::FromStr for Structure {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Structure::from_name(s).ok_or_else(|| {
+            let names: Vec<&str> = Structure::ALL.iter().map(|s| s.name()).collect();
+            format!(
+                "unknown structure {s:?} (expected one of {})",
+                names.join("|")
+            )
+        })
+    }
 }
 
 impl std::fmt::Display for Structure {
@@ -242,20 +283,48 @@ impl WorkloadSpec {
                         let is_insert = rng.below(2) == 0;
                         match h {
                             Handle::List(l) => {
-                                drive_set(c, key, is_read, is_insert, |c, k| l.contains(c, k),
-                                    |c, k| l.insert(c, k, k), |c, k| l.delete(c, k));
+                                drive_set(
+                                    c,
+                                    key,
+                                    is_read,
+                                    is_insert,
+                                    |c, k| l.contains(c, k),
+                                    |c, k| l.insert(c, k, k),
+                                    |c, k| l.delete(c, k),
+                                );
                             }
                             Handle::Map(m) => {
-                                drive_set(c, key, is_read, is_insert, |c, k| m.contains(c, k),
-                                    |c, k| m.insert(c, k, k), |c, k| m.delete(c, k));
+                                drive_set(
+                                    c,
+                                    key,
+                                    is_read,
+                                    is_insert,
+                                    |c, k| m.contains(c, k),
+                                    |c, k| m.insert(c, k, k),
+                                    |c, k| m.delete(c, k),
+                                );
                             }
                             Handle::Bst(b) => {
-                                drive_set(c, key, is_read, is_insert, |c, k| b.contains(c, k),
-                                    |c, k| b.insert(c, k, k), |c, k| b.delete(c, k));
+                                drive_set(
+                                    c,
+                                    key,
+                                    is_read,
+                                    is_insert,
+                                    |c, k| b.contains(c, k),
+                                    |c, k| b.insert(c, k, k),
+                                    |c, k| b.delete(c, k),
+                                );
                             }
                             Handle::Skip(sl) => {
-                                drive_set(c, key, is_read, is_insert, |c, k| sl.contains(c, k),
-                                    |c, k| sl.insert(c, k, k), |c, k| sl.delete(c, k));
+                                drive_set(
+                                    c,
+                                    key,
+                                    is_read,
+                                    is_insert,
+                                    |c, k| sl.contains(c, k),
+                                    |c, k| sl.insert(c, k, k),
+                                    |c, k| sl.delete(c, k),
+                                );
                             }
                             Handle::Queue(q) => {
                                 if is_insert {
@@ -375,6 +444,23 @@ mod tests {
             .markers
             .iter()
             .all(|m| matches!(m.op, OpKind::Contains(_))));
+    }
+
+    #[test]
+    fn names_round_trip_and_roots_identify_structures() {
+        for s in Structure::ALL {
+            assert_eq!(Structure::from_name(s.name()), Some(s));
+            assert_eq!(s.name().parse::<Structure>(), Ok(s));
+            let t = WorkloadSpec::new(s)
+                .initial_size(8)
+                .threads(1)
+                .ops_per_thread(2)
+                .build_trace();
+            let inferred = Structure::infer_from_roots(t.roots.iter().map(|(n, _)| n.as_str()));
+            assert_eq!(inferred, Some(s), "{s}");
+        }
+        assert!("btree".parse::<Structure>().is_err());
+        assert_eq!(Structure::infer_from_roots(["nbuckets"]), None);
     }
 
     #[test]

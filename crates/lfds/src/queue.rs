@@ -194,7 +194,13 @@ mod tests {
                 collected.lock().unwrap().push(got);
             }));
         }
-        let trace = run(&cfg, |s| { Queue::new(s); }, bodies);
+        let trace = run(
+            &cfg,
+            |s| {
+                Queue::new(s);
+            },
+            bodies,
+        );
         trace.validate().unwrap();
         let per_consumer = collected.lock().unwrap().clone();
         // No duplicates across consumers.
@@ -207,7 +213,10 @@ mod tests {
         for seq in &per_consumer {
             for p in 0..2u64 {
                 let ps: Vec<u64> = seq.iter().copied().filter(|v| v / 1000 == p + 1).collect();
-                assert!(ps.windows(2).all(|w| w[0] < w[1]), "producer {p} out of order");
+                assert!(
+                    ps.windows(2).all(|w| w[0] < w[1]),
+                    "producer {p} out of order"
+                );
             }
         }
     }

@@ -270,8 +270,14 @@ mod tests {
         assert!(t.events[c as usize].is_release());
         assert!(t.events[f as usize].is_read_effect());
         assert!(!t.events[f as usize].is_write_effect());
-        assert!(!t.events[f as usize].is_release(), "failed RMW must not release");
-        assert!(t.events[f as usize].is_acquire(), "failed RMW still acquires");
+        assert!(
+            !t.events[f as usize].is_release(),
+            "failed RMW must not release"
+        );
+        assert!(
+            t.events[f as usize].is_acquire(),
+            "failed RMW still acquires"
+        );
     }
 
     #[test]

@@ -301,7 +301,10 @@ mod tests {
         let fail = b.cas(1, 0x200, 99, 1, Annot::AcqRel); // fails, reads 6
         let w = b.write(1, 0x300, 1);
         let hb = HbClosure::compute(&b.build()).unwrap();
-        assert!(hb.hb(rel, fail), "failed acq-RMW synchronizes with the release it read");
+        assert!(
+            hb.hb(rel, fail),
+            "failed acq-RMW synchronizes with the release it read"
+        );
         assert!(hb.hb(fail, w));
         assert!(hb.hb(rel, w));
     }

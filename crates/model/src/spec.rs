@@ -162,7 +162,11 @@ const MAX_REPORTED: usize = 16;
 ///
 /// Returns the first few violations (capped) on failure.
 pub fn check_rp(trace: &Trace, sched: &PersistSchedule) -> Result<(), Vec<Violation>> {
-    assert_eq!(sched.len(), trace.events.len(), "schedule/trace size mismatch");
+    assert_eq!(
+        sched.len(),
+        trace.events.len(),
+        "schedule/trace size mismatch"
+    );
     let nt = trace.nthreads as usize;
     let n = trace.events.len();
     let mut viol = Vec::new();
@@ -256,7 +260,11 @@ pub fn check_rp(trace: &Trace, sched: &PersistSchedule) -> Result<(), Vec<Violat
 /// Checks only the ARP rule of §3.1:
 /// `W po→ Rel sw→ Acq po→ W' ⇒ W p→ W'`.
 pub fn check_arp(trace: &Trace, sched: &PersistSchedule) -> Result<(), Vec<Violation>> {
-    assert_eq!(sched.len(), trace.events.len(), "schedule/trace size mismatch");
+    assert_eq!(
+        sched.len(),
+        trace.events.len(),
+        "schedule/trace size mismatch"
+    );
     let nt = trace.nthreads as usize;
     // Pass 1: for each release, the max stamp over writes strictly
     // po-before it in its thread.
@@ -267,7 +275,9 @@ pub fn check_arp(trace: &Trace, sched: &PersistSchedule) -> Result<(), Vec<Viola
         for e in &trace.events {
             let t = e.tid as usize;
             if e.is_release() {
-                let m = maxw[t].map(|(m, src)| (m, Some(src))).unwrap_or((Ext::Fin(0), None));
+                let m = maxw[t]
+                    .map(|(m, src)| (m, Some(src)))
+                    .unwrap_or((Ext::Fin(0), None));
                 relmax.insert(e.id, m);
             }
             if e.is_write_effect() {
@@ -331,7 +341,11 @@ pub fn check_epoch_full_barrier(
     trace: &Trace,
     sched: &PersistSchedule,
 ) -> Result<(), Vec<Violation>> {
-    assert_eq!(sched.len(), trace.events.len(), "schedule/trace size mismatch");
+    assert_eq!(
+        sched.len(),
+        trace.events.len(),
+        "schedule/trace size mismatch"
+    );
     let nt = trace.nthreads as usize;
     let mut viol = Vec::new();
     // Per thread: max stamp over earlier segments (lower bound for later

@@ -59,7 +59,10 @@ fn exhaust(name: &str, t: &Trace) {
             );
         }
         if check_epoch_full_barrier(t, &sched).is_ok() && t.nthreads == 1 {
-            assert!(rp, "{name}: full-barrier-valid order rejected by RP: {perm:?}");
+            assert!(
+                rp,
+                "{name}: full-barrier-valid order rejected by RP: {perm:?}"
+            );
         }
     }
     assert!(rp_ok_count > 0, "{name}: no valid persist order at all?");

@@ -91,8 +91,12 @@ mod tests {
         for m in [Mechanism::Sb, Mechanism::Bb] {
             let t = workload(Structure::LinkedList, 22);
             let r = Sim::new(SimConfig::new(m), &t).run();
-            let report =
-                check_null_recovery(Structure::LinkedList, &t, &r.schedule, &CrashPlan::Exhaustive);
+            let report = check_null_recovery(
+                Structure::LinkedList,
+                &t,
+                &r.schedule,
+                &CrashPlan::Exhaustive,
+            );
             assert!(report.all_recovered(), "{m}: {report}");
         }
     }

@@ -79,8 +79,12 @@ pub fn figure1() -> Figure1 {
     // crash point recovers.
     let lrp = Sim::new(SimConfig::new(Mechanism::Lrp), &trace).run();
     check_rp(&trace, &lrp.schedule).expect("LRP enforces RP");
-    let lrp_report =
-        check_null_recovery(Structure::LinkedList, &trace, &lrp.schedule, &CrashPlan::Exhaustive);
+    let lrp_report = check_null_recovery(
+        Structure::LinkedList,
+        &trace,
+        &lrp.schedule,
+        &CrashPlan::Exhaustive,
+    );
     assert!(
         lrp_report.all_recovered(),
         "LRP must recover everywhere: {lrp_report}"

@@ -43,6 +43,15 @@ pub enum CrashPlan {
     /// At most `n` evenly spaced stamps (plus first/last) — for long
     /// simulator logs.
     Sampled(usize),
+    /// At most `samples` stamps drawn uniformly without replacement by a
+    /// seeded PRNG (always keeping the final stamp). Deterministic for a
+    /// fixed seed; different campaign seeds probe different crash points.
+    Random {
+        /// Upper bound on sampled stamps.
+        samples: usize,
+        /// PRNG seed.
+        seed: u64,
+    },
 }
 
 impl CrashPlan {
@@ -62,6 +71,28 @@ impl CrashPlan {
                         out.push(Some(all[(i as f64 * step) as usize]));
                     }
                     out.push(Some(*all.last().expect("non-empty")));
+                }
+            }
+            CrashPlan::Random { samples, seed } => {
+                if all.len() <= *samples {
+                    out.extend(all.into_iter().map(Some));
+                } else {
+                    // Partial Fisher–Yates: the first `samples` slots end
+                    // up holding a uniform draw without replacement.
+                    let mut pool = all;
+                    let mut rng = lrp_exec::Xorshift64::new(seed ^ 0xC4A5_11FE);
+                    let last = *pool.last().expect("non-empty");
+                    for i in 0..*samples {
+                        let j = i + rng.below((pool.len() - i) as u64) as usize;
+                        pool.swap(i, j);
+                    }
+                    let mut picked: Vec<u64> = pool[..*samples].to_vec();
+                    if !picked.contains(&last) {
+                        picked.pop();
+                        picked.push(last);
+                    }
+                    picked.sort_unstable();
+                    out.extend(picked.into_iter().map(Some));
                 }
             }
         }

@@ -161,8 +161,7 @@ mod tests {
                 let img = nvm_at(&t, &r.schedule, stamp);
                 let rec = validate_image(s, &t.roots, &img)
                     .unwrap_or_else(|e| panic!("{s} at {stamp:?}: {e}"));
-                history_consistent(s, &t, &rec)
-                    .unwrap_or_else(|e| panic!("{s} at {stamp:?}: {e}"));
+                history_consistent(s, &t, &rec).unwrap_or_else(|e| panic!("{s} at {stamp:?}: {e}"));
             }
         }
     }
@@ -215,9 +214,8 @@ mod tests {
             Recovered::Queue(v) => v,
             _ => unreachable!(),
         };
-        let err =
-            history_consistent(Structure::Queue, &t, &Recovered::Queue(vec![123_456_789]))
-                .unwrap_err();
+        let err = history_consistent(Structure::Queue, &t, &Recovered::Queue(vec![123_456_789]))
+            .unwrap_err();
         assert_eq!(err, HistoryViolation::PhantomValue(123_456_789));
         let twice = vec![initial[0], initial[0]];
         let err = history_consistent(Structure::Queue, &t, &Recovered::Queue(twice)).unwrap_err();

@@ -82,7 +82,10 @@ impl L1Cache {
     /// The LRU victim of `line`'s set (must be full).
     pub fn victim_of(&self, line: LineAddr) -> LineAddr {
         let set = &self.sets[self.set_of(line)];
-        set.iter().min_by_key(|l| l.lru).expect("set not empty").line
+        set.iter()
+            .min_by_key(|l| l.lru)
+            .expect("set not empty")
+            .line
     }
 
     /// Removes and returns a resident line.

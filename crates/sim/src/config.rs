@@ -44,6 +44,20 @@ impl Mechanism {
             Mechanism::Dpo => "dpo",
         }
     }
+
+    /// Parses a figure name back into a mechanism.
+    pub fn from_name(name: &str) -> Option<Mechanism> {
+        Mechanism::EXTENDED.into_iter().find(|m| m.name() == name)
+    }
+}
+
+impl std::str::FromStr for Mechanism {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Mechanism::from_name(s)
+            .ok_or_else(|| format!("unknown mechanism {s:?} (expected nop|sb|bb|lrp|dpo)"))
+    }
 }
 
 impl std::fmt::Display for Mechanism {
@@ -60,6 +74,39 @@ pub enum NvmMode {
     Cached,
     /// 350-cycle persists (Table 1).
     Uncached,
+}
+
+impl NvmMode {
+    /// Both modes, cached first (the paper's default).
+    pub const ALL: [NvmMode; 2] = [NvmMode::Cached, NvmMode::Uncached];
+
+    /// Stable name for reports and flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            NvmMode::Cached => "cached",
+            NvmMode::Uncached => "uncached",
+        }
+    }
+
+    /// Parses a mode name.
+    pub fn from_name(name: &str) -> Option<NvmMode> {
+        NvmMode::ALL.into_iter().find(|m| m.name() == name)
+    }
+}
+
+impl std::str::FromStr for NvmMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        NvmMode::from_name(s)
+            .ok_or_else(|| format!("unknown NVM mode {s:?} (expected cached|uncached)"))
+    }
+}
+
+impl std::fmt::Display for NvmMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// Full machine configuration. Defaults reproduce Table 1.
@@ -226,8 +273,10 @@ mod tests {
 
     #[test]
     fn override_wins_over_mode() {
-        let mut c = SimConfig::default();
-        c.nvm_latency_override = Some(42);
+        let c = SimConfig {
+            nvm_latency_override: Some(42),
+            ..SimConfig::default()
+        };
         assert_eq!(c.nvm_latency(), 42);
     }
 

@@ -30,4 +30,4 @@ pub mod stats;
 
 pub use config::{Mechanism, NvmMode, SimConfig};
 pub use machine::{RunResult, Sim};
-pub use stats::Stats;
+pub use stats::{FlushClass, StallCause, Stats};

@@ -40,15 +40,30 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 #[derive(Debug, Clone)]
 enum Msg {
-    GetS { core: usize },
-    GetM { core: usize },
-    PutM { core: usize, covered: Vec<EventId>, dirty: bool, persist: bool },
-    FwdGetS { requester: usize },
-    FwdGetM { requester: usize },
+    GetS {
+        core: usize,
+    },
+    GetM {
+        core: usize,
+    },
+    PutM {
+        core: usize,
+        covered: Vec<EventId>,
+        dirty: bool,
+        persist: bool,
+    },
+    FwdGetS {
+        requester: usize,
+    },
+    FwdGetM {
+        requester: usize,
+    },
     Inv,
     InvAck,
     DownResp(DownRespData),
-    Data { state: CohState },
+    Data {
+        state: CohState,
+    },
     PutAck,
     NvmReadDone,
     DirPersistDone,
@@ -426,12 +441,8 @@ impl Sim {
 
     /// FIFO arrival time on the (src, dst) channel.
     fn ordered_delay(&mut self, src: usize, dst: usize, lat: u64) -> u64 {
-        let arrival = (self.now + lat).max(
-            self.chan_last
-                .get(&(src, dst))
-                .map(|&t| t + 1)
-                .unwrap_or(0),
-        );
+        let arrival =
+            (self.now + lat).max(self.chan_last.get(&(src, dst)).map(|&t| t + 1).unwrap_or(0));
         self.chan_last.insert((src, dst), arrival);
         arrival - self.now
     }
@@ -483,7 +494,12 @@ impl Sim {
                 c.state
             );
         }
-        self.stats.cycles = self.cores.iter().filter_map(|c| c.finish).max().unwrap_or(0);
+        self.stats.cycles = self
+            .cores
+            .iter()
+            .filter_map(|c| c.finish)
+            .max()
+            .unwrap_or(0);
         self.stats.ops = self.cores.iter().map(|c| c.ops.len() as u64).sum();
         let mut schedule = PersistSchedule::new(self.stamps.len());
         for (i, s) in self.stamps.iter().enumerate() {
@@ -670,9 +686,7 @@ impl Sim {
         let parked = task.parked;
         // Residual intra-thread conflict (BB): a store to a line whose
         // older-epoch flush is still in flight waits for the ack.
-        if self.l1s[c].mech.forbids_epoch_coalescing()
-            && self.l1s[c].inflight.contains_key(&line)
-        {
+        if self.l1s[c].mech.forbids_epoch_coalescing() && self.l1s[c].inflight.contains_key(&line) {
             if !parked {
                 self.cores[c].store_q.front_mut().unwrap().parked = true;
                 // The proactive flush this store now waits on became a
@@ -697,7 +711,13 @@ impl Sim {
                 let scan = l1.mech.scan_cycles();
                 let persist_after = act.persist_line_after;
                 if !act.background.is_empty() {
-                    self.enqueue_run(c, act.background, FlushClass::Background, JobDone::None, scan);
+                    self.enqueue_run(
+                        c,
+                        act.background,
+                        FlushClass::Background,
+                        JobDone::None,
+                        scan,
+                    );
                 }
                 {
                     let t = self.cores[c].store_q.front_mut().unwrap();
@@ -709,7 +729,13 @@ impl Sim {
                 } else {
                     let t = self.cores[c].store_q.front_mut().unwrap();
                     t.phase = StorePhase::Flushing;
-                    self.enqueue_run(c, act.flush_before, FlushClass::Critical, JobDone::StoreReady, scan);
+                    self.enqueue_run(
+                        c,
+                        act.flush_before,
+                        FlushClass::Critical,
+                        JobDone::StoreReady,
+                        scan,
+                    );
                 }
             }
             _ => {
@@ -732,7 +758,10 @@ impl Sim {
                 std::mem::take(&mut t.background_after),
             )
         };
-        self.dbg(line, &format_args!("l1[{c}] commit store ev={ev} kind={kind:?}"));
+        self.dbg(
+            line,
+            &format_args!("l1[{c}] commit store ev={ev} kind={kind:?}"),
+        );
         // The line may have been downgraded while a flush ran (we defer
         // forwards for the head task's line, but a different task could
         // have lost it... re-acquire if so).
@@ -757,7 +786,13 @@ impl Sim {
         if !background_after.is_empty() {
             // Delegation: the just-landed store ships to the persist
             // queue immediately (persist-buffer designs).
-            self.enqueue_run(c, background_after, FlushClass::Background, JobDone::None, 0);
+            self.enqueue_run(
+                c,
+                background_after,
+                FlushClass::Background,
+                JobDone::None,
+                0,
+            );
         }
         self.performed[ev as usize] = true;
         if let Some(waiters) = self.rf_waiters.remove(&ev) {
@@ -819,7 +854,14 @@ impl Sim {
 
     /// Materializes an [`EngineRun`] into flush descriptors (taking each
     /// line's buffered writes now) and enqueues it as a job.
-    fn enqueue_run(&mut self, c: usize, run: EngineRun, class: FlushClass, done: JobDone, scan: u64) {
+    fn enqueue_run(
+        &mut self,
+        c: usize,
+        run: EngineRun,
+        class: FlushClass,
+        done: JobDone,
+        scan: u64,
+    ) {
         let mut stages: VecDeque<Vec<FlushDesc>> = VecDeque::new();
         for stage in run.stages {
             let mut descs = Vec::new();
@@ -898,11 +940,20 @@ impl Sim {
                 // Bounded persist-buffer entries: issue at most
                 // `flush_mshrs` flushes at a time; the rest of the stage
                 // re-queues and proceeds as acks drain.
-                let budget = self.cfg.flush_mshrs.saturating_sub(self.l1s[c].seq.pending as usize);
+                let budget = self
+                    .cfg
+                    .flush_mshrs
+                    .saturating_sub(self.l1s[c].seq.pending as usize);
                 if stage.len() > budget {
                     let rest = stage.split_off(budget.max(1));
                     if !rest.is_empty() {
-                        self.l1s[c].seq.jobs.front_mut().unwrap().stages.push_front(rest);
+                        self.l1s[c]
+                            .seq
+                            .jobs
+                            .front_mut()
+                            .unwrap()
+                            .stages
+                            .push_front(rest);
                     }
                 }
                 for desc in stage {
@@ -995,7 +1046,10 @@ impl Sim {
     }
 
     fn record_persist(&mut self, line: LineAddr, covered: &[EventId]) {
-        self.dbg(line, &format_args!("persist stamp={} covered={covered:?}", self.flush_seq));
+        self.dbg(
+            line,
+            &format_args!("persist stamp={} covered={covered:?}", self.flush_seq),
+        );
         let stamp = self.flush_seq;
         self.flush_seq += 1;
         for &e in covered {
@@ -1074,7 +1128,13 @@ impl Sim {
             if !act.background.is_empty() {
                 // Off-critical-path persist of an only-written victim,
                 // through the local sequencer (counts toward pending).
-                self.enqueue_run(c, act.background.clone(), FlushClass::Background, JobDone::None, 0);
+                self.enqueue_run(
+                    c,
+                    act.background.clone(),
+                    FlushClass::Background,
+                    JobDone::None,
+                    0,
+                );
             }
             let (covered, dirty, vstate) = {
                 let l1 = &mut self.l1s[c];
@@ -1223,7 +1283,13 @@ impl Sim {
             l1.mech.on_downgrade(&mut view, line)
         };
         if !act.background.is_empty() {
-            self.enqueue_run(c, act.background.clone(), FlushClass::Background, JobDone::None, 0);
+            self.enqueue_run(
+                c,
+                act.background.clone(),
+                FlushClass::Background,
+                JobDone::None,
+                0,
+            );
         }
         if act.flush_before.is_empty() {
             let persist = act.persist_at_dir;
@@ -1247,7 +1313,13 @@ impl Sim {
         self.finish_downgrade_with(c, line, is_gets, false);
     }
 
-    fn finish_downgrade_with(&mut self, c: usize, line: LineAddr, is_gets: bool, persist_at_dir: bool) {
+    fn finish_downgrade_with(
+        &mut self,
+        c: usize,
+        line: LineAddr,
+        is_gets: bool,
+        persist_at_dir: bool,
+    ) {
         self.l1s[c].downgrading.remove(&line);
         self.schedule(0, Ev::StoreStep(c));
         let covered = self.l1s[c].cache.take_covered(line);
@@ -1256,7 +1328,11 @@ impl Sim {
             "unpersisted writes would ride a response marked durable"
         );
         self.notify_flush_issued(c, line);
-        let dirty = self.l1s[c].cache.get(line).map(|l| l.dirty).unwrap_or(false);
+        let dirty = self.l1s[c]
+            .cache
+            .get(line)
+            .map(|l| l.dirty)
+            .unwrap_or(false);
         if is_gets {
             if let Some(l) = self.l1s[c].cache.get_mut(line) {
                 l.state = CohState::S;
@@ -1341,7 +1417,8 @@ impl Sim {
             putack_to: None,
         });
         let n = self.nvm_of(line);
-        let lat = self.noc(self.tile_of_bank(line), self.tile_of_nvm(n), false) + self.cfg.llc_latency;
+        let lat =
+            self.noc(self.tile_of_bank(line), self.tile_of_nvm(n), false) + self.cfg.llc_latency;
         self.nvm_submit(
             n,
             lat,
@@ -1467,7 +1544,9 @@ impl Sim {
     }
 
     fn dir_downresp(&mut self, line: LineAddr, msg: Msg) {
-        let Msg::DownResp(resp) = msg else { unreachable!() };
+        let Msg::DownResp(resp) = msg else {
+            unreachable!()
+        };
         let entry = self.dir.get_mut(&line).unwrap();
         let Some(t) = entry.busy.as_mut() else {
             // A response for a transaction completed via a stashed PutM.

@@ -29,7 +29,9 @@ impl Mesh {
 
     /// One-way message latency.
     pub fn latency(&self, src: usize, dst: usize, data: bool) -> u64 {
-        self.base + self.per_hop * self.hops(src, dst) as u64 + if data { self.data_extra } else { 0 }
+        self.base
+            + self.per_hop * self.hops(src, dst) as u64
+            + if data { self.data_extra } else { 0 }
     }
 
     /// The tile hosting NVM controller `n` (the four mesh corners).

@@ -21,7 +21,11 @@ pub fn render(name: &str, r: &RunResult) -> String {
         }
     );
     let _ = writeln!(out, "-- memory system --");
-    let _ = writeln!(out, "load hits / misses     {:>12} / {}", s.load_hits, s.load_misses);
+    let _ = writeln!(
+        out,
+        "load hits / misses     {:>12} / {}",
+        s.load_hits, s.load_misses
+    );
     let _ = writeln!(out, "stores performed       {:>12}", s.stores);
     let _ = writeln!(out, "downgrades served      {:>12}", s.downgrades);
     let _ = writeln!(out, "dirty evictions        {:>12}", s.evictions);
@@ -36,7 +40,12 @@ pub fn render(name: &str, r: &RunResult) -> String {
         FlushClass::Directory,
     ] {
         let n = s.flushes.get(&class).copied().unwrap_or(0);
-        let _ = writeln!(out, "  {:<20} {:>12}", format!("{class:?}").to_lowercase(), n);
+        let _ = writeln!(
+            out,
+            "  {:<20} {:>12}",
+            format!("{class:?}").to_lowercase(),
+            n
+        );
     }
     let _ = writeln!(
         out,
@@ -54,13 +63,26 @@ pub fn render(name: &str, r: &RunResult) -> String {
         StallCause::RfWait,
     ] {
         let n = s.stalls.get(&cause).copied().unwrap_or(0);
-        let _ = writeln!(out, "  {:<20} {:>12}", format!("{cause:?}").to_lowercase(), n);
+        let _ = writeln!(
+            out,
+            "  {:<20} {:>12}",
+            format!("{cause:?}").to_lowercase(),
+            n
+        );
     }
     let _ = writeln!(out, "-- persist log --");
     let _ = writeln!(out, "entries                {:>12}", r.persist_log.len());
     if let (Some(first), Some(last)) = (r.persist_log.first(), r.persist_log.last()) {
-        let _ = writeln!(out, "first / last stamp     {:>12} / {}", first.stamp, last.stamp);
-        let _ = writeln!(out, "first / last cycle     {:>12} / {}", first.time, last.time);
+        let _ = writeln!(
+            out,
+            "first / last stamp     {:>12} / {}",
+            first.stamp, last.stamp
+        );
+        let _ = writeln!(
+            out,
+            "first / last cycle     {:>12} / {}",
+            first.time, last.time
+        );
     }
     out
 }

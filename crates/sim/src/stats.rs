@@ -18,6 +18,28 @@ pub enum StallCause {
     RfWait,
 }
 
+impl StallCause {
+    /// Every cause, in the stable order used by serialized reports.
+    pub const ALL: [StallCause; 5] = [
+        StallCause::LoadMiss,
+        StallCause::StoreDrain,
+        StallCause::MechFlush,
+        StallCause::PersistAck,
+        StallCause::RfWait,
+    ];
+
+    /// Stable snake_case key for machine-readable reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            StallCause::LoadMiss => "load_miss",
+            StallCause::StoreDrain => "store_drain",
+            StallCause::MechFlush => "mech_flush",
+            StallCause::PersistAck => "persist_ack",
+            StallCause::RfWait => "rf_wait",
+        }
+    }
+}
+
 /// Why a flush was issued (write-back classification for Figure 6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FlushClass {
@@ -36,8 +58,28 @@ pub enum FlushClass {
     Directory,
 }
 
+impl FlushClass {
+    /// Every class, in the stable order used by serialized reports.
+    pub const ALL: [FlushClass; 4] = [
+        FlushClass::Critical,
+        FlushClass::Background,
+        FlushClass::Sync,
+        FlushClass::Directory,
+    ];
+
+    /// Stable snake_case key for machine-readable reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlushClass::Critical => "critical",
+            FlushClass::Background => "background",
+            FlushClass::Sync => "sync",
+            FlushClass::Directory => "directory",
+        }
+    }
+}
+
 /// Aggregate statistics for one simulation run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Stats {
     /// Cycle at which the last core retired its last operation.
     pub cycles: u64,
@@ -91,7 +133,11 @@ impl Stats {
         if total == 0 {
             return 0.0;
         }
-        let crit = self.flushes.get(&FlushClass::Critical).copied().unwrap_or(0);
+        let crit = self
+            .flushes
+            .get(&FlushClass::Critical)
+            .copied()
+            .unwrap_or(0);
         crit as f64 / total as f64
     }
 
@@ -104,6 +150,42 @@ impl Stats {
             *bg -= 1;
             *self.flushes.entry(FlushClass::Critical).or_insert(0) += 1;
         }
+    }
+
+    /// Folds another run's counters into this one. Merging is
+    /// commutative and associative except for `cycles`, which takes the
+    /// maximum (runs are notionally concurrent cells of a campaign, so
+    /// the merged "makespan" is the longest run).
+    pub fn merge(&mut self, other: &Stats) {
+        self.cycles = self.cycles.max(other.cycles);
+        self.ops += other.ops;
+        self.load_hits += other.load_hits;
+        self.load_misses += other.load_misses;
+        self.stores += other.stores;
+        self.downgrades += other.downgrades;
+        self.evictions += other.evictions;
+        for (&class, &n) in &other.flushes {
+            *self.flushes.entry(class).or_insert(0) += n;
+        }
+        self.covered_writes += other.covered_writes;
+        for (&cause, &n) in &other.stalls {
+            *self.stalls.entry(cause).or_insert(0) += n;
+        }
+        self.noc_messages += other.noc_messages;
+        self.nvm_requests += other.nvm_requests;
+        self.engine_runs += other.engine_runs;
+    }
+
+    /// Flush counts in the stable [`FlushClass::ALL`] order (classes with
+    /// zero flushes included) — the serialization-friendly view of the
+    /// `flushes` map.
+    pub fn flushes_by_class(&self) -> [(FlushClass, u64); 4] {
+        FlushClass::ALL.map(|c| (c, self.flushes.get(&c).copied().unwrap_or(0)))
+    }
+
+    /// Stall cycles in the stable [`StallCause::ALL`] order.
+    pub fn stalls_by_cause(&self) -> [(StallCause, u64); 5] {
+        StallCause::ALL.map(|c| (c, self.stalls.get(&c).copied().unwrap_or(0)))
     }
 
     /// Average writes coalesced per flush.
@@ -145,5 +227,71 @@ mod tests {
         s.record_stall(StallCause::LoadMiss, 10);
         s.record_stall(StallCause::LoadMiss, 5);
         assert_eq!(s.stalls[&StallCause::LoadMiss], 15);
+    }
+
+    fn sample(cycles: u64, ops: u64, crit: usize) -> Stats {
+        let mut s = Stats {
+            cycles,
+            ops,
+            stores: ops / 2,
+            noc_messages: ops * 3,
+            ..Stats::default()
+        };
+        for _ in 0..crit {
+            s.record_flush(FlushClass::Critical, 2);
+        }
+        s.record_stall(StallCause::RfWait, cycles / 10);
+        s
+    }
+
+    #[test]
+    fn merge_sums_counters_and_takes_max_cycles() {
+        let a = sample(100, 40, 3);
+        let b = sample(250, 10, 1);
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.cycles, 250);
+        assert_eq!(m.ops, 50);
+        assert_eq!(m.stores, 25);
+        assert_eq!(m.noc_messages, 150);
+        assert_eq!(m.flushes[&FlushClass::Critical], 4);
+        assert_eq!(m.covered_writes, 8);
+        assert_eq!(m.stalls[&StallCause::RfWait], 35);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_matches_serial_sum() {
+        let runs = [sample(10, 4, 1), sample(20, 6, 0), sample(5, 2, 2)];
+        let mut fwd = Stats::default();
+        for r in &runs {
+            fwd.merge(r);
+        }
+        let mut rev = Stats::default();
+        for r in runs.iter().rev() {
+            rev.merge(r);
+        }
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.ops, runs.iter().map(|r| r.ops).sum::<u64>());
+        assert_eq!(
+            fwd.total_flushes(),
+            runs.iter().map(|r| r.total_flushes()).sum::<u64>()
+        );
+        assert_eq!(fwd.cycles, 20);
+    }
+
+    #[test]
+    fn stable_views_cover_all_variants_in_order() {
+        let mut s = Stats::default();
+        s.record_flush(FlushClass::Sync, 1);
+        s.record_stall(StallCause::PersistAck, 7);
+        let f = s.flushes_by_class();
+        assert_eq!(f.len(), 4);
+        assert_eq!(f[2], (FlushClass::Sync, 1));
+        assert!(f
+            .iter()
+            .map(|(c, _)| c.name())
+            .eq(FlushClass::ALL.iter().map(|c| c.name())));
+        let st = s.stalls_by_cause();
+        assert_eq!(st[3], (StallCause::PersistAck, 7));
     }
 }

@@ -37,7 +37,10 @@ fn lrp_exploits_rp_relaxation_sb_bb_do_not() {
     check_rp(&t, &r.schedule).unwrap();
     // B persisted (downgraded), A did not: full-barrier order violated —
     // legally, under RP's one-sided semantics (Figure 2b).
-    assert!(r.schedule.stamp(2).is_some(), "B persisted via the downgrade");
+    assert!(
+        r.schedule.stamp(2).is_some(),
+        "B persisted via the downgrade"
+    );
     assert!(
         r.schedule.stamp(0).is_none(),
         "A stays lazily buffered in the L1"
@@ -73,12 +76,10 @@ fn regression_forward_does_not_overtake_grant() {
 fn regression_release_during_downgrade() {
     let mut b = LitmusBuilder::new(3);
     b.init(0x100, 0);
-    let mut v = 0u64;
     for i in 0..12u64 {
         let t = (i % 2) as u16;
         b.write(t, 0x1000 + 8 * i, i); // keep prior writes buffered
-        b.cas(t, 0x100, v, v + 1, lrp_model::Annot::Release);
-        v += 1;
+        b.cas(t, 0x100, i, i + 1, lrp_model::Annot::Release);
         if i % 3 == 2 {
             b.read_acq(2, 0x100);
             b.write(2, 0x4000 + 8 * i, i);

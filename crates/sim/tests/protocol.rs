@@ -54,7 +54,10 @@ fn message_passing_enforces_rp_under_lrp_sb_bb() {
 fn message_passing_triggers_downgrade_under_lrp() {
     let t = fig1_trace();
     let r = run(&t, Mechanism::Lrp);
-    assert!(r.stats.downgrades > 0, "acquire must downgrade the release line");
+    assert!(
+        r.stats.downgrades > 0,
+        "acquire must downgrade the release line"
+    );
     // The release line and its two prior writes must have persisted.
     assert!(r.schedule.stamp(0).is_some(), "W1 persisted");
     assert!(r.schedule.stamp(2).is_some(), "release persisted");
@@ -229,11 +232,9 @@ fn contended_line_ping_pong_is_live() {
     // Two threads CAS the same line repeatedly: downgrades + upgrades.
     let mut b = LitmusBuilder::new(2);
     b.init(0x100, 0);
-    let mut v = 0;
     for i in 0..20u64 {
         let tid = (i % 2) as u16;
-        b.cas(tid, 0x100, v, v + 1, Annot::Release);
-        v += 1;
+        b.cas(tid, 0x100, i, i + 1, Annot::Release);
     }
     let t = b.build();
     for m in Mechanism::ALL {

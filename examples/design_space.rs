@@ -28,7 +28,11 @@ fn main() {
         cfg.lrp.ret_watermark = ret.saturating_sub(4).max(1);
         let r = Sim::new(cfg, &trace).run();
         check_rp(&trace, &r.schedule).expect("RP holds at every size");
-        println!("{ret:>8} {:>10} {:>9}", r.stats.cycles, r.stats.total_flushes());
+        println!(
+            "{ret:>8} {:>10} {:>9}",
+            r.stats.cycles,
+            r.stats.total_flushes()
+        );
     }
 
     println!("\n-- persist-engine scan cost --");
@@ -41,7 +45,10 @@ fn main() {
     }
 
     println!("\n-- engine ordering (design choice D2) --");
-    for (name, strict) in [("writes-first (paper)", false), ("strict epoch order", true)] {
+    for (name, strict) in [
+        ("writes-first (paper)", false),
+        ("strict epoch order", true),
+    ] {
         let mut cfg = SimConfig::new(Mechanism::Lrp);
         cfg.lrp.strict_epoch_engine = strict;
         let r = Sim::new(cfg, &trace).run();

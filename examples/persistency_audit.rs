@@ -33,7 +33,10 @@ fn main() {
             rels += 1;
         }
     }
-    println!("trace: {} events ({reads} reads, {writes} writes, {acqs} acquires, {rels} releases)", trace.events.len());
+    println!(
+        "trace: {} events ({reads} reads, {writes} writes, {acqs} acquires, {rels} releases)",
+        trace.events.len()
+    );
 
     // Round-trip through the text codec.
     let text = codec::to_text(&trace);

@@ -26,7 +26,10 @@ fn main() {
     );
 
     // 2. Replay under each mechanism (Table 1 machine).
-    println!("\n{:<6} {:>12} {:>10} {:>8} {:>10}", "mech", "cycles", "vs NOP", "flushes", "crit WB %");
+    println!(
+        "\n{:<6} {:>12} {:>10} {:>8} {:>10}",
+        "mech", "cycles", "vs NOP", "flushes", "crit WB %"
+    );
     let mut nop_cycles = 0u64;
     for m in Mechanism::ALL {
         let result = Sim::new(SimConfig::new(m), &trace).run();

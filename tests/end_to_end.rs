@@ -59,11 +59,17 @@ fn mechanism_ordering_holds_on_aggregate() {
 #[test]
 fn uncached_mode_amplifies_overheads() {
     let t = quick_trace(Structure::Bst, 9);
-    let cached = Sim::new(SimConfig::new(Mechanism::Lrp), &t).run().stats.cycles;
-    let uncached = Sim::new(SimConfig::new(Mechanism::Lrp).nvm_mode(NvmMode::Uncached), &t)
+    let cached = Sim::new(SimConfig::new(Mechanism::Lrp), &t)
         .run()
         .stats
         .cycles;
+    let uncached = Sim::new(
+        SimConfig::new(Mechanism::Lrp).nvm_mode(NvmMode::Uncached),
+        &t,
+    )
+    .run()
+    .stats
+    .cycles;
     assert!(uncached >= cached);
 }
 

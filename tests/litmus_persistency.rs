@@ -89,12 +89,10 @@ fn litmus_store_buffering() {
 fn litmus_cas_relay() {
     let mut b = LitmusBuilder::new(3);
     b.init(0x100, 0);
-    let mut v = 0;
     for round in 0..9u64 {
         let t = (round % 3) as u16;
         b.write(t, 0x200 + 0x40 * t as u64, round); // private payload
-        b.cas(t, 0x100, v, v + 1, Annot::Release);
-        v += 1;
+        b.cas(t, 0x100, round, round + 1, Annot::Release);
     }
     check_all("cas-relay", &b.build());
 }

@@ -1,4 +1,9 @@
-//! Property-based tests over the whole stack.
+//! Randomized property tests over the whole stack.
+//!
+//! The container builds fully offline, so these are hand-rolled
+//! property loops driven by the deterministic [`Xorshift64`] generator
+//! rather than `proptest`: every case is a pure function of a fixed
+//! seed, so a failure message's seed reproduces the case exactly.
 
 use lrp_repro::exec::Xorshift64;
 use lrp_repro::lfds::{Structure, WorkloadSpec};
@@ -6,88 +11,91 @@ use lrp_repro::model::hb::HbClosure;
 use lrp_repro::model::litmus::LitmusBuilder;
 use lrp_repro::model::spec::{check_cut_closure, check_rp, PersistSchedule};
 use lrp_repro::model::{codec, Annot, EventId, Trace};
-use proptest::prelude::*;
 
 /// A random small multi-threaded trace built through the litmus
-/// interpreter (always well-formed).
-fn arb_trace() -> impl Strategy<Value = Trace> {
-    // Each op: (thread, kind 0..5, addr index, value)
-    let op = (0..3u16, 0..5u8, 0..6u64, 1..100u64);
-    proptest::collection::vec(op, 1..60).prop_map(|ops| {
-        let mut b = LitmusBuilder::new(3);
-        for (t, kind, a, v) in ops {
-            let addr = 0x100 + 8 * a;
-            match kind {
-                0 => {
-                    b.write(t, addr, v);
-                }
-                1 => {
-                    b.write_rel(t, addr, v);
-                }
-                2 => {
-                    b.read(t, addr);
-                }
-                3 => {
-                    b.read_acq(t, addr);
-                }
-                _ => {
-                    let cur = {
-                        // CAS against the current value half the time.
-                        let id = b.read(t, addr);
-                        id
-                    };
-                    let _ = cur;
-                    b.cas(t, addr, v, v + 1, Annot::Release);
-                }
+/// interpreter (always well-formed by construction).
+fn random_trace(seed: u64) -> Trace {
+    let mut rng = Xorshift64::new(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+    let n_ops = 1 + rng.below(59) as usize;
+    let mut b = LitmusBuilder::new(3);
+    for _ in 0..n_ops {
+        let t = rng.below(3) as u16;
+        let kind = rng.below(5) as u8;
+        let addr = 0x100 + 8 * rng.below(6);
+        let v = 1 + rng.below(99);
+        match kind {
+            0 => {
+                b.write(t, addr, v);
+            }
+            1 => {
+                b.write_rel(t, addr, v);
+            }
+            2 => {
+                b.read(t, addr);
+            }
+            3 => {
+                b.read_acq(t, addr);
+            }
+            _ => {
+                let _ = b.read(t, addr);
+                b.cas(t, addr, v, v + 1, Annot::Release);
             }
         }
-        b.build()
-    })
+    }
+    b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Traces from the litmus interpreter always validate.
-    #[test]
-    fn litmus_traces_validate(t in arb_trace()) {
-        prop_assert!(t.validate().is_ok());
+/// Traces from the litmus interpreter always validate.
+#[test]
+fn litmus_traces_validate() {
+    for seed in 0..64 {
+        let t = random_trace(seed);
+        assert!(t.validate().is_ok(), "seed {seed}");
     }
+}
 
-    /// The text codec is lossless.
-    #[test]
-    fn codec_round_trips(t in arb_trace()) {
+/// The text codec is lossless.
+#[test]
+fn codec_round_trips() {
+    for seed in 0..64 {
+        let t = random_trace(seed);
         let u = codec::from_text(&codec::to_text(&t)).unwrap();
-        prop_assert_eq!(t.events, u.events);
-        prop_assert_eq!(t.initial_mem, u.initial_mem);
+        assert_eq!(t.events, u.events, "seed {seed}");
+        assert_eq!(t.initial_mem, u.initial_mem, "seed {seed}");
     }
+}
 
-    /// Happens-before is irreflexive and transitive.
-    #[test]
-    fn hb_is_a_strict_partial_order(t in arb_trace()) {
+/// Happens-before is irreflexive and transitive.
+#[test]
+fn hb_is_a_strict_partial_order() {
+    for seed in 0..64 {
+        let t = random_trace(seed);
         let hb = HbClosure::compute(&t).unwrap();
         let n = t.events.len() as EventId;
         for a in 0..n {
-            prop_assert!(!hb.hb(a, a));
+            assert!(!hb.hb(a, a), "seed {seed}: hb not irreflexive at {a}");
         }
         // Transitivity on sampled triples.
         for a in 0..n.min(20) {
-            for bb in 0..n.min(20) {
+            for b2 in 0..n.min(20) {
                 for c in 0..n.min(20) {
-                    if hb.hb(a, bb) && hb.hb(bb, c) {
-                        prop_assert!(hb.hb(a, c), "a={a} b={bb} c={c}");
+                    if hb.hb(a, b2) && hb.hb(b2, c) {
+                        assert!(hb.hb(a, c), "seed {seed}: a={a} b={b2} c={c}");
                     }
                 }
             }
         }
     }
+}
 
-    /// For a total persist order (distinct stamps), the streaming RP
-    /// checker agrees exactly with the consistent-cut criterion over the
-    /// persist-order happens-before closure (the paper's expanded §4.1
-    /// rules) — the theorem the streaming checker's O(n) design rests on.
-    #[test]
-    fn streaming_rp_equals_cut_closure(t in arb_trace(), seed in 0u64..1000) {
+/// For a total persist order (distinct stamps), the streaming RP
+/// checker agrees exactly with the consistent-cut criterion over the
+/// persist-order happens-before closure (the paper's expanded §4.1
+/// rules) — the theorem the streaming checker's O(n) design rests on.
+#[test]
+fn streaming_rp_equals_cut_closure() {
+    for seed in 0..64u64 {
+        let t = random_trace(seed);
         let writes: Vec<EventId> = t
             .events
             .iter()
@@ -105,12 +113,17 @@ proptest! {
         let hb = HbClosure::compute_persist(&t).unwrap();
         let rp = check_rp(&t, &sched).is_ok();
         let cut = check_cut_closure(&t, &hb, &sched).is_ok();
-        prop_assert_eq!(rp, cut, "streaming RP and persist-hb cut closure disagree");
+        assert_eq!(
+            rp, cut,
+            "seed {seed}: streaming RP and cut closure disagree"
+        );
     }
+}
 
-    /// Workload traces are deterministic functions of their spec.
-    #[test]
-    fn workload_generation_is_deterministic(seed in 0u64..50) {
+/// Workload traces are deterministic functions of their spec.
+#[test]
+fn workload_generation_is_deterministic() {
+    for seed in 0..12 {
         let spec = WorkloadSpec::new(Structure::HashMap)
             .initial_size(16)
             .threads(2)
@@ -118,37 +131,40 @@ proptest! {
             .seed(seed);
         let a = spec.build_trace();
         let b = spec.build_trace();
-        prop_assert_eq!(a.events, b.events);
+        assert_eq!(a.events, b.events, "seed {seed}");
     }
+}
 
-    /// Xorshift bounded sampling stays in range.
-    #[test]
-    fn xorshift_below_in_range(seed: u64, bound in 1u64..1_000_000) {
+/// Xorshift bounded sampling stays in range.
+#[test]
+fn xorshift_below_in_range() {
+    let mut seeder = Xorshift64::new(0xDEAD_BEEF);
+    for _ in 0..64 {
+        let seed = seeder.next_u64();
+        let bound = 1 + seeder.below(1_000_000);
         let mut r = Xorshift64::new(seed);
         for _ in 0..32 {
-            prop_assert!(r.below(bound) < bound);
+            assert!(r.below(bound) < bound, "seed {seed} bound {bound}");
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// The full simulator upholds RP on random small workloads under
-    /// every enforcing mechanism (expensive: few cases).
-    #[test]
-    fn simulator_upholds_rp(seed in 0u64..1000, s_idx in 0usize..5) {
-        use lrp_repro::sim::{Mechanism, Sim, SimConfig};
-        let s = Structure::ALL[s_idx];
+/// The full simulator upholds RP on random small workloads under every
+/// enforcing mechanism (expensive: few cases).
+#[test]
+fn simulator_upholds_rp() {
+    use lrp_repro::sim::{Mechanism, Sim, SimConfig};
+    for case in 0..8u64 {
+        let s = Structure::ALL[case as usize % Structure::ALL.len()];
         let t = WorkloadSpec::new(s)
             .initial_size(16)
             .threads(3)
             .ops_per_thread(8)
-            .seed(seed)
+            .seed(1000 + case)
             .build_trace();
         for m in [Mechanism::Lrp, Mechanism::Bb, Mechanism::Sb] {
             let r = Sim::new(SimConfig::new(m), &t).run();
-            prop_assert!(check_rp(&t, &r.schedule).is_ok(), "{}/{}", s, m);
+            assert!(check_rp(&t, &r.schedule).is_ok(), "{s}/{m} case {case}");
         }
     }
 }
