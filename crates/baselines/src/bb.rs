@@ -20,6 +20,7 @@ use lrp_core::mech::{
     DowngradeAction, Epoch, EvictAction, L1View, LineMeta, PersistMech, StoreAction, StoreKind,
 };
 use lrp_model::LineAddr;
+use lrp_obs::MechEvent;
 
 /// BB configuration.
 #[derive(Debug, Clone)]
@@ -46,6 +47,8 @@ pub struct BufferedBarrier {
     cfg: BbConfig,
     epoch: EpochCounter,
     pending_release: Option<Epoch>,
+    /// Event buffer, allocated only once observability is enabled.
+    obs: Option<Vec<MechEvent>>,
 }
 
 impl BufferedBarrier {
@@ -56,12 +59,19 @@ impl BufferedBarrier {
             cfg,
             epoch,
             pending_release: None,
+            obs: None,
         }
     }
 
     /// Current epoch (tests/statistics).
     pub fn current_epoch(&self) -> Epoch {
         self.epoch.current()
+    }
+
+    fn emit(&mut self, ev: MechEvent) {
+        if let Some(buf) = self.obs.as_mut() {
+            buf.push(ev);
+        }
     }
 }
 
@@ -88,6 +98,10 @@ impl PersistMech for BufferedBarrier {
                 self.epoch.reset();
                 let (rel_epoch, _) = self.epoch.advance();
                 self.pending_release = Some(rel_epoch);
+                self.emit(MechEvent::EpochAdvance {
+                    epoch: rel_epoch,
+                    wrapped: true,
+                });
                 if let StoreKind::RmwAcquire { .. } = kind {
                     act.persist_line_after = true;
                 }
@@ -96,6 +110,10 @@ impl PersistMech for BufferedBarrier {
             // Barrier before the release: close the current epoch.
             let (rel_epoch, _) = self.epoch.advance();
             self.pending_release = Some(rel_epoch);
+            self.emit(MechEvent::EpochAdvance {
+                epoch: rel_epoch,
+                wrapped: false,
+            });
             if meta.nvm_dirty {
                 // Same-line conflict: persist the line's older epochs
                 // (and everything older than them) before the release may
@@ -142,8 +160,12 @@ impl PersistMech for BufferedBarrier {
             // Barrier after the release: the release sits alone in its
             // epoch; subsequent writes open the next one. Cannot wrap —
             // on_store reserved headroom for both advances.
-            let (_, wrapped) = self.epoch.advance();
+            let (post_epoch, wrapped) = self.epoch.advance();
             debug_assert!(!wrapped, "headroom reserved in on_store");
+            self.emit(MechEvent::EpochAdvance {
+                epoch: post_epoch,
+                wrapped: false,
+            });
         } else if !meta.nvm_dirty {
             meta.nvm_dirty = true;
             meta.release = false;
@@ -192,6 +214,19 @@ impl PersistMech for BufferedBarrier {
 
     fn forbids_epoch_coalescing(&self) -> bool {
         true
+    }
+
+    fn obs_enable(&mut self) {
+        if self.obs.is_none() {
+            self.obs = Some(Vec::new());
+        }
+    }
+
+    fn obs_drain(&mut self) -> Vec<MechEvent> {
+        match self.obs.as_mut() {
+            Some(buf) => std::mem::take(buf),
+            None => Vec::new(),
+        }
     }
 }
 

@@ -1,9 +1,12 @@
 //! `lrp-eval` — regenerates the paper's evaluation artifacts as text
-//! tables.
+//! tables, or runs one instrumented structure×mechanism simulation.
 //!
 //! ```text
 //! lrp-eval <table1|fig1|fig2|fig5|fig6|fig7|fig8|sens|claims|all> [--quick]
 //!          [--threads N] [--ops N] [--seed N]
+//! lrp-eval --structure <name> [--mech M] [--mode cached|uncached]
+//!          [--trace-out FILE] [--metrics-out FILE] [--sample-every N]
+//!          [--quick] [--threads N] [--ops N] [--seed N]
 //! ```
 
 use lrp_bench::cli::Cli;
@@ -11,10 +14,16 @@ use lrp_bench::experiments::{
     claims, fig2_conflicts, fig6, fig8, fig_norm_exec, size_sensitivity, EvalParams,
 };
 use lrp_lfds::Structure;
-use lrp_sim::{Mechanism, NvmMode, SimConfig};
+use lrp_obs::{chrome, metrics, RecorderConfig};
+use lrp_sim::{Mechanism, NvmMode, Sim, SimConfig};
 
-const USAGE: &str = "usage: lrp-eval <table1|fig1|fig2|fig5|fig6|fig7|fig8|sens|claims|all> \
-                     [--quick] [--threads N] [--ops N] [--seed N]";
+const USAGE: &str = "usage:\n  \
+    lrp-eval <table1|fig1|fig2|fig5|fig6|fig7|fig8|sens|claims|all> \
+    [--quick] [--threads N] [--ops N] [--seed N]\n  \
+    lrp-eval --structure <linkedlist|hashmap|bstree|skiplist|queue> \
+    [--mech nop|sb|bb|lrp|dpo] [--mode cached|uncached] \
+    [--trace-out FILE] [--metrics-out FILE] [--sample-every N] \
+    [--quick] [--threads N] [--ops N] [--seed N]";
 
 fn main() {
     let mut cli = Cli::from_env(USAGE);
@@ -31,6 +40,25 @@ fn main() {
     }
     if let Some(seed) = cli.opt_parse("seed") {
         params.seed = seed;
+    }
+    let structure: Option<Structure> = cli.opt_parse("structure");
+    if let Some(structure) = structure {
+        let mech: Mechanism = cli.opt_parse("mech").unwrap_or(Mechanism::Lrp);
+        let mode: NvmMode = cli.opt_parse("mode").unwrap_or(NvmMode::Cached);
+        let trace_out: Option<String> = cli.opt("trace-out");
+        let metrics_out: Option<String> = cli.opt("metrics-out");
+        let sample_every: u64 = cli.opt_parse("sample-every").unwrap_or(0);
+        cli.positionals(0, 0);
+        run_one(
+            &params,
+            structure,
+            mech,
+            mode,
+            trace_out,
+            metrics_out,
+            sample_every,
+        );
+        return;
     }
     let cmd = cli.positionals(1, 1).remove(0);
 
@@ -73,6 +101,83 @@ fn main() {
         }
         other => cli.fail(format!("unknown command {other:?}")),
     }
+}
+
+/// Runs one structure×mechanism simulation with the observability
+/// recorder attached and writes the requested exports.
+fn run_one(
+    params: &EvalParams,
+    structure: Structure,
+    mech: Mechanism,
+    mode: NvmMode,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    sample_every: u64,
+) {
+    let trace = params.trace(structure, params.threads);
+    let cfg = SimConfig::new(mech).nvm_mode(mode);
+    let rec = RecorderConfig {
+        sample_every,
+        ..RecorderConfig::default()
+    };
+    let r = Sim::new(cfg, &trace).with_recorder(rec).run();
+    print!(
+        "{}",
+        lrp_sim::report::render(&format!("{} under {mech}", structure.name()), &r)
+    );
+    let obs = r.obs.as_ref().expect("recorder was attached");
+    println!("-- observability --");
+    println!(
+        "events captured        {:>12} (dropped {})",
+        obs.events.len(),
+        obs.dropped
+    );
+    println!("sample intervals       {:>12}", obs.intervals.len());
+    println!("ret high water         {:>12}", obs.ret_high_water);
+    for (name, hist) in metrics::hist_rows(obs) {
+        if hist.is_empty() {
+            println!("  {name:<20} (no samples)");
+        } else {
+            println!(
+                "  {:<20} n={} mean={:.1} p50={} p99={} max={}",
+                name,
+                hist.count,
+                hist.mean(),
+                hist.percentile(0.5),
+                hist.percentile(0.99),
+                hist.max()
+            );
+        }
+    }
+    println!("-- invariant audit (I1-I4) --");
+    for (name, c) in obs.audit.rows() {
+        println!(
+            "  {:<20} checks={:<8} violations={}",
+            name, c.checks, c.violations
+        );
+    }
+    if let Some(path) = trace_out {
+        write_or_die(&path, &chrome::export(obs));
+        eprintln!("wrote Chrome trace to {path}");
+    }
+    if let Some(path) = metrics_out {
+        write_or_die(&path, &metrics::export_jsonl(obs, &r.stats));
+        eprintln!("wrote JSONL metrics to {path}");
+    }
+    if obs.audit.total_violations() > 0 {
+        eprintln!(
+            "WARNING: {} invariant violations observed",
+            obs.audit.total_violations()
+        );
+        std::process::exit(3);
+    }
+}
+
+fn write_or_die(path: &str, text: &str) {
+    std::fs::write(path, text).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
 }
 
 fn table1() {

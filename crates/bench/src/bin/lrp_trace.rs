@@ -6,7 +6,8 @@
 //! lrp-trace info   <FILE>    # census + validation
 //! lrp-trace check  <FILE>    # replay under every mechanism, verify RP
 //!                            # and null recovery
-//! lrp-trace report <FILE> [mech]   # full stat dump of one replay
+//! lrp-trace report <FILE> [mech] [--trace-out FILE] [--metrics-out FILE]
+//!                  [--sample-every N]   # full stat dump of one replay
 //! ```
 //!
 //! Traces use the plain-text format of `lrp_model::codec`, so they can
@@ -15,6 +16,7 @@
 use lrp_bench::cli::Cli;
 use lrp_lfds::{Structure, WorkloadSpec};
 use lrp_model::{codec, Census, Trace};
+use lrp_obs::RecorderConfig;
 use lrp_recovery::{check_null_recovery, CrashPlan};
 use lrp_sim::{Mechanism, Sim, SimConfig};
 
@@ -23,7 +25,8 @@ const USAGE: &str = "usage:\n  \
     [--size N] [--threads N] [--ops N] [--seed N] [--out FILE]\n  \
     lrp-trace info <FILE>\n  \
     lrp-trace check <FILE>\n  \
-    lrp-trace report <FILE> [mech]";
+    lrp-trace report <FILE> [mech] [--trace-out FILE] [--metrics-out FILE] \
+    [--sample-every N]";
 
 fn load(path: &str) -> Trace {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -44,6 +47,11 @@ fn main() {
     let ops = cli.opt_parse("ops").unwrap_or(25usize);
     let seed = cli.opt_parse("seed").unwrap_or(1u64);
     let out: Option<String> = cli.opt("out");
+    let obs = ObsOut {
+        trace_out: cli.opt("trace-out"),
+        metrics_out: cli.opt("metrics-out"),
+        sample_every: cli.opt_parse("sample-every").unwrap_or(0),
+    };
     let pos = cli.positionals(1, 3);
     match pos[0].as_str() {
         "gen" => {
@@ -61,7 +69,12 @@ fn main() {
             None => cli.fail("check needs a trace file"),
         },
         "report" => match pos.get(1) {
-            Some(path) => report(&cli, path, pos.get(2).map(String::as_str).unwrap_or("lrp")),
+            Some(path) => report(
+                &cli,
+                path,
+                pos.get(2).map(String::as_str).unwrap_or("lrp"),
+                &obs,
+            ),
             None => cli.fail("report needs a trace file"),
         },
         other => cli.fail(format!("unknown command {other:?}")),
@@ -116,16 +129,59 @@ fn info(path: &str) {
     }
 }
 
-fn report(cli: &Cli, path: &str, mech: &str) {
+/// Observability export options shared by the report subcommand.
+struct ObsOut {
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    sample_every: u64,
+}
+
+impl ObsOut {
+    fn wanted(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some() || self.sample_every > 0
+    }
+}
+
+fn report(cli: &Cli, path: &str, mech: &str, obs: &ObsOut) {
     let trace = load(path);
     let Some(m) = Mechanism::EXTENDED.into_iter().find(|m| m.name() == mech) else {
         cli.fail(format!("unknown mechanism {mech:?}"))
     };
-    let r = Sim::new(SimConfig::new(m), &trace).run();
+    let mut sim = Sim::new(SimConfig::new(m), &trace);
+    if obs.wanted() {
+        sim = sim.with_recorder(RecorderConfig {
+            sample_every: obs.sample_every,
+            ..RecorderConfig::default()
+        });
+    }
+    let r = sim.run();
     print!(
         "{}",
         lrp_sim::report::render(&format!("{path} under {mech}"), &r)
     );
+    if let Some(rep) = r.obs.as_ref() {
+        if let Some(out) = &obs.trace_out {
+            write_out(out, &lrp_obs::chrome::export(rep));
+            eprintln!("wrote Chrome trace to {out}");
+        }
+        if let Some(out) = &obs.metrics_out {
+            write_out(out, &lrp_obs::metrics::export_jsonl(rep, &r.stats));
+            eprintln!("wrote JSONL metrics to {out}");
+        }
+        if rep.audit.total_violations() > 0 {
+            eprintln!(
+                "WARNING: {} invariant violations observed",
+                rep.audit.total_violations()
+            );
+        }
+    }
+}
+
+fn write_out(path: &str, text: &str) {
+    std::fs::write(path, text).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
 }
 
 fn check(path: &str) {

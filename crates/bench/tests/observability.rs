@@ -1,0 +1,129 @@
+//! End-to-end observability checks against real workload replays: the
+//! time series must reconcile with the aggregate counters, the Chrome
+//! trace must be well-formed, the I1–I4 audit must stay clean on every
+//! lock-free data structure, and attaching the recorder must not change
+//! timing.
+
+use lrp_lfds::{Structure, WorkloadSpec};
+use lrp_obs::series::sum_intervals;
+use lrp_obs::stats::{FlushClass, StallCause};
+use lrp_obs::{chrome, Json, ObsReport, RecorderConfig};
+use lrp_sim::{Mechanism, Sim, SimConfig, Stats};
+
+fn workload(s: Structure) -> lrp_model::Trace {
+    WorkloadSpec::new(s)
+        .initial_size(16)
+        .threads(2)
+        .ops_per_thread(12)
+        .seed(7)
+        .build_trace()
+}
+
+fn instrumented_run(s: Structure, mech: Mechanism, cfg: RecorderConfig) -> (Stats, ObsReport) {
+    let trace = workload(s);
+    let r = Sim::new(SimConfig::new(mech), &trace)
+        .with_recorder(cfg)
+        .run();
+    let obs = r.obs.expect("recorder was attached");
+    (r.stats, obs)
+}
+
+#[test]
+fn interval_deltas_sum_to_aggregate_stats() {
+    let cfg = RecorderConfig {
+        sample_every: 500,
+        ..RecorderConfig::default()
+    };
+    let (stats, obs) = instrumented_run(Structure::Queue, Mechanism::Lrp, cfg);
+    assert!(obs.intervals.len() > 1, "run long enough to sample");
+    let total = sum_intervals(&obs.intervals);
+    assert_eq!(total.ops, stats.ops);
+    for (i, class) in FlushClass::ALL.into_iter().enumerate() {
+        assert_eq!(
+            total.flushes[i],
+            stats.flushes.get(&class).copied().unwrap_or(0),
+            "flush class {}",
+            class.name()
+        );
+    }
+    for (i, cause) in StallCause::ALL.into_iter().enumerate() {
+        assert_eq!(
+            total.stalls[i],
+            stats.stalls.get(&cause).copied().unwrap_or(0),
+            "stall cause {}",
+            cause.name()
+        );
+    }
+    assert_eq!(total.noc_messages, stats.noc_messages);
+    assert_eq!(total.nvm_requests, stats.nvm_requests);
+    assert!(total.end >= stats.cycles, "intervals cover the run");
+}
+
+#[test]
+fn chrome_trace_parses_with_monotone_ts_per_track() {
+    let (_, obs) = instrumented_run(Structure::Queue, Mechanism::Lrp, RecorderConfig::default());
+    let doc = Json::parse(&chrome::export(&obs)).expect("exporter emits valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(Json::as_str))
+        .collect();
+    for needle in ["persist", "ret-insert", "epoch"] {
+        assert!(names.contains(&needle), "missing {needle:?} events");
+    }
+    let mut last: std::collections::HashMap<(u64, u64), u64> = Default::default();
+    let mut timed = 0;
+    for e in events {
+        if e.get("ph").and_then(Json::as_str) == Some("M") {
+            continue; // metadata carries no timestamp
+        }
+        let key = (
+            e.get("pid").unwrap().as_u64().unwrap(),
+            e.get("tid").unwrap().as_u64().unwrap(),
+        );
+        let ts = e.get("ts").unwrap().as_u64().unwrap();
+        if let Some(&prev) = last.get(&key) {
+            assert!(ts >= prev, "track {key:?} went backwards: {prev} -> {ts}");
+        }
+        last.insert(key, ts);
+        timed += 1;
+    }
+    assert!(timed > 20, "a real replay produces a substantial trace");
+}
+
+#[test]
+fn lrp_upholds_invariants_on_every_structure() {
+    for s in Structure::ALL {
+        let (_, obs) = instrumented_run(s, Mechanism::Lrp, RecorderConfig::summaries_only());
+        assert!(
+            obs.audit.total_checks() > 0,
+            "{}: audit sites never fired",
+            s.name()
+        );
+        for (name, c) in obs.audit.rows() {
+            assert_eq!(
+                c.violations,
+                0,
+                "{}: invariant {name} violated ({} checks)",
+                s.name(),
+                c.checks
+            );
+        }
+    }
+}
+
+#[test]
+fn recorder_does_not_change_timing() {
+    for mech in [Mechanism::Lrp, Mechanism::Bb] {
+        let trace = workload(Structure::HashMap);
+        let plain = Sim::new(SimConfig::new(mech), &trace).run();
+        let observed = Sim::new(SimConfig::new(mech), &trace)
+            .with_recorder(RecorderConfig::default())
+            .run();
+        assert_eq!(plain.stats, observed.stats, "{}", mech.name());
+        assert_eq!(plain.persist_log, observed.persist_log, "{}", mech.name());
+    }
+}

@@ -12,6 +12,7 @@
 use crate::isolation::{CellOutcome, CellRecord};
 use crate::matrix::MatrixSpec;
 use lrp_lfds::Structure;
+use lrp_obs::Hist;
 use lrp_sim::{Mechanism, NvmMode, Stats};
 use std::collections::HashMap;
 
@@ -72,6 +73,14 @@ pub struct MechSummary {
     pub critical_fraction_mean: Option<f64>,
     /// All completed cells' counters merged.
     pub merged: Stats,
+    /// All completed cells' flush-to-ack latency histograms merged.
+    pub flush_to_ack: Hist,
+    /// All completed cells' release-to-persist latency histograms merged.
+    pub release_to_persist: Hist,
+    /// All completed cells' RET-residency histograms merged.
+    pub ret_residency: Hist,
+    /// Total I1–I4 audit violations (0 for a healthy mechanism).
+    pub audit_violations: u64,
     /// Total RP violations (0 for a healthy mechanism).
     pub rp_violations: u64,
     /// Total crash points examined by null-recovery checking.
@@ -233,6 +242,10 @@ fn summarize_mech(
         norm_ci95: None,
         critical_fraction_mean: None,
         merged: Stats::default(),
+        flush_to_ack: Hist::new(),
+        release_to_persist: Hist::new(),
+        ret_residency: Hist::new(),
+        audit_violations: 0,
         rp_violations: 0,
         recovery_points: 0,
         recovery_failures: 0,
@@ -249,6 +262,10 @@ fn summarize_mech(
                 s.ok += 1;
                 s.cycles_by_seed.push((seed, result.stats.cycles));
                 s.merged.merge(&result.stats);
+                s.flush_to_ack.merge(&result.flush_to_ack);
+                s.release_to_persist.merge(&result.release_to_persist);
+                s.ret_residency.merge(&result.ret_residency);
+                s.audit_violations += result.audit_violations;
                 s.rp_violations += result.rp_violations;
                 s.recovery_points += result.recovery_points;
                 s.recovery_failures += result.recovery_failures;

@@ -5,6 +5,7 @@
 
 use crate::matrix::CellSpec;
 use lrp_lfds::WorkloadSpec;
+use lrp_obs::{Hist, RecorderConfig};
 use lrp_recovery::{check_null_recovery, CrashPlan};
 use lrp_sim::{Mechanism, Sim, SimConfig, Stats};
 
@@ -28,6 +29,16 @@ pub struct CellResult {
     pub trace_events: u64,
     /// Completed data-structure operations in the trace.
     pub trace_ops: u64,
+    /// Flush issue → persist ack latency (cycles).
+    pub flush_to_ack: Hist,
+    /// Release commit → release persisted latency (cycles).
+    pub release_to_persist: Hist,
+    /// RET entry lifetime (cycles).
+    pub ret_residency: Hist,
+    /// I1–I4 audit observations performed.
+    pub audit_checks: u64,
+    /// I1–I4 audit observations where the invariant did not hold.
+    pub audit_violations: u64,
 }
 
 impl CellResult {
@@ -49,7 +60,12 @@ pub fn run_cell(spec: &CellSpec) -> CellResult {
     trace.validate().expect("generated trace is well-formed");
 
     let cfg = SimConfig::new(spec.mechanism).nvm_mode(spec.mode);
-    let run = Sim::new(cfg, &trace).run();
+    // Summaries-only recording: online histograms and audit counters,
+    // no event ring and no time series, so cells stay cheap.
+    let run = Sim::new(cfg, &trace)
+        .with_recorder(RecorderConfig::summaries_only())
+        .run();
+    let obs = run.obs.as_ref().expect("recorder was attached");
 
     let (rp_checked, rp_violations) = if spec.mechanism == Mechanism::Nop {
         (false, 0)
@@ -77,6 +93,11 @@ pub fn run_cell(spec: &CellSpec) -> CellResult {
     };
 
     CellResult {
+        flush_to_ack: obs.flush_to_ack.clone(),
+        release_to_persist: obs.release_to_persist.clone(),
+        ret_residency: obs.ret_residency.clone(),
+        audit_checks: obs.audit.total_checks(),
+        audit_violations: obs.audit.total_violations(),
         stats: run.stats,
         rp_checked,
         rp_violations,

@@ -29,10 +29,14 @@
 pub mod aggregate;
 pub mod cell;
 pub mod isolation;
-pub mod json;
 pub mod matrix;
 pub mod report;
 pub mod scheduler;
+
+/// The deterministic JSON model — now defined in `lrp-obs` (the
+/// observability exporters share it), re-exported here under its
+/// historical path.
+pub use lrp_obs::json;
 
 pub use aggregate::{summarize, CampaignSummary, GroupSummary, MechSummary, OverallRow};
 pub use cell::{run_cell, CellResult};

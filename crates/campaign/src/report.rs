@@ -23,7 +23,9 @@ use crate::json::Json;
 use crate::matrix::{CellSpec, MatrixSpec};
 use crate::scheduler::{run_campaign, CampaignConfig};
 use lrp_lfds::Structure;
-use lrp_sim::{FlushClass, Mechanism, NvmMode, StallCause, Stats};
+use lrp_obs::metrics::{hist_json, stats_json};
+use lrp_obs::Hist;
+use lrp_sim::{Mechanism, NvmMode, Stats};
 use std::io::{self, Write as _};
 use std::path::Path;
 
@@ -55,40 +57,6 @@ pub fn header_json(matrix: &MatrixSpec) -> Json {
     ])
 }
 
-fn stats_json(s: &Stats) -> Json {
-    Json::obj([
-        ("cycles", Json::U64(s.cycles)),
-        ("ops", Json::U64(s.ops)),
-        ("load_hits", Json::U64(s.load_hits)),
-        ("load_misses", Json::U64(s.load_misses)),
-        ("stores", Json::U64(s.stores)),
-        ("downgrades", Json::U64(s.downgrades)),
-        ("evictions", Json::U64(s.evictions)),
-        (
-            "flushes",
-            Json::Obj(
-                s.flushes_by_class()
-                    .iter()
-                    .map(|&(c, n)| (c.name().to_string(), Json::U64(n)))
-                    .collect(),
-            ),
-        ),
-        ("covered_writes", Json::U64(s.covered_writes)),
-        (
-            "stalls",
-            Json::Obj(
-                s.stalls_by_cause()
-                    .iter()
-                    .map(|&(c, n)| (c.name().to_string(), Json::U64(n)))
-                    .collect(),
-            ),
-        ),
-        ("noc_messages", Json::U64(s.noc_messages)),
-        ("nvm_requests", Json::U64(s.nvm_requests)),
-        ("engine_runs", Json::U64(s.engine_runs)),
-    ])
-}
-
 fn field_u64(doc: &Json, key: &str) -> io::Result<u64> {
     doc.get(key)
         .and_then(Json::as_u64)
@@ -108,41 +76,7 @@ fn field_bool(doc: &Json, key: &str) -> io::Result<bool> {
 }
 
 fn parse_stats(doc: &Json) -> io::Result<Stats> {
-    let mut s = Stats {
-        cycles: field_u64(doc, "cycles")?,
-        ops: field_u64(doc, "ops")?,
-        load_hits: field_u64(doc, "load_hits")?,
-        load_misses: field_u64(doc, "load_misses")?,
-        stores: field_u64(doc, "stores")?,
-        downgrades: field_u64(doc, "downgrades")?,
-        evictions: field_u64(doc, "evictions")?,
-        covered_writes: field_u64(doc, "covered_writes")?,
-        noc_messages: field_u64(doc, "noc_messages")?,
-        nvm_requests: field_u64(doc, "nvm_requests")?,
-        engine_runs: field_u64(doc, "engine_runs")?,
-        ..Stats::default()
-    };
-    let flushes = doc
-        .get("flushes")
-        .ok_or_else(|| bad_data("missing field \"flushes\""))?;
-    for class in FlushClass::ALL {
-        let n = field_u64(flushes, class.name())?;
-        // Zero counts stay out of the map, matching how `record_flush`
-        // populates it.
-        if n > 0 {
-            s.flushes.insert(class, n);
-        }
-    }
-    let stalls = doc
-        .get("stalls")
-        .ok_or_else(|| bad_data("missing field \"stalls\""))?;
-    for cause in StallCause::ALL {
-        let n = field_u64(stalls, cause.name())?;
-        if n > 0 {
-            s.stalls.insert(cause, n);
-        }
-    }
-    Ok(s)
+    lrp_obs::metrics::parse_stats(doc).map_err(bad_data)
 }
 
 fn result_json(r: &CellResult) -> Json {
@@ -155,10 +89,41 @@ fn result_json(r: &CellResult) -> Json {
         ("recovery_failures", Json::U64(r.recovery_failures)),
         ("trace_events", Json::U64(r.trace_events)),
         ("trace_ops", Json::U64(r.trace_ops)),
+        (
+            "hists",
+            Json::obj([
+                ("flush_to_ack", hist_json(&r.flush_to_ack)),
+                ("release_to_persist", hist_json(&r.release_to_persist)),
+                ("ret_residency", hist_json(&r.ret_residency)),
+            ]),
+        ),
+        (
+            "audit",
+            Json::obj([
+                ("checks", Json::U64(r.audit_checks)),
+                ("violations", Json::U64(r.audit_violations)),
+            ]),
+        ),
     ])
 }
 
+/// Parses one named histogram under the `hists` key; pre-observability
+/// manifests lack it entirely, which parses as an empty histogram.
+fn field_hist(doc: &Json, name: &str) -> io::Result<Hist> {
+    match doc.get("hists").and_then(|h| h.get(name)) {
+        Some(h) => lrp_obs::metrics::parse_hist(h).map_err(bad_data),
+        None => Ok(Hist::new()),
+    }
+}
+
 fn parse_result(doc: &Json) -> io::Result<CellResult> {
+    let audit = doc.get("audit");
+    let audit_u64 = |key: &str| -> io::Result<u64> {
+        match audit {
+            Some(a) => field_u64(a, key),
+            None => Ok(0),
+        }
+    };
     Ok(CellResult {
         stats: parse_stats(
             doc.get("stats")
@@ -171,6 +136,11 @@ fn parse_result(doc: &Json) -> io::Result<CellResult> {
         recovery_failures: field_u64(doc, "recovery_failures")?,
         trace_events: field_u64(doc, "trace_events")?,
         trace_ops: field_u64(doc, "trace_ops")?,
+        flush_to_ack: field_hist(doc, "flush_to_ack")?,
+        release_to_persist: field_hist(doc, "release_to_persist")?,
+        ret_residency: field_hist(doc, "ret_residency")?,
+        audit_checks: audit_u64("checks")?,
+        audit_violations: audit_u64("violations")?,
     })
 }
 
@@ -384,9 +354,18 @@ pub fn summary_json(matrix: &MatrixSpec, summary: &CampaignSummary) -> Json {
                             opt_f64(m.critical_fraction_mean),
                         ),
                         ("rp_violations", Json::U64(m.rp_violations)),
+                        ("audit_violations", Json::U64(m.audit_violations)),
                         ("recovery_points", Json::U64(m.recovery_points)),
                         ("recovery_failures", Json::U64(m.recovery_failures)),
                         ("merged_stats", stats_json(&m.merged)),
+                        (
+                            "hists",
+                            Json::obj([
+                                ("flush_to_ack", hist_json(&m.flush_to_ack)),
+                                ("release_to_persist", hist_json(&m.release_to_persist)),
+                                ("ret_residency", hist_json(&m.ret_residency)),
+                            ]),
+                        ),
                     ])
                 })
                 .collect();
@@ -500,6 +479,40 @@ pub fn render_table(matrix: &MatrixSpec, summary: &CampaignSummary) -> String {
             out.push_str(&format!(" {:>8}", fmt_opt(v)));
         }
         out.push('\n');
+    }
+    out.push_str("\nlatency histograms (cycles, merged over seeds; mean/p50/p99):\n");
+    out.push_str(&format!(
+        "{:<12} {:<10} {:>3} {:<10} {:>22} {:>22} {:>22}\n",
+        "structure", "mode", "t", "mechanism", "flush-to-ack", "rel-to-persist", "ret-residency"
+    ));
+    let fmt_hist = |h: &lrp_obs::Hist| {
+        if h.is_empty() {
+            "-".to_string()
+        } else {
+            format!(
+                "{:.0}/{}/{}",
+                h.mean(),
+                h.percentile(0.5),
+                h.percentile(0.99)
+            )
+        }
+    };
+    for g in &summary.groups {
+        for m in &g.mechs {
+            if m.ok == 0 || m.mechanism == Mechanism::Nop {
+                continue;
+            }
+            out.push_str(&format!(
+                "{:<12} {:<10} {:>3} {:<10} {:>22} {:>22} {:>22}\n",
+                g.structure.name(),
+                g.mode.name(),
+                g.threads,
+                m.mechanism.name(),
+                fmt_hist(&m.flush_to_ack),
+                fmt_hist(&m.release_to_persist),
+                fmt_hist(&m.ret_residency)
+            ));
+        }
     }
     out
 }

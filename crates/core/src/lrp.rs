@@ -13,6 +13,7 @@ use crate::mech::{
 };
 use crate::ret::ReleaseEpochTable;
 use lrp_model::LineAddr;
+use lrp_obs::MechEvent;
 
 /// LRP hardware parameters (Table 1 plus the engine model).
 #[derive(Debug, Clone)]
@@ -54,6 +55,8 @@ pub struct Lrp {
     /// Release epoch reserved by `on_store`, consumed by
     /// `on_store_commit`.
     pending_release: Option<Epoch>,
+    /// Event buffer, allocated only once observability is enabled.
+    obs: Option<Vec<MechEvent>>,
 }
 
 impl Lrp {
@@ -66,6 +69,13 @@ impl Lrp {
             epoch,
             ret,
             pending_release: None,
+            obs: None,
+        }
+    }
+
+    fn emit(&mut self, ev: MechEvent) {
+        if let Some(buf) = self.obs.as_mut() {
+            buf.push(ev);
         }
     }
 
@@ -115,6 +125,10 @@ impl PersistMech for Lrp {
         // Release: advance the epoch; the new value is the release-epoch.
         let (rel_epoch, wrapped) = self.epoch.advance();
         self.pending_release = Some(rel_epoch);
+        self.emit(MechEvent::EpochAdvance {
+            epoch: rel_epoch,
+            wrapped,
+        });
 
         if wrapped {
             // Epoch overflow: flush every unpersisted line and restart
@@ -148,11 +162,21 @@ impl PersistMech for Lrp {
             if let Some((e, l)) = self.ret.oldest() {
                 let drain = self.plan(l1, e, Some(l));
                 act.flush_before.stages.extend(drain.stages);
+                self.emit(MechEvent::RetDrain {
+                    line: l,
+                    epoch: e,
+                    full: true,
+                });
             }
         } else if self.ret.at_watermark() {
             if let Some((e, l)) = self.ret.oldest() {
                 let drain = self.plan(l1, e, Some(l));
                 act.background.stages.extend(drain.stages);
+                self.emit(MechEvent::RetDrain {
+                    line: l,
+                    epoch: e,
+                    full: false,
+                });
             }
         }
 
@@ -180,6 +204,11 @@ impl PersistMech for Lrp {
                 min_epoch: rel_epoch,
             };
             self.ret.insert(line, rel_epoch);
+            self.emit(MechEvent::RetInsert {
+                line,
+                epoch: rel_epoch,
+                occupancy: self.ret.len() as u32,
+            });
         } else {
             if !meta.nvm_dirty {
                 // First write since the line was last persisted: record
@@ -196,7 +225,12 @@ impl PersistMech for Lrp {
     fn on_flush_issued(&mut self, _l1: &mut dyn L1View, line: LineAddr) {
         // The released value was handed to the persist subsystem; squash
         // its RET entry.
-        self.ret.squash_line(line);
+        if self.ret.squash_line(line) {
+            self.emit(MechEvent::RetSquash {
+                line,
+                occupancy: self.ret.len() as u32,
+            });
+        }
     }
 
     fn on_evict(&mut self, l1: &mut dyn L1View, line: LineAddr) -> EvictAction {
@@ -261,6 +295,19 @@ impl PersistMech for Lrp {
 
     fn scan_cycles(&self) -> u64 {
         self.cfg.scan_cycles
+    }
+
+    fn obs_enable(&mut self) {
+        if self.obs.is_none() {
+            self.obs = Some(Vec::new());
+        }
+    }
+
+    fn obs_drain(&mut self) -> Vec<MechEvent> {
+        match self.obs.as_mut() {
+            Some(buf) => std::mem::take(buf),
+            None => Vec::new(),
+        }
     }
 }
 
@@ -516,6 +563,37 @@ mod tests {
         assert_eq!(act.flush_before.stages.len(), 3);
         assert_eq!(act.flush_before.stages[0], vec![0x10]);
         assert_eq!(act.flush_before.stages[2], vec![0x40]);
+    }
+
+    #[test]
+    fn obs_drain_reports_epoch_and_ret_activity() {
+        let mut l = Lrp::default();
+        let mut l1 = MockL1::default();
+        store(&mut l, &mut l1, 0x10, StoreKind::Release);
+        assert!(l.obs_drain().is_empty(), "disabled: no buffering");
+        l.obs_enable();
+        store(&mut l, &mut l1, 0x20, StoreKind::Release);
+        l.on_flush_issued(&mut l1, 0x20);
+        let evs = l.obs_drain();
+        assert!(matches!(
+            evs[0],
+            MechEvent::EpochAdvance {
+                epoch: 3,
+                wrapped: false
+            }
+        ));
+        assert!(evs.iter().any(|e| matches!(
+            e,
+            MechEvent::RetInsert {
+                line: 0x20,
+                epoch: 3,
+                ..
+            }
+        )));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, MechEvent::RetSquash { line: 0x20, .. })));
+        assert!(l.obs_drain().is_empty(), "drain empties the buffer");
     }
 
     #[test]

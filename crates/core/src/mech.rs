@@ -196,6 +196,21 @@ pub trait PersistMech {
     fn forbids_epoch_coalescing(&self) -> bool {
         false
     }
+
+    /// Enables observability: the mechanism starts buffering
+    /// [`lrp_obs::MechEvent`]s for the substrate to drain. Mechanisms
+    /// without internal state to report keep the default no-op, so
+    /// tracing them costs nothing.
+    fn obs_enable(&mut self) {}
+
+    /// Drains buffered mechanism events (empty unless [`obs_enable`]
+    /// was called). The substrate stamps time and core identity — the
+    /// mechanism knows neither.
+    ///
+    /// [`obs_enable`]: PersistMech::obs_enable
+    fn obs_drain(&mut self) -> Vec<lrp_obs::MechEvent> {
+        Vec::new()
+    }
 }
 
 /// An in-memory [`L1View`] for mechanism unit tests (used by this crate

@@ -19,6 +19,7 @@ pub struct ReleaseEpochTable {
     by_epoch: BTreeMap<Epoch, LineAddr>,
     capacity: usize,
     watermark: usize,
+    high_water: usize,
 }
 
 impl ReleaseEpochTable {
@@ -30,6 +31,7 @@ impl ReleaseEpochTable {
             by_epoch: BTreeMap::new(),
             capacity,
             watermark,
+            high_water: 0,
         }
     }
 
@@ -64,6 +66,12 @@ impl ReleaseEpochTable {
     pub fn insert(&mut self, line: LineAddr, epoch: Epoch) {
         assert!(!self.full(), "RET overflow: caller must drain first");
         self.by_epoch.insert(epoch, line);
+        self.high_water = self.high_water.max(self.by_epoch.len());
+    }
+
+    /// Highest occupancy the table ever reached (observability).
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 
     /// Looks up the release-epoch of `line`.
@@ -80,9 +88,11 @@ impl ReleaseEpochTable {
     }
 
     /// Squashes the entry for `line` (when the release is handed to the
-    /// persist subsystem).
-    pub fn squash_line(&mut self, line: LineAddr) {
+    /// persist subsystem). Returns whether an entry was removed.
+    pub fn squash_line(&mut self, line: LineAddr) -> bool {
+        let before = self.by_epoch.len();
         self.by_epoch.retain(|_, &mut l| l != line);
+        self.by_epoch.len() != before
     }
 
     /// Squashes every entry with epoch `< upto` plus, optionally, the
@@ -180,6 +190,18 @@ mod tests {
         t.insert(0xB, 1);
         assert_eq!(t.drain_all(), vec![0xB, 0xA]);
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn high_water_tracks_peak_occupancy_and_squash_reports_removal() {
+        let mut t = ReleaseEpochTable::new(4, 3);
+        t.insert(0xA, 1);
+        t.insert(0xB, 2);
+        assert!(t.squash_line(0xA));
+        assert!(!t.squash_line(0xA), "second squash finds nothing");
+        t.insert(0xC, 3);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.high_water(), 2, "peak, not current, occupancy");
     }
 
     #[test]

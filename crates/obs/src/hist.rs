@@ -1,0 +1,218 @@
+//! Log2-bucket latency histograms.
+//!
+//! Bucket `b` holds values whose highest set bit is `b - 1`, i.e. the
+//! range `[2^(b-1), 2^b)`; bucket 0 holds exactly the value 0. With 33
+//! buckets every `u64` up to `2^32 - 1` lands in its own power-of-two
+//! bucket and anything larger saturates into the last — plenty for
+//! cycle-denominated latencies.
+
+/// Number of buckets (`0` plus 32 power-of-two ranges).
+pub const BUCKETS: usize = 33;
+
+/// A fixed-size log2 histogram with exact count/sum/min/max.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    /// Values recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Per-bucket counts.
+    pub buckets: [u64; BUCKETS],
+    min: u64,
+    max: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            count: 0,
+            sum: 0,
+            buckets: [0; BUCKETS],
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// The bucket index for a value.
+pub fn bucket_of(v: u64) -> usize {
+    ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// The largest value a bucket can hold (saturating for the last).
+pub fn bucket_upper(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+impl Hist {
+    /// A fresh, empty histogram.
+    pub fn new() -> Hist {
+        Hist::default()
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.buckets[bucket_of(v)] += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// An upper bound on the `p`-quantile (`0.0..=1.0`), resolved to
+    /// bucket granularity and clamped by the exact min/max.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(b).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one (bucket-wise sum).
+    pub fn merge(&mut self, other: &Hist) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Rebuilds a histogram from serialized fields; `min` is the
+    /// *reported* min (0 for an empty histogram, per [`Hist::min`]).
+    pub fn from_parts(count: u64, sum: u64, min: u64, max: u64, buckets: [u64; BUCKETS]) -> Hist {
+        Hist {
+            count,
+            sum,
+            buckets,
+            min: if count == 0 { u64::MAX } else { min },
+            max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn records_track_exact_extrema() {
+        let mut h = Hist::new();
+        for v in [5, 120, 120, 350, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 602);
+        assert_eq!(h.min(), 5);
+        assert_eq!(h.max(), 350);
+        assert!((h.mean() - 120.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Hist::new();
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(0.5), 0);
+    }
+
+    #[test]
+    fn percentile_is_an_upper_bound() {
+        let mut h = Hist::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.5);
+        let p99 = h.percentile(0.99);
+        assert!((50..=63).contains(&p50), "{p50}");
+        assert!((99..=100).contains(&p99), "{p99}");
+        assert_eq!(h.percentile(1.0), 100);
+    }
+
+    #[test]
+    fn merge_matches_serial_recording() {
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        let mut serial = Hist::new();
+        for v in [1, 2, 3, 100] {
+            a.record(v);
+            serial.record(v);
+        }
+        for v in [7, 0, 4096] {
+            b.record(v);
+            serial.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, serial);
+    }
+
+    #[test]
+    fn parts_round_trip() {
+        let mut h = Hist::new();
+        h.record(42);
+        h.record(7);
+        let back = Hist::from_parts(h.count, h.sum, h.min(), h.max(), h.buckets);
+        assert_eq!(back, h);
+        let empty = Hist::from_parts(0, 0, 0, 0, [0; BUCKETS]);
+        assert_eq!(empty, Hist::new());
+    }
+}

@@ -1,0 +1,55 @@
+//! `lrp-obs`: observability for the LRP pipeline.
+//!
+//! The simulator's aggregate [`stats::Stats`] answer *how much*; this
+//! crate answers *when* and *in what order* — the questions that matter
+//! when diagnosing persist-ordering behaviour (which write-backs sit on
+//! the critical path, how long a release waits between the
+//! acquire-triggered scan and its persist ack, how full the 32-entry RET
+//! runs). Everything is hand-rolled: the workspace builds fully offline
+//! with zero external dependencies.
+//!
+//! Four layers, all reached through one [`recorder::Recorder`] that the
+//! timing substrate threads through as an `Option` (disabled recording
+//! costs one branch per event site):
+//!
+//! * **Event tracing** ([`event`]) — a bounded drop-oldest ring buffer
+//!   of typed events: epoch advances, RET insert/squash/drain,
+//!   persist-engine FSM transitions, flush issue/ack with
+//!   [`stats::FlushClass`], coherence-detected release→acquire
+//!   synchronisation, and stall begin/end with [`stats::StallCause`].
+//! * **Time-series metrics** ([`series`], [`hist`]) — per-interval
+//!   counter deltas sampled every N cycles (ops, flushes by class,
+//!   stalls by cause, NoC messages, RET occupancy high-water), plus
+//!   log2-bucket latency histograms (flush-to-ack, release-to-persist,
+//!   RET residency) that are computed online and therefore immune to
+//!   ring-buffer drops.
+//! * **Invariant audit** ([`audit`]) — counters that *observe* (never
+//!   enforce) invariants I1–I4 of §5.1 at the points where the machine
+//!   is supposed to uphold them, giving a cheap always-on sanity signal.
+//! * **Exporters** ([`chrome`], [`metrics`]) — Chrome trace-event JSON
+//!   (loadable in Perfetto / `about://tracing`) and a JSONL metrics
+//!   stream sharing the campaign aggregator's `Stats` serialization.
+//!
+//! [`stats`] (the aggregate counters) and [`json`] (the deterministic
+//! JSON model) live here so that every layer — mechanism crates, the
+//! simulator, the campaign runner — can speak the same vocabulary
+//! without circular dependencies; `lrp-sim` and `lrp-campaign` re-export
+//! them under their historical paths.
+
+pub mod audit;
+pub mod chrome;
+pub mod event;
+pub mod hist;
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+pub mod series;
+pub mod stats;
+
+pub use audit::{AuditCounter, InvariantAudit};
+pub use event::{EngineState, EventKind, MechEvent, TraceEvent};
+pub use hist::Hist;
+pub use json::Json;
+pub use recorder::{ObsReport, Recorder, RecorderConfig};
+pub use series::IntervalSample;
+pub use stats::{FlushClass, StallCause, Stats};

@@ -1,0 +1,318 @@
+//! JSONL metrics exporter, plus the canonical `Stats` and `Hist` JSON
+//! encodings shared with the campaign aggregator's manifests.
+//!
+//! The stream is line-oriented: one `obs-header` line, one `interval`
+//! line per time-series sample, one `hist` line per latency histogram,
+//! one `audit` line, and a final `aggregate` line carrying the run's
+//! end-of-run [`Stats`] in exactly the encoding campaign manifests use
+//! — so campaign tooling can consume either source interchangeably.
+
+use crate::hist::{Hist, BUCKETS};
+use crate::json::Json;
+use crate::recorder::ObsReport;
+use crate::series::IntervalSample;
+use crate::stats::{FlushClass, StallCause, Stats};
+
+/// Metrics stream format version; bump on breaking layout changes.
+pub const METRICS_VERSION: u64 = 1;
+
+/// The canonical JSON encoding of [`Stats`] (used verbatim by campaign
+/// manifests and the `aggregate` line of the metrics stream).
+pub fn stats_json(s: &Stats) -> Json {
+    Json::obj([
+        ("cycles", Json::U64(s.cycles)),
+        ("ops", Json::U64(s.ops)),
+        ("load_hits", Json::U64(s.load_hits)),
+        ("load_misses", Json::U64(s.load_misses)),
+        ("stores", Json::U64(s.stores)),
+        ("downgrades", Json::U64(s.downgrades)),
+        ("evictions", Json::U64(s.evictions)),
+        (
+            "flushes",
+            Json::Obj(
+                s.flushes_by_class()
+                    .iter()
+                    .map(|&(c, n)| (c.name().to_string(), Json::U64(n)))
+                    .collect(),
+            ),
+        ),
+        ("covered_writes", Json::U64(s.covered_writes)),
+        (
+            "stalls",
+            Json::Obj(
+                s.stalls_by_cause()
+                    .iter()
+                    .map(|&(c, n)| (c.name().to_string(), Json::U64(n)))
+                    .collect(),
+            ),
+        ),
+        ("noc_messages", Json::U64(s.noc_messages)),
+        ("nvm_requests", Json::U64(s.nvm_requests)),
+        ("engine_runs", Json::U64(s.engine_runs)),
+    ])
+}
+
+fn field_u64(doc: &Json, key: &str) -> Result<u64, String> {
+    doc.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+}
+
+/// Parses the [`stats_json`] encoding back into [`Stats`].
+pub fn parse_stats(doc: &Json) -> Result<Stats, String> {
+    let mut s = Stats {
+        cycles: field_u64(doc, "cycles")?,
+        ops: field_u64(doc, "ops")?,
+        load_hits: field_u64(doc, "load_hits")?,
+        load_misses: field_u64(doc, "load_misses")?,
+        stores: field_u64(doc, "stores")?,
+        downgrades: field_u64(doc, "downgrades")?,
+        evictions: field_u64(doc, "evictions")?,
+        covered_writes: field_u64(doc, "covered_writes")?,
+        noc_messages: field_u64(doc, "noc_messages")?,
+        nvm_requests: field_u64(doc, "nvm_requests")?,
+        engine_runs: field_u64(doc, "engine_runs")?,
+        ..Stats::default()
+    };
+    let flushes = doc
+        .get("flushes")
+        .ok_or_else(|| "missing field \"flushes\"".to_string())?;
+    for class in FlushClass::ALL {
+        let n = field_u64(flushes, class.name())?;
+        // Zero counts stay out of the map, matching how `record_flush`
+        // populates it.
+        if n > 0 {
+            s.flushes.insert(class, n);
+        }
+    }
+    let stalls = doc
+        .get("stalls")
+        .ok_or_else(|| "missing field \"stalls\"".to_string())?;
+    for cause in StallCause::ALL {
+        let n = field_u64(stalls, cause.name())?;
+        if n > 0 {
+            s.stalls.insert(cause, n);
+        }
+    }
+    Ok(s)
+}
+
+/// The canonical JSON encoding of a [`Hist`].
+pub fn hist_json(h: &Hist) -> Json {
+    Json::obj([
+        ("count", Json::U64(h.count)),
+        ("sum", Json::U64(h.sum)),
+        ("min", Json::U64(h.min())),
+        ("max", Json::U64(h.max())),
+        ("mean", Json::F64(h.mean())),
+        ("p50", Json::U64(h.percentile(0.5))),
+        ("p99", Json::U64(h.percentile(0.99))),
+        (
+            "buckets",
+            Json::Arr(h.buckets.iter().map(|&n| Json::U64(n)).collect()),
+        ),
+    ])
+}
+
+/// Parses the [`hist_json`] encoding back into a [`Hist`].
+pub fn parse_hist(doc: &Json) -> Result<Hist, String> {
+    let arr = doc
+        .get("buckets")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing field \"buckets\"".to_string())?;
+    if arr.len() != BUCKETS {
+        return Err(format!("expected {BUCKETS} buckets, got {}", arr.len()));
+    }
+    let mut buckets = [0u64; BUCKETS];
+    for (slot, v) in buckets.iter_mut().zip(arr) {
+        *slot = v.as_u64().ok_or_else(|| "non-integer bucket".to_string())?;
+    }
+    Ok(Hist::from_parts(
+        field_u64(doc, "count")?,
+        field_u64(doc, "sum")?,
+        field_u64(doc, "min")?,
+        field_u64(doc, "max")?,
+        buckets,
+    ))
+}
+
+fn interval_json(s: &IntervalSample) -> Json {
+    Json::obj([
+        ("type", Json::Str("interval".to_string())),
+        ("start", Json::U64(s.start)),
+        ("end", Json::U64(s.end)),
+        ("ops", Json::U64(s.ops)),
+        (
+            "flushes",
+            Json::Obj(
+                FlushClass::ALL
+                    .iter()
+                    .zip(s.flushes.iter())
+                    .map(|(c, &n)| (c.name().to_string(), Json::U64(n)))
+                    .collect(),
+            ),
+        ),
+        (
+            "stalls",
+            Json::Obj(
+                StallCause::ALL
+                    .iter()
+                    .zip(s.stalls.iter())
+                    .map(|(c, &n)| (c.name().to_string(), Json::U64(n)))
+                    .collect(),
+            ),
+        ),
+        ("noc_messages", Json::U64(s.noc_messages)),
+        ("nvm_requests", Json::U64(s.nvm_requests)),
+        ("ret_high_water", Json::U64(s.ret_high_water as u64)),
+    ])
+}
+
+/// The three latency histograms in their stable stream order.
+pub fn hist_rows(report: &ObsReport) -> [(&'static str, &Hist); 3] {
+    [
+        ("flush_to_ack", &report.flush_to_ack),
+        ("release_to_persist", &report.release_to_persist),
+        ("ret_residency", &report.ret_residency),
+    ]
+}
+
+fn audit_json(report: &ObsReport) -> Json {
+    let mut pairs = vec![("type", Json::Str("audit".to_string()))];
+    for (name, c) in report.audit.rows() {
+        pairs.push((
+            name,
+            Json::obj([
+                ("checks", Json::U64(c.checks)),
+                ("violations", Json::U64(c.violations)),
+            ]),
+        ));
+    }
+    pairs.push((
+        "total_violations",
+        Json::U64(report.audit.total_violations()),
+    ));
+    Json::obj(pairs)
+}
+
+/// Renders the full JSONL metrics stream for one run.
+pub fn export_jsonl(report: &ObsReport, stats: &Stats) -> String {
+    let mut out = String::new();
+    let header = Json::obj([
+        ("type", Json::Str("obs-header".to_string())),
+        ("format_version", Json::U64(METRICS_VERSION)),
+        ("sample_every", Json::U64(report.sample_every)),
+        ("cores", Json::U64(report.ncores as u64)),
+        ("events_recorded", Json::U64(report.events.len() as u64)),
+        ("events_dropped", Json::U64(report.dropped)),
+        ("ret_high_water", Json::U64(report.ret_high_water as u64)),
+    ]);
+    out.push_str(&header.to_compact());
+    out.push('\n');
+    for interval in &report.intervals {
+        out.push_str(&interval_json(interval).to_compact());
+        out.push('\n');
+    }
+    for (name, hist) in hist_rows(report) {
+        let mut doc = vec![
+            ("type", Json::Str("hist".to_string())),
+            ("name", Json::Str(name.to_string())),
+        ];
+        if let Json::Obj(pairs) = hist_json(hist) {
+            doc.extend(pairs.into_iter().map(|(k, v)| {
+                // Keys come from hist_json's static set.
+                let k: &'static str = match k.as_str() {
+                    "count" => "count",
+                    "sum" => "sum",
+                    "min" => "min",
+                    "max" => "max",
+                    "mean" => "mean",
+                    "p50" => "p50",
+                    "p99" => "p99",
+                    _ => "buckets",
+                };
+                (k, v)
+            }));
+        }
+        out.push_str(&Json::obj(doc).to_compact());
+        out.push('\n');
+    }
+    out.push_str(&audit_json(report).to_compact());
+    out.push('\n');
+    let aggregate = Json::obj([
+        ("type", Json::Str("aggregate".to_string())),
+        ("stats", stats_json(stats)),
+    ]);
+    out.push_str(&aggregate.to_compact());
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Recorder, RecorderConfig};
+
+    fn sample_stats() -> Stats {
+        let mut s = Stats {
+            cycles: 1000,
+            ops: 64,
+            load_hits: 40,
+            load_misses: 8,
+            stores: 16,
+            noc_messages: 200,
+            nvm_requests: 12,
+            engine_runs: 3,
+            covered_writes: 20,
+            ..Stats::default()
+        };
+        s.record_flush(FlushClass::Critical, 2);
+        s.record_flush(FlushClass::Background, 1);
+        s.record_stall(StallCause::PersistAck, 77);
+        s
+    }
+
+    #[test]
+    fn stats_encoding_round_trips() {
+        let s = sample_stats();
+        let back = parse_stats(&stats_json(&s)).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn hist_encoding_round_trips() {
+        let mut h = Hist::new();
+        for v in [0, 1, 120, 350, 4096] {
+            h.record(v);
+        }
+        let back = parse_hist(&hist_json(&h)).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(parse_hist(&hist_json(&Hist::new())).unwrap(), Hist::new());
+    }
+
+    #[test]
+    fn stream_lines_all_parse_and_cover_all_types() {
+        let mut r = Recorder::new(
+            RecorderConfig {
+                ring_capacity: 16,
+                sample_every: 100,
+            },
+            2,
+        );
+        let stats = sample_stats();
+        r.flush_issue(10, 0, 0x40, FlushClass::Critical);
+        r.flush_ack(130, 0, 0x40);
+        r.maybe_sample(150, &stats);
+        let text = export_jsonl(&r.finish(1000, &stats), &stats);
+        let mut types = Vec::new();
+        for line in text.lines() {
+            let doc = Json::parse(line).unwrap();
+            types.push(doc.get("type").unwrap().as_str().unwrap().to_string());
+        }
+        assert_eq!(types[0], "obs-header");
+        assert!(types.iter().filter(|t| *t == "interval").count() >= 2);
+        assert_eq!(types.iter().filter(|t| *t == "hist").count(), 3);
+        assert_eq!(types[types.len() - 2], "audit");
+        assert_eq!(types[types.len() - 1], "aggregate");
+    }
+}

@@ -1,0 +1,327 @@
+//! The recorder: one object the timing substrate threads through as an
+//! `Option<Recorder>`, so disabled observability costs a single branch
+//! per event site.
+//!
+//! The recorder feeds three independent consumers from the same hook
+//! calls: the bounded event ring (export-only, may drop oldest), the
+//! online histograms and time-series sampler (never drop), and the
+//! invariant audit counters.
+
+use crate::audit::InvariantAudit;
+use crate::event::{EngineState, EventKind, EventRing, MechEvent, Time, TraceEvent};
+use crate::hist::Hist;
+use crate::series::{IntervalSample, Sampler};
+use crate::stats::{FlushClass, StallCause, Stats};
+use lrp_model::{EventId, LineAddr};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// What to record and how much to keep.
+#[derive(Debug, Clone)]
+pub struct RecorderConfig {
+    /// Maximum events retained in the ring (`0` keeps none — histogram
+    /// and audit collection still run).
+    pub ring_capacity: usize,
+    /// Emit a time-series interval every this many cycles (`0` disables
+    /// the time series).
+    pub sample_every: u64,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig {
+            ring_capacity: 1 << 16,
+            sample_every: 0,
+        }
+    }
+}
+
+impl RecorderConfig {
+    /// A histogram/audit-only configuration (no event ring, no time
+    /// series) — what campaign cells use, where per-event traces would
+    /// be too heavy but latency summaries are wanted.
+    pub fn summaries_only() -> RecorderConfig {
+        RecorderConfig {
+            ring_capacity: 0,
+            sample_every: 0,
+        }
+    }
+}
+
+/// Everything one instrumented run produced.
+#[derive(Debug, Clone)]
+pub struct ObsReport {
+    /// Cores the machine ran.
+    pub ncores: u32,
+    /// Sampling period (0 when the time series was disabled).
+    pub sample_every: u64,
+    /// Retained trace events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Events the ring evicted or refused.
+    pub dropped: u64,
+    /// Completed time-series intervals.
+    pub intervals: Vec<IntervalSample>,
+    /// Cycles from flush issue to persist ack.
+    pub flush_to_ack: Hist,
+    /// Cycles from a release's store commit to its write persisting.
+    pub release_to_persist: Hist,
+    /// Cycles a released line spent in the RET before its flush issued.
+    pub ret_residency: Hist,
+    /// I1–I4 observation counters.
+    pub audit: InvariantAudit,
+    /// Highest RET occupancy observed on any core over the whole run.
+    pub ret_high_water: u32,
+}
+
+/// Collects events, metrics, and audits during one simulation run.
+#[derive(Debug)]
+pub struct Recorder {
+    ncores: u32,
+    sample_every: u64,
+    ring: EventRing,
+    sampler: Option<Sampler>,
+    flush_to_ack: Hist,
+    release_to_persist: Hist,
+    ret_residency: Hist,
+    /// FIFO of issue times per (core, line): acks match oldest issue.
+    open_flush: HashMap<(u32, LineAddr), VecDeque<Time>>,
+    /// Release store commit times awaiting their persist.
+    release_commit: HashMap<EventId, Time>,
+    /// RET entry times per (core, line).
+    ret_entered: HashMap<(u32, LineAddr), Time>,
+    engine: Vec<EngineState>,
+    /// I1–I4 audit counters; the substrate calls its observation
+    /// methods directly at each enforcement point.
+    pub audit: InvariantAudit,
+    ret_high_water: u32,
+}
+
+impl Recorder {
+    /// A recorder for a machine with `ncores` hardware threads.
+    pub fn new(cfg: RecorderConfig, ncores: u32) -> Recorder {
+        Recorder {
+            ncores,
+            sample_every: cfg.sample_every,
+            ring: EventRing::new(cfg.ring_capacity),
+            sampler: (cfg.sample_every > 0).then(|| Sampler::new(cfg.sample_every)),
+            flush_to_ack: Hist::new(),
+            release_to_persist: Hist::new(),
+            ret_residency: Hist::new(),
+            open_flush: HashMap::new(),
+            release_commit: HashMap::new(),
+            ret_entered: HashMap::new(),
+            engine: vec![EngineState::Idle; ncores as usize],
+            audit: InvariantAudit::new(),
+            ret_high_water: 0,
+        }
+    }
+
+    fn push(&mut self, t: Time, core: u32, kind: EventKind) {
+        self.ring.push(TraceEvent { t, core, kind });
+    }
+
+    /// A core began stalling.
+    pub fn stall_begin(&mut self, t: Time, core: u32, cause: StallCause) {
+        self.push(t, core, EventKind::StallBegin { cause });
+    }
+
+    /// A core resumed after `cycles` stalled on `cause`.
+    pub fn stall_end(&mut self, t: Time, core: u32, cause: StallCause, cycles: Time) {
+        self.push(t, core, EventKind::StallEnd { cause, cycles });
+    }
+
+    /// A line flush was issued toward the NVM controllers.
+    pub fn flush_issue(&mut self, t: Time, core: u32, line: LineAddr, class: FlushClass) {
+        self.open_flush
+            .entry((core, line))
+            .or_default()
+            .push_back(t);
+        self.push(t, core, EventKind::FlushIssue { line, class });
+    }
+
+    /// A flush ack arrived for `line` at `core`.
+    pub fn flush_ack(&mut self, t: Time, core: u32, line: LineAddr) {
+        let latency = match self.open_flush.get_mut(&(core, line)) {
+            Some(q) => {
+                let issued = q.pop_front().unwrap_or(t);
+                if q.is_empty() {
+                    self.open_flush.remove(&(core, line));
+                }
+                t.saturating_sub(issued)
+            }
+            None => 0,
+        };
+        self.flush_to_ack.record(latency);
+        self.push(t, core, EventKind::FlushAck { line, latency });
+    }
+
+    /// A release store committed (left the store buffer into the L1);
+    /// `ev` identifies the write for the release-to-persist histogram.
+    pub fn release_committed(&mut self, t: Time, ev: EventId) {
+        self.release_commit.insert(ev, t);
+    }
+
+    /// Writes `covered` just persisted; releases among them complete
+    /// their release-to-persist measurement.
+    pub fn persisted(&mut self, t: Time, covered: &[EventId]) {
+        for ev in covered {
+            if let Some(committed) = self.release_commit.remove(ev) {
+                self.release_to_persist.record(t.saturating_sub(committed));
+            }
+        }
+    }
+
+    /// Coherence downgraded a released line: a release→acquire
+    /// synchronisation between `core` (the releaser) and `acquirer`.
+    pub fn sync_detected(&mut self, t: Time, core: u32, line: LineAddr, acquirer: u32) {
+        self.push(t, core, EventKind::SyncDetected { line, acquirer });
+    }
+
+    /// The persist-engine FSM at `core` moved to `to` (consecutive
+    /// duplicates are elided).
+    pub fn engine_state(&mut self, t: Time, core: u32, to: EngineState) {
+        let from = self.engine[core as usize];
+        if from == to {
+            return;
+        }
+        self.engine[core as usize] = to;
+        self.push(t, core, EventKind::Engine { from, to });
+    }
+
+    /// Drained mechanism events from `core`, stamped at `t`.
+    pub fn mech_events(&mut self, t: Time, core: u32, events: &[MechEvent]) {
+        for &ev in events {
+            match ev {
+                MechEvent::RetInsert {
+                    line, occupancy, ..
+                } => {
+                    self.ret_entered.insert((core, line), t);
+                    self.note_ret_occupancy(occupancy);
+                }
+                MechEvent::RetSquash { line, occupancy } => {
+                    if let Some(entered) = self.ret_entered.remove(&(core, line)) {
+                        self.ret_residency.record(t.saturating_sub(entered));
+                    }
+                    self.note_ret_occupancy(occupancy);
+                }
+                MechEvent::EpochAdvance { .. } | MechEvent::RetDrain { .. } => {}
+            }
+            self.push(t, core, EventKind::Mech(ev));
+        }
+    }
+
+    fn note_ret_occupancy(&mut self, occ: u32) {
+        self.ret_high_water = self.ret_high_water.max(occ);
+        if let Some(s) = self.sampler.as_mut() {
+            s.note_ret_occupancy(occ);
+        }
+    }
+
+    /// Closes a time-series interval if `now` crossed a boundary.
+    pub fn maybe_sample(&mut self, now: Time, stats: &Stats) {
+        if let Some(s) = self.sampler.as_mut() {
+            s.maybe_sample(now, stats);
+        }
+    }
+
+    /// Finalises the run into its report.
+    pub fn finish(mut self, now: Time, stats: &Stats) -> ObsReport {
+        if let Some(s) = self.sampler.as_mut() {
+            s.finish(now, stats);
+        }
+        ObsReport {
+            ncores: self.ncores,
+            sample_every: self.sample_every,
+            dropped: self.ring.dropped(),
+            events: self.ring.into_events(),
+            intervals: self.sampler.map(|s| s.intervals).unwrap_or_default(),
+            flush_to_ack: self.flush_to_ack,
+            release_to_persist: self.release_to_persist,
+            ret_residency: self.ret_residency,
+            audit: self.audit,
+            ret_high_water: self.ret_high_water,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flush_latency_matches_issue_to_ack() {
+        let mut r = Recorder::new(RecorderConfig::default(), 2);
+        r.flush_issue(100, 0, 0x40, FlushClass::Critical);
+        r.flush_issue(110, 0, 0x40, FlushClass::Background);
+        r.flush_ack(220, 0, 0x40); // matches the t=100 issue
+        r.flush_ack(300, 0, 0x40); // matches the t=110 issue
+        let report = r.finish(400, &Stats::default());
+        assert_eq!(report.flush_to_ack.count, 2);
+        assert_eq!(report.flush_to_ack.min(), 120);
+        assert_eq!(report.flush_to_ack.max(), 190);
+    }
+
+    #[test]
+    fn release_to_persist_tracks_only_releases() {
+        let mut r = Recorder::new(RecorderConfig::default(), 1);
+        r.release_committed(50, 7);
+        r.persisted(170, &[3, 7, 9]); // 3 and 9 are plain writes
+        r.persisted(400, &[7]); // already measured: ignored
+        let report = r.finish(500, &Stats::default());
+        assert_eq!(report.release_to_persist.count, 1);
+        assert_eq!(report.release_to_persist.max(), 120);
+    }
+
+    #[test]
+    fn ret_residency_and_high_water() {
+        let mut r = Recorder::new(RecorderConfig::default(), 1);
+        r.mech_events(
+            10,
+            0,
+            &[MechEvent::RetInsert {
+                line: 0x80,
+                epoch: 1,
+                occupancy: 5,
+            }],
+        );
+        r.mech_events(
+            90,
+            0,
+            &[MechEvent::RetSquash {
+                line: 0x80,
+                occupancy: 4,
+            }],
+        );
+        let report = r.finish(100, &Stats::default());
+        assert_eq!(report.ret_residency.count, 1);
+        assert_eq!(report.ret_residency.max(), 80);
+        assert_eq!(report.ret_high_water, 5);
+    }
+
+    #[test]
+    fn engine_transitions_elide_duplicates() {
+        let mut r = Recorder::new(RecorderConfig::default(), 1);
+        r.engine_state(10, 0, EngineState::Scan);
+        r.engine_state(20, 0, EngineState::Scan);
+        r.engine_state(30, 0, EngineState::Flush);
+        r.engine_state(40, 0, EngineState::Idle);
+        let report = r.finish(50, &Stats::default());
+        let transitions: Vec<_> = report
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Engine { .. }))
+            .collect();
+        assert_eq!(transitions.len(), 3);
+    }
+
+    #[test]
+    fn summaries_only_keeps_no_events_but_all_metrics() {
+        let mut r = Recorder::new(RecorderConfig::summaries_only(), 1);
+        r.flush_issue(0, 0, 0x40, FlushClass::Sync);
+        r.flush_ack(120, 0, 0x40);
+        let report = r.finish(200, &Stats::default());
+        assert!(report.events.is_empty());
+        assert_eq!(report.flush_to_ack.count, 1);
+        assert!(report.intervals.is_empty());
+    }
+}

@@ -1,0 +1,196 @@
+//! Time-series sampling: per-interval deltas of the aggregate counters.
+//!
+//! The sampler snapshots [`Stats`] whenever simulated time crosses an
+//! `every`-cycle boundary and emits the *delta* since the previous
+//! snapshot. The event loop only observes time at event pops, so a
+//! quiet machine can jump several boundaries at once; the sampler then
+//! emits one wider interval (its `start`/`end` record the actual span)
+//! rather than fabricating empty ones. By construction the deltas over
+//! a run sum exactly to the final aggregate `Stats`.
+
+use crate::stats::{FlushClass, StallCause, Stats};
+
+/// Counter deltas over one sampling interval.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntervalSample {
+    /// First cycle covered (inclusive).
+    pub start: u64,
+    /// Last cycle covered (exclusive).
+    pub end: u64,
+    /// Operations retired.
+    pub ops: u64,
+    /// Flushes issued, in [`FlushClass::ALL`] order.
+    pub flushes: [u64; 4],
+    /// Stall cycles accrued, in [`StallCause::ALL`] order.
+    pub stalls: [u64; 5],
+    /// NoC messages injected.
+    pub noc_messages: u64,
+    /// NVM requests served.
+    pub nvm_requests: u64,
+    /// Highest RET occupancy observed on any core during the interval.
+    pub ret_high_water: u32,
+}
+
+/// A cheap fixed-shape snapshot of the delta-tracked `Stats` fields.
+#[derive(Debug, Clone, Copy, Default)]
+struct Mark {
+    ops: u64,
+    flushes: [u64; 4],
+    stalls: [u64; 5],
+    noc_messages: u64,
+    nvm_requests: u64,
+}
+
+impl Mark {
+    fn of(s: &Stats) -> Mark {
+        Mark {
+            ops: s.ops,
+            flushes: FlushClass::ALL.map(|c| s.flushes.get(&c).copied().unwrap_or(0)),
+            stalls: StallCause::ALL.map(|c| s.stalls.get(&c).copied().unwrap_or(0)),
+            noc_messages: s.noc_messages,
+            nvm_requests: s.nvm_requests,
+        }
+    }
+}
+
+/// Emits [`IntervalSample`]s every `every` cycles.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    every: u64,
+    last_end: u64,
+    mark: Mark,
+    ret_high: u32,
+    /// Completed intervals, in time order.
+    pub intervals: Vec<IntervalSample>,
+}
+
+impl Sampler {
+    /// A sampler emitting an interval every `every` cycles (`every` must
+    /// be non-zero; a disabled sampler is simply not constructed).
+    pub fn new(every: u64) -> Sampler {
+        Sampler {
+            every: every.max(1),
+            last_end: 0,
+            mark: Mark::default(),
+            ret_high: 0,
+            intervals: Vec::new(),
+        }
+    }
+
+    /// Notes a RET occupancy observation for the high-water mark.
+    pub fn note_ret_occupancy(&mut self, occ: u32) {
+        self.ret_high = self.ret_high.max(occ);
+    }
+
+    fn emit(&mut self, end: u64, s: &Stats) {
+        let now = Mark::of(s);
+        let mut sample = IntervalSample {
+            start: self.last_end,
+            end,
+            ops: now.ops - self.mark.ops,
+            noc_messages: now.noc_messages - self.mark.noc_messages,
+            nvm_requests: now.nvm_requests - self.mark.nvm_requests,
+            ret_high_water: self.ret_high,
+            ..IntervalSample::default()
+        };
+        for i in 0..4 {
+            sample.flushes[i] = now.flushes[i] - self.mark.flushes[i];
+        }
+        for i in 0..5 {
+            sample.stalls[i] = now.stalls[i] - self.mark.stalls[i];
+        }
+        self.intervals.push(sample);
+        self.last_end = end;
+        self.mark = now;
+        self.ret_high = 0;
+    }
+
+    /// Called with the current time at each event-loop step; closes an
+    /// interval when a boundary has been crossed.
+    pub fn maybe_sample(&mut self, now: u64, s: &Stats) {
+        let boundary = now - (now % self.every);
+        if boundary > self.last_end {
+            self.emit(boundary, s);
+        }
+    }
+
+    /// Closes the final (possibly partial) interval at end of run.
+    pub fn finish(&mut self, now: u64, s: &Stats) {
+        if now > self.last_end || self.intervals.is_empty() {
+            self.emit(now.max(self.last_end), s);
+        }
+    }
+}
+
+/// Sums interval deltas — the consistency check's counterpart to the
+/// final aggregate `Stats`.
+pub fn sum_intervals(intervals: &[IntervalSample]) -> IntervalSample {
+    let mut total = IntervalSample::default();
+    for s in intervals {
+        total.end = total.end.max(s.end);
+        total.ops += s.ops;
+        for i in 0..4 {
+            total.flushes[i] += s.flushes[i];
+        }
+        for i in 0..5 {
+            total.stalls[i] += s.stalls[i];
+        }
+        total.noc_messages += s.noc_messages;
+        total.nvm_requests += s.nvm_requests;
+        total.ret_high_water = total.ret_high_water.max(s.ret_high_water);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(ops: u64, crit: u64, noc: u64) -> Stats {
+        let mut s = Stats {
+            ops,
+            noc_messages: noc,
+            ..Stats::default()
+        };
+        if crit > 0 {
+            s.flushes.insert(FlushClass::Critical, crit);
+        }
+        s
+    }
+
+    #[test]
+    fn deltas_sum_to_final_counters() {
+        let mut smp = Sampler::new(100);
+        smp.maybe_sample(40, &stats(2, 0, 5)); // no boundary yet
+        assert!(smp.intervals.is_empty());
+        smp.maybe_sample(130, &stats(10, 1, 20));
+        smp.maybe_sample(450, &stats(25, 3, 60)); // jumped several boundaries
+        smp.finish(470, &stats(30, 4, 70));
+        let total = sum_intervals(&smp.intervals);
+        assert_eq!(total.ops, 30);
+        assert_eq!(total.flushes[0], 4);
+        assert_eq!(total.noc_messages, 70);
+        assert_eq!(total.end, 470);
+        let spans: Vec<(u64, u64)> = smp.intervals.iter().map(|s| (s.start, s.end)).collect();
+        assert_eq!(spans, vec![(0, 100), (100, 400), (400, 470)]);
+    }
+
+    #[test]
+    fn ret_high_water_resets_per_interval() {
+        let mut smp = Sampler::new(10);
+        smp.note_ret_occupancy(28);
+        smp.maybe_sample(10, &stats(1, 0, 0));
+        smp.note_ret_occupancy(3);
+        smp.finish(15, &stats(2, 0, 0));
+        assert_eq!(smp.intervals[0].ret_high_water, 28);
+        assert_eq!(smp.intervals[1].ret_high_water, 3);
+    }
+
+    #[test]
+    fn empty_run_still_emits_one_interval() {
+        let mut smp = Sampler::new(1000);
+        smp.finish(0, &stats(0, 0, 0));
+        assert_eq!(smp.intervals.len(), 1);
+        assert_eq!(sum_intervals(&smp.intervals).ops, 0);
+    }
+}

@@ -26,7 +26,11 @@ pub mod config;
 pub mod machine;
 pub mod noc;
 pub mod report;
-pub mod stats;
+
+/// Aggregate run statistics — now defined in `lrp-obs` (so mechanism
+/// crates and the observability layer share one vocabulary), re-exported
+/// here under its historical path.
+pub use lrp_obs::stats;
 
 pub use config::{Mechanism, NvmMode, SimConfig};
 pub use machine::{RunResult, Sim};

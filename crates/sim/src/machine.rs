@@ -31,6 +31,7 @@ use crate::stats::{FlushClass, StallCause, Stats};
 use lrp_core::mech::{EngineRun, PersistMech, StoreKind};
 use lrp_model::spec::PersistSchedule;
 use lrp_model::{Event, EventId, EventKind, LineAddr, Trace};
+use lrp_obs::{EngineState, ObsReport, Recorder, RecorderConfig};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
@@ -169,8 +170,15 @@ enum JobDone {
     None,
     StoreReady,
     RmwAck,
-    Evict { victim: LineAddr },
-    Downgrade { line: LineAddr, is_gets: bool },
+    Evict {
+        victim: LineAddr,
+    },
+    Downgrade {
+        line: LineAddr,
+        is_gets: bool,
+        /// The downgraded line held a dirty release (audited as I2).
+        was_release: bool,
+    },
 }
 
 #[derive(Debug)]
@@ -278,7 +286,7 @@ struct Nvm {
 }
 
 /// One completed NVM flush.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PersistRecord {
     /// Global flush sequence number (the persist stamp).
     pub stamp: u64,
@@ -299,6 +307,9 @@ pub struct RunResult {
     pub schedule: PersistSchedule,
     /// The full flush log in completion order (crash-point sampling).
     pub persist_log: Vec<PersistRecord>,
+    /// Observability report, present iff the run was instrumented via
+    /// [`Sim::with_recorder`].
+    pub obs: Option<ObsReport>,
 }
 
 // ---------------------------------------------------------------------
@@ -327,6 +338,9 @@ pub struct Sim {
     flush_seq: u64,
     persist_log: Vec<PersistRecord>,
     stats: Stats,
+    /// Event/metric/audit collection; `None` keeps every hook to a
+    /// single branch.
+    recorder: Option<Recorder>,
 }
 
 impl Sim {
@@ -392,11 +406,38 @@ impl Sim {
             flush_seq: 0,
             persist_log: Vec::new(),
             stats: Stats::default(),
+            recorder: None,
         };
         for c in 0..ncores {
             sim.schedule(0, Ev::CoreStep(c));
         }
         sim
+    }
+
+    /// Attaches a recorder: the run produces an [`ObsReport`] and every
+    /// mechanism starts buffering its internal events for draining.
+    pub fn with_recorder(mut self, cfg: RecorderConfig) -> Self {
+        for l1 in &mut self.l1s {
+            l1.mech.obs_enable();
+        }
+        self.recorder = Some(Recorder::new(cfg, self.l1s.len() as u32));
+        self
+    }
+
+    /// Drains mechanism-internal events from core `c` into the recorder,
+    /// stamped with the current time and core identity.
+    fn drain_mech_obs(&mut self, c: usize) {
+        if self.recorder.is_none() {
+            return;
+        }
+        let evs = self.l1s[c].mech.obs_drain();
+        if evs.is_empty() {
+            return;
+        }
+        let now = self.now;
+        if let Some(r) = self.recorder.as_mut() {
+            r.mech_events(now, c as u32, &evs);
+        }
     }
 
     // -- infrastructure -------------------------------------------------
@@ -484,6 +525,9 @@ impl Sim {
                 Ev::DirMsg(line, msg) => self.dir_msg(line, msg),
                 Ev::NvmDone(n, req) => self.nvm_done(n, req),
             }
+            if let Some(r) = self.recorder.as_mut() {
+                r.maybe_sample(self.now, &self.stats);
+            }
         }
         for c in &self.cores {
             assert!(
@@ -500,17 +544,24 @@ impl Sim {
             .filter_map(|c| c.finish)
             .max()
             .unwrap_or(0);
-        self.stats.ops = self.cores.iter().map(|c| c.ops.len() as u64).sum();
+        debug_assert_eq!(
+            self.stats.ops,
+            self.cores.iter().map(|c| c.ops.len() as u64).sum::<u64>(),
+            "online op count drifted from the replayed trace"
+        );
         let mut schedule = PersistSchedule::new(self.stamps.len());
         for (i, s) in self.stamps.iter().enumerate() {
             if let Some(v) = s {
                 schedule.set(i as EventId, *v);
             }
         }
+        let end = self.now.max(self.stats.cycles);
+        let obs = self.recorder.take().map(|r| r.finish(end, &self.stats));
         RunResult {
             stats: self.stats,
             schedule,
             persist_log: self.persist_log,
+            obs,
         }
     }
 
@@ -519,12 +570,20 @@ impl Sim {
     fn begin_stall(&mut self, c: usize, cause: StallCause) {
         self.cores[c].stall_since = self.now;
         self.cores[c].stall_cause = Some(cause);
+        let now = self.now;
+        if let Some(r) = self.recorder.as_mut() {
+            r.stall_begin(now, c as u32, cause);
+        }
     }
 
     fn end_stall(&mut self, c: usize) {
         if let Some(cause) = self.cores[c].stall_cause.take() {
             let dur = self.now - self.cores[c].stall_since;
             self.stats.record_stall(cause, dur);
+            let now = self.now;
+            if let Some(r) = self.recorder.as_mut() {
+                r.stall_end(now, c as u32, cause, dur);
+            }
         }
     }
 
@@ -582,6 +641,7 @@ impl Sim {
             if hit {
                 self.l1s[c].cache.touch(line);
                 self.cores[c].pc += 1;
+                self.stats.ops += 1;
                 self.stats.load_hits += 1;
                 self.core_resume(c, self.cfg.l1_latency + self.cfg.compute_gap);
             } else {
@@ -617,6 +677,7 @@ impl Sim {
                 parked: false,
             });
             self.cores[c].pc += 1;
+            self.stats.ops += 1;
             if only {
                 self.schedule(0, Ev::StoreStep(c));
             }
@@ -654,6 +715,7 @@ impl Sim {
                 parked: false,
             });
             self.cores[c].pc += 1;
+            self.stats.ops += 1;
             self.cores[c].state = CoreState::WaitRmw;
             self.begin_stall(c, StallCause::StoreDrain);
             self.schedule(0, Ev::StoreStep(c));
@@ -710,6 +772,7 @@ impl Sim {
                 let act = l1.mech.on_store(&mut view, line, kind);
                 let scan = l1.mech.scan_cycles();
                 let persist_after = act.persist_line_after;
+                self.drain_mech_obs(c);
                 if !act.background.is_empty() {
                     self.enqueue_run(
                         c,
@@ -782,7 +845,14 @@ impl Sim {
             l1.mech.on_store_commit(&mut view, line, kind);
             l1.cache.touch(line);
         }
+        self.drain_mech_obs(c);
         self.stats.stores += 1;
+        if kind.is_release() {
+            let now = self.now;
+            if let Some(r) = self.recorder.as_mut() {
+                r.release_committed(now, ev);
+            }
+        }
         if !background_after.is_empty() {
             // Delegation: the just-landed store ships to the persist
             // queue immediately (persist-buffer designs).
@@ -913,21 +983,35 @@ impl Sim {
         let l1 = &mut self.l1s[c];
         let mut view = L1ViewAdapter(&mut l1.cache);
         l1.mech.on_flush_issued(&mut view, line);
+        self.drain_mech_obs(c);
+    }
+
+    /// Reports the persist-engine FSM state of core `c`'s sequencer
+    /// (no-op without a recorder; consecutive duplicates are elided).
+    fn engine_obs(&mut self, c: usize, st: EngineState) {
+        let now = self.now;
+        if let Some(r) = self.recorder.as_mut() {
+            r.engine_state(now, c as u32, st);
+        }
     }
 
     fn job_step(&mut self, c: usize) {
         loop {
-            let Some(job) = self.l1s[c].seq.jobs.front() else {
+            if self.l1s[c].seq.jobs.front().is_none() {
+                self.engine_obs(c, EngineState::Idle);
                 return;
-            };
+            }
             // Stage barrier / completion: wait for all acks.
             if self.l1s[c].seq.pending > 0 {
+                self.engine_obs(c, EngineState::Drain);
                 return; // re-armed on ack arrival
             }
+            let job = self.l1s[c].seq.jobs.front().unwrap();
             if !job.scan_charged && !job.stages.is_empty() {
                 let scan = self.l1s[c].mech.scan_cycles();
                 self.l1s[c].seq.jobs.front_mut().unwrap().scan_charged = true;
                 if scan > 0 {
+                    self.engine_obs(c, EngineState::Scan);
                     self.l1s[c].seq.armed = true;
                     self.schedule(scan, Ev::JobStep(c));
                     return;
@@ -937,6 +1021,7 @@ impl Sim {
             if let Some(mut stage) = job.stages.pop_front() {
                 job.issued_any = true;
                 let class = job.class;
+                self.engine_obs(c, EngineState::Flush);
                 // Bounded persist-buffer entries: issue at most
                 // `flush_mshrs` flushes at a time; the rest of the stage
                 // re-queues and proceeds as acks drain.
@@ -972,6 +1057,10 @@ impl Sim {
 
     fn issue_flush(&mut self, c: usize, desc: FlushDesc, class: FlushClass) {
         self.stats.record_flush(class, desc.covered.len());
+        let now = self.now;
+        if let Some(r) = self.recorder.as_mut() {
+            r.flush_issue(now, c as u32, desc.line, class);
+        }
         self.l1s[c].seq.pending += 1;
         let n = self.nvm_of(desc.line);
         let lat = self.noc(self.tile_of_core(c), self.tile_of_nvm(n), true);
@@ -996,6 +1085,12 @@ impl Sim {
             JobDone::RmwAck => {
                 if let Some(t) = self.cores[c].store_q.front() {
                     if t.phase == StorePhase::WaitAck {
+                        // I3: the RMW retires here; its synchronous
+                        // persist is acked iff nothing is still pending.
+                        let acked = self.l1s[c].seq.pending == 0;
+                        if let Some(r) = self.recorder.as_mut() {
+                            r.audit.rmw_retire(acked);
+                        }
                         self.finish_store_task(c);
                     }
                 }
@@ -1006,8 +1101,12 @@ impl Sim {
                 // already resident; re-poke the waiters.
                 self.complete_fill_waiters(c, victim);
             }
-            JobDone::Downgrade { line, is_gets } => {
-                self.finish_downgrade(c, line, is_gets);
+            JobDone::Downgrade {
+                line,
+                is_gets,
+                was_release,
+            } => {
+                self.finish_downgrade(c, line, is_gets, was_release);
             }
         }
     }
@@ -1061,6 +1160,10 @@ impl Sim {
             line,
             covered: covered.to_vec(),
         });
+        let now = self.now;
+        if let Some(r) = self.recorder.as_mut() {
+            r.persisted(now, covered);
+        }
     }
 
     // -- L1 message handling ----------------------------------------------
@@ -1082,6 +1185,10 @@ impl Sim {
             }
             Msg::DirPersistDone => {
                 // A flush ack for this core's sequencer.
+                let now = self.now;
+                if let Some(r) = self.recorder.as_mut() {
+                    r.flush_ack(now, c as u32, line);
+                }
                 if let Some(n) = self.l1s[c].inflight.get_mut(&line) {
                     *n -= 1;
                     if *n == 0 {
@@ -1125,6 +1232,7 @@ impl Sim {
                 let mut view = L1ViewAdapter(&mut l1.cache);
                 l1.mech.on_evict(&mut view, victim)
             };
+            self.drain_mech_obs(c);
             if !act.background.is_empty() {
                 // Off-critical-path persist of an only-written victim,
                 // through the local sequencer (counts toward pending).
@@ -1188,12 +1296,21 @@ impl Sim {
         }
         entry.sent = true;
         let covered = std::mem::take(&mut entry.covered);
+        let persist = entry.persist;
         let msg = Msg::PutM {
             core: c,
             covered,
             dirty: entry.dirty,
-            persist: entry.persist,
+            persist,
         };
+        if persist {
+            // I1: the released victim's write-back leaves the L1; every
+            // earlier persist of this core must have been acked.
+            let pending = self.l1s[c].seq.pending;
+            if let Some(r) = self.recorder.as_mut() {
+                r.audit.release_writeback(pending);
+            }
+        }
         let from = self.tile_of_core(c);
         self.send_dir(victim, msg, from, true);
     }
@@ -1205,6 +1322,7 @@ impl Sim {
             if self.l1s[c].cache.get(l).is_some() {
                 self.l1s[c].cache.touch(l);
                 self.cores[c].pc += 1;
+                self.stats.ops += 1;
                 self.core_resume(c, self.cfg.l1_latency + self.cfg.compute_gap);
             }
         }
@@ -1277,11 +1395,26 @@ impl Sim {
             }
         }
         self.stats.downgrades += 1;
+        let meta = self.l1s[c]
+            .cache
+            .get(line)
+            .map(|l| l.meta)
+            .unwrap_or_default();
+        if meta.release {
+            // Coherence detected a release→acquire synchronisation: the
+            // requester is acquiring a line another thread released.
+            let now = self.now;
+            if let Some(r) = self.recorder.as_mut() {
+                r.sync_detected(now, c as u32, line, requester as u32);
+            }
+        }
+        let was_release = meta.release && meta.nvm_dirty;
         let act = {
             let l1 = &mut self.l1s[c];
             let mut view = L1ViewAdapter(&mut l1.cache);
             l1.mech.on_downgrade(&mut view, line)
         };
+        self.drain_mech_obs(c);
         if !act.background.is_empty() {
             self.enqueue_run(
                 c,
@@ -1293,7 +1426,7 @@ impl Sim {
         }
         if act.flush_before.is_empty() {
             let persist = act.persist_at_dir;
-            self.finish_downgrade_with(c, line, is_gets, persist);
+            self.finish_downgrade_with(c, line, is_gets, persist, was_release);
         } else {
             self.l1s[c].downgrading.insert(line);
             let scan = self.l1s[c].mech.scan_cycles();
@@ -1301,16 +1434,20 @@ impl Sim {
                 c,
                 act.flush_before,
                 FlushClass::Sync,
-                JobDone::Downgrade { line, is_gets },
+                JobDone::Downgrade {
+                    line,
+                    is_gets,
+                    was_release,
+                },
                 scan,
             );
         }
     }
 
-    fn finish_downgrade(&mut self, c: usize, line: LineAddr, is_gets: bool) {
+    fn finish_downgrade(&mut self, c: usize, line: LineAddr, is_gets: bool, was_release: bool) {
         // Reached after an I2 engine run: the line itself already
         // persisted locally, so the directory need not persist again.
-        self.finish_downgrade_with(c, line, is_gets, false);
+        self.finish_downgrade_with(c, line, is_gets, false, was_release);
     }
 
     fn finish_downgrade_with(
@@ -1319,10 +1456,22 @@ impl Sim {
         line: LineAddr,
         is_gets: bool,
         persist_at_dir: bool,
+        was_release: bool,
     ) {
         self.l1s[c].downgrading.remove(&line);
         self.schedule(0, Ev::StoreStep(c));
         let covered = self.l1s[c].cache.take_covered(line);
+        if was_release {
+            // I2: the response for a dirty released line goes out; the
+            // release must have persisted (locally or, for write-back
+            // designs, at the directory) and nothing may still be
+            // pending in this core's sequencer.
+            let pending = self.l1s[c].seq.pending;
+            let line_persisted = covered.is_empty() || persist_at_dir;
+            if let Some(r) = self.recorder.as_mut() {
+                r.audit.release_downgrade(pending, line_persisted);
+            }
+        }
         debug_assert!(
             covered.is_empty() || persist_at_dir || !self.l1s[c].mech.dir_persists_writebacks(),
             "unpersisted writes would ride a response marked durable"
@@ -1625,6 +1774,16 @@ impl Sim {
         persist: bool,
         owner_kept_shared: bool,
     ) {
+        // I4: a data write-back reached the directory; if it still
+        // carries unpersisted writes, the directory must persist them
+        // before granting. (Skipped for mechanisms whose directory does
+        // not persist write-backs at all — the volatile baseline.)
+        if self.recorder.is_some() && self.l1s[0].mech.dir_persists_writebacks() {
+            let carries = !covered.is_empty();
+            if let Some(r) = self.recorder.as_mut() {
+                r.audit.dir_writeback(carries, persist);
+            }
+        }
         let entry = self.dir.get_mut(&line).unwrap();
         if dirty || !covered.is_empty() {
             entry.in_llc = true;
@@ -1740,13 +1899,20 @@ impl Sim {
         else {
             unreachable!()
         };
-        let entry = self.dir.get_mut(&line).unwrap();
-        if entry.state != DirState::Owned(core) {
+        if self.dir.get_mut(&line).unwrap().state != DirState::Owned(core) {
             // Late PutM after the line moved on; data is superseded.
             let from = self.tile_of_bank(line);
             self.send_l1(core, line, Msg::PutAck, from, false);
             return;
         }
+        // I4, same enforcement point as `dir_complete_owner_data`.
+        if self.recorder.is_some() && self.l1s[0].mech.dir_persists_writebacks() {
+            let carries = !covered.is_empty();
+            if let Some(r) = self.recorder.as_mut() {
+                r.audit.dir_writeback(carries, persist);
+            }
+        }
+        let entry = self.dir.get_mut(&line).unwrap();
         if dirty || !covered.is_empty() {
             entry.in_llc = true;
         }

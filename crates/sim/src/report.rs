@@ -33,19 +33,9 @@ pub fn render(name: &str, r: &RunResult) -> String {
     let _ = writeln!(out, "nvm requests           {:>12}", s.nvm_requests);
     let _ = writeln!(out, "-- persistency --");
     let _ = writeln!(out, "flushes total          {:>12}", s.total_flushes());
-    for class in [
-        FlushClass::Critical,
-        FlushClass::Background,
-        FlushClass::Sync,
-        FlushClass::Directory,
-    ] {
+    for class in FlushClass::ALL {
         let n = s.flushes.get(&class).copied().unwrap_or(0);
-        let _ = writeln!(
-            out,
-            "  {:<20} {:>12}",
-            format!("{class:?}").to_lowercase(),
-            n
-        );
+        let _ = writeln!(out, "  {:<20} {:>12}", class.name(), n);
     }
     let _ = writeln!(
         out,
@@ -55,20 +45,9 @@ pub fn render(name: &str, r: &RunResult) -> String {
     let _ = writeln!(out, "writes per flush       {:>12.2}", s.coalescing());
     let _ = writeln!(out, "engine runs            {:>12}", s.engine_runs);
     let _ = writeln!(out, "-- stall cycles (summed over cores) --");
-    for cause in [
-        StallCause::LoadMiss,
-        StallCause::StoreDrain,
-        StallCause::MechFlush,
-        StallCause::PersistAck,
-        StallCause::RfWait,
-    ] {
+    for cause in StallCause::ALL {
         let n = s.stalls.get(&cause).copied().unwrap_or(0);
-        let _ = writeln!(
-            out,
-            "  {:<20} {:>12}",
-            format!("{cause:?}").to_lowercase(),
-            n
-        );
+        let _ = writeln!(out, "  {:<20} {:>12}", cause.name(), n);
     }
     let _ = writeln!(out, "-- persist log --");
     let _ = writeln!(out, "entries                {:>12}", r.persist_log.len());

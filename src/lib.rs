@@ -10,5 +10,6 @@ pub use lrp_core as core;
 pub use lrp_exec as exec;
 pub use lrp_lfds as lfds;
 pub use lrp_model as model;
+pub use lrp_obs as obs;
 pub use lrp_recovery as recovery;
 pub use lrp_sim as sim;
