@@ -23,7 +23,19 @@ const USAGE: &str = "usage:\n  \
     lrp-eval --structure <linkedlist|hashmap|bstree|skiplist|queue> \
     [--mech nop|sb|bb|lrp|dpo] [--mode cached|uncached] \
     [--trace-out FILE] [--metrics-out FILE] [--sample-every N] \
-    [--quick] [--threads N] [--ops N] [--seed N]";
+    [--quick] [--threads N] [--ops N] [--seed N]\n\n\
+    defaults:\n  \
+    --mech lrp     --mode cached\n  \
+    --threads 32   --ops 30   --seed 42   (paper scale)\n  \
+    --quick              4 threads, 12 ops/thread, small structures\n  \
+    --trace-out FILE     write a Chrome trace-event JSON timeline\n  \
+    --metrics-out FILE   write JSONL metrics (stats, histograms, blame, audit)\n  \
+    --sample-every N     record time-series samples every N cycles (0 = off)\n\n\
+    exit codes:\n  \
+    0  success\n  \
+    1  output file write error\n  \
+    2  usage error (unknown flag or command, missing or invalid value)\n  \
+    3  invariant audit violations observed (I1-I4)";
 
 fn main() {
     let mut cli = Cli::from_env(USAGE);
@@ -132,6 +144,13 @@ fn run_one(
         obs.events.len(),
         obs.dropped
     );
+    if obs.dropped > 0 {
+        eprintln!(
+            "WARNING: event ring dropped {} events (oldest first); exported timelines are \
+             truncated, but histograms, blame, and audit counters remain exact",
+            obs.dropped
+        );
+    }
     println!("sample intervals       {:>12}", obs.intervals.len());
     println!("ret high water         {:>12}", obs.ret_high_water);
     for (name, hist) in metrics::hist_rows(obs) {

@@ -1,0 +1,145 @@
+//! `lrp-profile` — the persist-blame profiler.
+//!
+//! ```text
+//! lrp-profile run  --structure queue --mech lrp --ret-capacity 4
+//! lrp-profile diff --structure queue --a lrp --b bb
+//! lrp-profile gate --baseline baselines/BENCH_baseline.json \
+//!                  --current BENCH_campaign.json --ops-only
+//! ```
+//!
+//! `run` replays one workload with blame attribution and prints the
+//! per-`(site, cause)` tables; `--folded-out` additionally writes
+//! folded stacks (`site;kind;cause cycles`) for flame-graph tools.
+//! `diff` profiles the same workload under two mechanisms and ranks
+//! the attribution deltas. `gate` compares two `BENCH_campaign.json`
+//! summaries and fails (exit 1) on out-of-tolerance regressions.
+
+use lrp_bench::cli::Cli;
+use lrp_bench::profile::{self, GateTolerances, ProfileSpec};
+use lrp_lfds::Structure;
+use lrp_obs::Json;
+use lrp_sim::{Mechanism, NvmMode};
+
+const USAGE: &str = "usage:\n  \
+    lrp-profile run  --structure <linkedlist|hashmap|bstree|skiplist|queue>\n                   \
+    [--mech M] [--mode cached|uncached] [--threads N] [--ops N]\n                   \
+    [--size N] [--seed N] [--ret-capacity N] [--top N] [--folded-out FILE]\n  \
+    lrp-profile diff --structure <name> [--a MECH] [--b MECH]\n                   \
+    [--mode M] [--threads N] [--ops N] [--size N] [--seed N]\n                   \
+    [--ret-capacity N] [--top N]\n  \
+    lrp-profile gate --baseline FILE --current FILE [--tol-ops F]\n                   \
+    [--tol-stall F] [--tol-latency F] [--ops-only] [--json-out FILE]\n\n\
+    defaults:\n  \
+    --mech lrp   --mode cached   --threads 4   --ops 25   --size 64   --seed 1\n  \
+    --a lrp      --b bb          --top 20\n  \
+    --tol-ops 0.20     maximum fractional ops/cycle drop\n  \
+    --tol-stall 0.05   maximum absolute stall-share increase\n  \
+    --tol-latency 0.50 maximum fractional latency p50/p99 increase\n  \
+    --ops-only         gate on ops/cycle only (the CI posture)\n  \
+    --ret-capacity N   override the RET size (watermark pinned to N)\n\n\
+    exit codes:\n  \
+    0  success (gate: every check within tolerance)\n  \
+    1  gate regression detected, or a file read/write/parse error\n  \
+    2  usage error (unknown flag or command, missing or invalid value)";
+
+fn main() {
+    let mut cli = Cli::from_env(USAGE);
+    let structure: Option<Structure> = cli.opt_parse("structure");
+    let mech = cli.opt("mech").unwrap_or_else(|| "lrp".to_string());
+    let a = cli.opt("a").unwrap_or_else(|| "lrp".to_string());
+    let b = cli.opt("b").unwrap_or_else(|| "bb".to_string());
+    let mode_name = cli.opt("mode").unwrap_or_else(|| "cached".to_string());
+    let threads = cli.opt_parse("threads").unwrap_or(4u16);
+    let ops = cli.opt_parse("ops").unwrap_or(25usize);
+    let size = cli.opt_parse("size").unwrap_or(64usize);
+    let seed = cli.opt_parse("seed").unwrap_or(1u64);
+    let ret_capacity: Option<usize> = cli.opt_parse("ret-capacity");
+    let top = cli.opt_parse("top").unwrap_or(20usize);
+    let folded_out: Option<String> = cli.opt("folded-out");
+    let baseline: Option<String> = cli.opt("baseline");
+    let current: Option<String> = cli.opt("current");
+    let tol = GateTolerances {
+        ops_frac: cli.opt_parse("tol-ops").unwrap_or(0.20),
+        stall_share: cli.opt_parse("tol-stall").unwrap_or(0.05),
+        latency_frac: cli.opt_parse("tol-latency").unwrap_or(0.50),
+        ops_only: cli.flag("ops-only"),
+    };
+    let json_out: Option<String> = cli.opt("json-out");
+    let pos = cli.positionals(1, 1);
+
+    let mode = NvmMode::from_name(&mode_name)
+        .unwrap_or_else(|| cli.fail(format!("unknown NVM mode {mode_name:?}")));
+    let spec_for = |mech_name: &str, cli: &Cli| -> ProfileSpec {
+        let Some(structure) = structure else {
+            cli.fail("this command needs --structure")
+        };
+        let mechanism = Mechanism::from_name(mech_name)
+            .unwrap_or_else(|| cli.fail(format!("unknown mechanism {mech_name:?}")));
+        ProfileSpec {
+            structure,
+            mechanism,
+            mode,
+            threads,
+            ops_per_thread: ops,
+            initial_size: size,
+            seed,
+            ret_capacity,
+        }
+    };
+
+    match pos[0].as_str() {
+        "run" => {
+            let spec = spec_for(&mech, &cli);
+            let run = profile::run(&spec);
+            print!("{}", profile::render_run(&spec, &run, top));
+            if let Some(out) = &folded_out {
+                write_out(out, &run.blame.folded());
+                eprintln!("wrote folded stacks to {out}");
+            }
+        }
+        "diff" => {
+            let spec_a = spec_for(&a, &cli);
+            let spec_b = spec_for(&b, &cli);
+            let (_, _, rows) = profile::run_diff(&spec_a, &spec_b);
+            print!("{}", profile::render_diff(&spec_a, &spec_b, &rows, top));
+        }
+        "gate" => {
+            let (Some(base_path), Some(cur_path)) = (&baseline, &current) else {
+                cli.fail("gate needs --baseline and --current")
+            };
+            let base = load_summary(base_path);
+            let cur = load_summary(cur_path);
+            let verdict = profile::gate(&base, &cur, &tol).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            });
+            if let Some(out) = &json_out {
+                write_out(out, &profile::verdict_json(&verdict, &tol).to_pretty());
+                eprintln!("wrote gate verdict to {out}");
+            }
+            print!("{}", profile::render_gate(&verdict));
+            if !verdict.pass() {
+                std::process::exit(1);
+            }
+        }
+        other => cli.fail(format!("unknown command {other:?}")),
+    }
+}
+
+fn load_summary(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn write_out(path: &str, text: &str) {
+    std::fs::write(path, text).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+}

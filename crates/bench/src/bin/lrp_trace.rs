@@ -26,7 +26,18 @@ const USAGE: &str = "usage:\n  \
     lrp-trace info <FILE>\n  \
     lrp-trace check <FILE>\n  \
     lrp-trace report <FILE> [mech] [--trace-out FILE] [--metrics-out FILE] \
-    [--sample-every N]";
+    [--sample-every N]\n\n\
+    defaults:\n  \
+    --size 64   --threads 4   --ops 25   --seed 1\n  \
+    --out FILE           write the generated trace there instead of stdout\n  \
+    report mech          lrp (one of nop|sb|bb|lrp|dpo)\n  \
+    --trace-out FILE     write a Chrome trace-event JSON timeline\n  \
+    --metrics-out FILE   write JSONL metrics (stats, histograms, blame, audit)\n  \
+    --sample-every N     record time-series samples every N cycles (0 = off)\n\n\
+    exit codes:\n  \
+    0  success\n  \
+    1  file read/write/parse error\n  \
+    2  usage error (unknown flag or command, missing or invalid value)";
 
 fn load(path: &str) -> Trace {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -160,6 +171,13 @@ fn report(cli: &Cli, path: &str, mech: &str, obs: &ObsOut) {
         lrp_sim::report::render(&format!("{path} under {mech}"), &r)
     );
     if let Some(rep) = r.obs.as_ref() {
+        if rep.dropped > 0 {
+            eprintln!(
+                "WARNING: event ring dropped {} events (oldest first); exported timelines \
+                 are truncated, but histograms, blame, and audit counters remain exact",
+                rep.dropped
+            );
+        }
         if let Some(out) = &obs.trace_out {
             write_out(out, &lrp_obs::chrome::export(rep));
             eprintln!("wrote Chrome trace to {out}");

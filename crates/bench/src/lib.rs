@@ -6,7 +6,11 @@
 //! under `benches/` wrap the same runners (via [`microbench`]) for
 //! regression tracking. The `lrp-campaign` binary drives the
 //! `lrp-campaign` crate's parallel evaluation-campaign runner. All
-//! binaries share the [`cli`] flag parser.
+//! binaries share the [`cli`] flag parser. The `lrp-profile` binary
+//! wraps [`profile`], the persist-blame profiler: per-site attribution
+//! of stall cycles and persist latency, LRP-vs-baseline differentials,
+//! folded-stacks flame-graph export, and the perf-regression gate over
+//! `BENCH_campaign.json` summaries.
 //!
 //! Full-size figure generation is minutes of CPU; every runner takes an
 //! [`experiments::EvalParams`] whose `quick` preset keeps CI fast.
@@ -14,5 +18,6 @@
 pub mod cli;
 pub mod experiments;
 pub mod microbench;
+pub mod profile;
 
 pub use experiments::{EvalParams, EvalScale};

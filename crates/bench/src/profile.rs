@@ -1,0 +1,675 @@
+//! The persist-blame profiler behind the `lrp-profile` binary.
+//!
+//! Three entry points, all built on `lrp_obs::blame`:
+//!
+//! * [`run`] — replay one workload under one mechanism with the
+//!   summaries-only recorder attached and return its [`BlameTable`]
+//!   (per-site stall/persist attribution) plus the run's `Stats`;
+//! * [`diff`](run_diff) — the same workload under two mechanisms,
+//!   ranked by per-`(site, cause)` attribution delta. This is the
+//!   LRP-vs-baseline view: RET-full drains show up under LRP sites,
+//!   full-barrier drains under BB/SB sites;
+//! * [`gate`] — a perf-regression gate over two `BENCH_campaign.json`
+//!   summaries, comparing ops/cycle, stall-cycle shares, and latency
+//!   p50/p99 per `(structure, mode, threads, mechanism)` key against
+//!   per-metric tolerances.
+
+use crate::experiments::EvalParams;
+use lrp_lfds::{Structure, WorkloadSpec};
+use lrp_obs::blame::{diff, BlameDelta};
+use lrp_obs::{BlameTable, Json, RecorderConfig, Stats};
+use lrp_sim::{Mechanism, NvmMode, Sim, SimConfig};
+use std::collections::BTreeMap;
+
+/// One profiled workload replay.
+#[derive(Debug, Clone)]
+pub struct ProfileSpec {
+    /// The data structure under test.
+    pub structure: Structure,
+    /// The persistency mechanism.
+    pub mechanism: Mechanism,
+    /// NVM mode (cached / uncached).
+    pub mode: NvmMode,
+    /// Worker threads.
+    pub threads: u16,
+    /// Operations per worker.
+    pub ops_per_thread: usize,
+    /// Initial structure population.
+    pub initial_size: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// RET capacity override. Shrinking the RET (with the watermark
+    /// pinned to the capacity, which disables proactive drains) forces
+    /// the stall-on-full-table path, making RET pressure visible on
+    /// small workloads.
+    pub ret_capacity: Option<usize>,
+}
+
+impl ProfileSpec {
+    /// A profile of `structure` under `mechanism` with the `lrp-trace
+    /// gen` workload defaults (4 threads, 25 ops/thread, 64 entries).
+    pub fn new(structure: Structure, mechanism: Mechanism) -> ProfileSpec {
+        ProfileSpec {
+            structure,
+            mechanism,
+            mode: NvmMode::Cached,
+            threads: 4,
+            ops_per_thread: 25,
+            initial_size: 64,
+            seed: 1,
+            ret_capacity: None,
+        }
+    }
+
+    /// `structure/mechanism/mode/tN/sN` identifier for report headers.
+    pub fn id(&self) -> String {
+        format!(
+            "{}/{}/{}/t{}/s{}",
+            self.structure.name(),
+            self.mechanism.name(),
+            self.mode.name(),
+            self.threads,
+            self.seed
+        )
+    }
+}
+
+/// What [`run`] produced.
+#[derive(Debug, Clone)]
+pub struct ProfileRun {
+    /// Simulator statistics.
+    pub stats: Stats,
+    /// Per-`(site, cause)` attribution. Computed online, so it is
+    /// exact regardless of event-ring state; the only bounded part is
+    /// the per-line sketch, whose eviction count [`render_run`] prints.
+    pub blame: BlameTable,
+}
+
+/// Replays `spec` with blame attribution and returns the profile.
+pub fn run(spec: &ProfileSpec) -> ProfileRun {
+    let trace = WorkloadSpec::new(spec.structure)
+        .initial_size(spec.initial_size)
+        .threads(spec.threads)
+        .ops_per_thread(spec.ops_per_thread)
+        .seed(spec.seed)
+        .build_trace();
+    let mut cfg = SimConfig::new(spec.mechanism).nvm_mode(spec.mode);
+    if let Some(cap) = spec.ret_capacity {
+        cfg.lrp.ret_capacity = cap;
+        cfg.lrp.ret_watermark = cap;
+    }
+    let result = Sim::new(cfg, &trace)
+        .with_recorder(RecorderConfig::summaries_only())
+        .run();
+    let obs = result.obs.expect("recorder was attached");
+    ProfileRun {
+        stats: result.stats,
+        blame: obs.blame,
+    }
+}
+
+/// Renders one run's blame tables: exact `(site, cause)` totals plus
+/// the per-line heavy hitters from the space-saving sketch.
+pub fn render_run(spec: &ProfileSpec, run: &ProfileRun, top: usize) -> String {
+    let mut out = String::new();
+    let ops_per_cycle = if run.stats.cycles > 0 {
+        run.stats.ops as f64 / run.stats.cycles as f64
+    } else {
+        0.0
+    };
+    out.push_str(&format!(
+        "profile {}: {} cycles, {} ops ({ops_per_cycle:.6} ops/cycle), {} cycles charged\n",
+        spec.id(),
+        run.stats.cycles,
+        run.stats.ops,
+        run.blame.total_cycles()
+    ));
+    out.push_str(&format!(
+        "\nblame by (site, cause), top {top} by charged cycles:\n{:<40} {:<6} {:<14} {:>8} {:>12}\n",
+        "site", "kind", "cause", "count", "cycles"
+    ));
+    let mut rows: Vec<_> = run
+        .blame
+        .exact
+        .iter()
+        .filter(|(_, c)| c.cycles > 0)
+        .collect();
+    rows.sort_by(|a, b| b.1.cycles.cmp(&a.1.cycles).then_with(|| a.0.cmp(b.0)));
+    for ((site, cause), cell) in rows.into_iter().take(top) {
+        out.push_str(&format!(
+            "{:<40} {:<6} {:<14} {:>8} {:>12}\n",
+            site,
+            cause.kind(),
+            cause.name(),
+            cell.count,
+            cell.cycles
+        ));
+    }
+    out.push_str(&format!(
+        "\nper-line heavy hitters (sketch: {} keys, {} evictions{}):\n{:<40} {:<14} {:>10} {:>12} {:>8}\n",
+        run.blame.sketch.len(),
+        run.blame.sketch.evictions(),
+        if run.blame.sketch.evictions() == 0 {
+            "; weights exact"
+        } else {
+            "; weights are upper bounds"
+        },
+        "site",
+        "cause",
+        "line",
+        "cycles",
+        "±err"
+    ));
+    for (key, cell) in run.blame.sketch.top(top) {
+        out.push_str(&format!(
+            "{:<40} {:<14} {:>#10x} {:>12} {:>8}\n",
+            key.site,
+            key.cause.name(),
+            key.line,
+            cell.weight,
+            cell.error
+        ));
+    }
+    out
+}
+
+/// Profiles the same workload under two mechanisms and returns both
+/// runs plus their blame delta, largest attribution shift first.
+pub fn run_diff(a: &ProfileSpec, b: &ProfileSpec) -> (ProfileRun, ProfileRun, Vec<BlameDelta>) {
+    let ra = run(a);
+    let rb = run(b);
+    let rows = diff(&ra.blame, &rb.blame);
+    (ra, rb, rows)
+}
+
+/// Renders a differential profile.
+pub fn render_diff(a: &ProfileSpec, b: &ProfileSpec, rows: &[BlameDelta], top: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "differential blame: A = {} vs B = {} (delta = A - B cycles)\n",
+        a.id(),
+        b.id()
+    ));
+    out.push_str(&format!(
+        "{:<40} {:<6} {:<14} {:>12} {:>12} {:>13}\n",
+        "site", "kind", "cause", "A cycles", "B cycles", "delta"
+    ));
+    for row in rows.iter().filter(|r| r.delta() != 0).take(top) {
+        out.push_str(&format!(
+            "{:<40} {:<6} {:<14} {:>12} {:>12} {:>+13}\n",
+            row.site,
+            row.cause.kind(),
+            row.cause.name(),
+            row.a_cycles,
+            row.b_cycles,
+            row.delta()
+        ));
+    }
+    out
+}
+
+/// Per-metric regression tolerances for [`gate`].
+#[derive(Debug, Clone)]
+pub struct GateTolerances {
+    /// Maximum fractional ops/cycle drop (0.20 = fail below 80% of
+    /// baseline throughput).
+    pub ops_frac: f64,
+    /// Maximum absolute increase of any stall cause's share of total
+    /// cycles (0.05 = fail when a cause grows by more than 5 points).
+    pub stall_share: f64,
+    /// Maximum fractional increase of latency p50/p99 (0.50 = fail
+    /// above 150% of baseline).
+    pub latency_frac: f64,
+    /// When set, only ops/cycle is gated (stall shares and latency
+    /// percentiles are reported as informational checks that always
+    /// pass). This is the CI posture: fail the build on throughput
+    /// regressions only.
+    pub ops_only: bool,
+}
+
+impl Default for GateTolerances {
+    fn default() -> Self {
+        GateTolerances {
+            ops_frac: 0.20,
+            stall_share: 0.05,
+            latency_frac: 0.50,
+            ops_only: false,
+        }
+    }
+}
+
+/// One metric comparison at one matrix key.
+#[derive(Debug, Clone)]
+pub struct GateCheck {
+    /// `structure/mode/tN/mechanism` matrix key.
+    pub key: String,
+    /// Metric name (`ops_per_cycle`, `stall_share/<cause>`,
+    /// `<hist>/p50`, `<hist>/p99`).
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// The tolerance applied.
+    pub tol: f64,
+    /// Whether the current value is within tolerance.
+    pub pass: bool,
+}
+
+/// The gate's machine-readable outcome.
+#[derive(Debug, Clone)]
+pub struct GateVerdict {
+    /// Matrix keys present in both summaries.
+    pub compared: usize,
+    /// Every metric comparison performed.
+    pub checks: Vec<GateCheck>,
+}
+
+impl GateVerdict {
+    /// True when every check passed.
+    pub fn pass(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+
+    /// The failing checks.
+    pub fn failures(&self) -> Vec<&GateCheck> {
+        self.checks.iter().filter(|c| !c.pass).collect()
+    }
+}
+
+/// The metrics the gate extracts per matrix key.
+#[derive(Debug, Clone, Default)]
+struct KeyMetrics {
+    ops_per_cycle: Option<f64>,
+    /// `(cause name, stall cycles / total cycles)`.
+    stall_shares: Vec<(String, f64)>,
+    /// `(hist/percentile label, cycles)`.
+    latencies: Vec<(String, f64)>,
+}
+
+fn summary_err(msg: impl Into<String>) -> String {
+    format!("bad campaign summary: {}", msg.into())
+}
+
+/// Extracts gate metrics from a `BENCH_campaign.json` document, keyed
+/// by `structure/mode/tN/mechanism` (skipping keys with no ok cells).
+fn extract(doc: &Json) -> Result<BTreeMap<String, KeyMetrics>, String> {
+    if doc.get("type").and_then(Json::as_str) != Some("campaign") {
+        return Err(summary_err("missing type: \"campaign\""));
+    }
+    let groups = doc
+        .get("groups")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| summary_err("missing groups array"))?;
+    let mut keys = BTreeMap::new();
+    for g in groups {
+        let structure = g
+            .get("structure")
+            .and_then(Json::as_str)
+            .ok_or_else(|| summary_err("group without structure"))?;
+        let mode = g
+            .get("mode")
+            .and_then(Json::as_str)
+            .ok_or_else(|| summary_err("group without mode"))?;
+        let threads = g
+            .get("threads")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| summary_err("group without threads"))?;
+        let mechs = g
+            .get("mechanisms")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| summary_err("group without mechanisms"))?;
+        for m in mechs {
+            if m.get("ok").and_then(Json::as_u64).unwrap_or(0) == 0 {
+                continue;
+            }
+            let mech = m
+                .get("mechanism")
+                .and_then(Json::as_str)
+                .ok_or_else(|| summary_err("mechanism entry without name"))?;
+            let key = format!("{structure}/{mode}/t{threads}/{mech}");
+            let mut metrics = KeyMetrics::default();
+            if let Some(stats) = m.get("merged_stats") {
+                let cycles = stats.get("cycles").and_then(Json::as_f64).unwrap_or(0.0);
+                let ops = stats.get("ops").and_then(Json::as_f64).unwrap_or(0.0);
+                if cycles > 0.0 {
+                    metrics.ops_per_cycle = Some(ops / cycles);
+                    if let Some(Json::Obj(stalls)) = stats.get("stalls") {
+                        for (cause, v) in stalls {
+                            let share = v.as_f64().unwrap_or(0.0) / cycles;
+                            metrics.stall_shares.push((cause.clone(), share));
+                        }
+                    }
+                }
+            }
+            if let Some(hists) = m.get("hists") {
+                for name in ["flush_to_ack", "release_to_persist"] {
+                    let Some(h) = hists.get(name) else { continue };
+                    let h = lrp_obs::metrics::parse_hist(h).map_err(summary_err)?;
+                    if h.is_empty() {
+                        continue;
+                    }
+                    for (label, p) in [("p50", 0.5), ("p99", 0.99)] {
+                        metrics
+                            .latencies
+                            .push((format!("{name}/{label}"), h.percentile(p) as f64));
+                    }
+                }
+            }
+            keys.insert(key, metrics);
+        }
+    }
+    Ok(keys)
+}
+
+/// Compares two campaign summaries. Only keys present in both are
+/// gated, so growing the matrix never fails the gate by itself.
+pub fn gate(baseline: &Json, current: &Json, tol: &GateTolerances) -> Result<GateVerdict, String> {
+    let base = extract(baseline)?;
+    let cur = extract(current)?;
+    let mut checks = Vec::new();
+    let mut compared = 0;
+    for (key, b) in &base {
+        let Some(c) = cur.get(key) else { continue };
+        compared += 1;
+        if let (Some(b_opc), Some(c_opc)) = (b.ops_per_cycle, c.ops_per_cycle) {
+            checks.push(GateCheck {
+                key: key.clone(),
+                metric: "ops_per_cycle".to_string(),
+                baseline: b_opc,
+                current: c_opc,
+                tol: tol.ops_frac,
+                pass: c_opc >= b_opc * (1.0 - tol.ops_frac),
+            });
+        }
+        for (cause, b_share) in &b.stall_shares {
+            let c_share = c
+                .stall_shares
+                .iter()
+                .find(|(name, _)| name == cause)
+                .map_or(0.0, |&(_, s)| s);
+            checks.push(GateCheck {
+                key: key.clone(),
+                metric: format!("stall_share/{cause}"),
+                baseline: *b_share,
+                current: c_share,
+                tol: tol.stall_share,
+                pass: tol.ops_only || c_share <= b_share + tol.stall_share,
+            });
+        }
+        for (label, b_lat) in &b.latencies {
+            let Some(&(_, c_lat)) = c.latencies.iter().find(|(l, _)| l == label) else {
+                continue;
+            };
+            checks.push(GateCheck {
+                key: key.clone(),
+                metric: label.clone(),
+                baseline: *b_lat,
+                current: c_lat,
+                tol: tol.latency_frac,
+                pass: tol.ops_only || c_lat <= b_lat * (1.0 + tol.latency_frac),
+            });
+        }
+    }
+    Ok(GateVerdict { compared, checks })
+}
+
+/// The gate verdict as a machine-readable JSON document.
+pub fn verdict_json(v: &GateVerdict, tol: &GateTolerances) -> Json {
+    let checks = v
+        .checks
+        .iter()
+        .map(|c| {
+            Json::obj([
+                ("key", Json::Str(c.key.clone())),
+                ("metric", Json::Str(c.metric.clone())),
+                ("baseline", Json::F64(c.baseline)),
+                ("current", Json::F64(c.current)),
+                ("tolerance", Json::F64(c.tol)),
+                ("pass", Json::Bool(c.pass)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("type", Json::Str("gate".to_string())),
+        ("pass", Json::Bool(v.pass())),
+        ("compared_keys", Json::U64(v.compared as u64)),
+        (
+            "tolerances",
+            Json::obj([
+                ("ops_frac", Json::F64(tol.ops_frac)),
+                ("stall_share", Json::F64(tol.stall_share)),
+                ("latency_frac", Json::F64(tol.latency_frac)),
+                ("ops_only", Json::Bool(tol.ops_only)),
+            ]),
+        ),
+        ("checks", Json::Arr(checks)),
+    ])
+}
+
+/// Renders the gate outcome for terminals: every failure, then the
+/// verdict line.
+pub fn render_gate(v: &GateVerdict) -> String {
+    let mut out = String::new();
+    for c in v.failures() {
+        out.push_str(&format!(
+            "FAIL {} {}: baseline {:.6} -> current {:.6} (tolerance {:.2})\n",
+            c.key, c.metric, c.baseline, c.current, c.tol
+        ));
+    }
+    out.push_str(&format!(
+        "gate: {} ({} keys compared, {} checks, {} failed)\n",
+        if v.pass() { "PASS" } else { "FAIL" },
+        v.compared,
+        v.checks.len(),
+        v.failures().len()
+    ));
+    out
+}
+
+/// The quick-scale profile specs used by docs and tests: the workload
+/// shape of `EvalParams::quick()` for `structure` under `mechanism`.
+pub fn quick_spec(structure: Structure, mechanism: Mechanism) -> ProfileSpec {
+    let p = EvalParams::quick();
+    ProfileSpec {
+        structure,
+        mechanism,
+        mode: NvmMode::Cached,
+        threads: p.threads,
+        ops_per_thread: p.ops_per_thread,
+        initial_size: p.initial_size(structure),
+        seed: p.seed,
+        ret_capacity: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrp_campaign::{run_campaign, summarize, summary_json, CampaignConfig, MatrixSpec};
+    use lrp_obs::blame::BlameCause;
+
+    #[test]
+    fn profiled_run_attributes_cycles_to_labeled_sites() {
+        let run = run(&quick_spec(Structure::Queue, Mechanism::Lrp));
+        assert!(!run.blame.is_empty());
+        assert!(
+            run.blame
+                .exact
+                .keys()
+                .any(|(site, _)| site.starts_with("queue/")),
+            "queue sites must be labeled: {:?}",
+            run.blame.exact.keys().collect::<Vec<_>>()
+        );
+        let rendered = render_run(&quick_spec(Structure::Queue, Mechanism::Lrp), &run, 10);
+        assert!(rendered.contains("queue/"));
+        assert!(rendered.contains("ops/cycle"));
+    }
+
+    #[test]
+    fn queue_lrp_vs_bb_differential_shows_mechanism_signatures() {
+        // Shrink the RET (watermark = capacity disables proactive
+        // drains) so LRP's stall-on-full-table path fires even on the
+        // quick workload.
+        let mut a = quick_spec(Structure::Queue, Mechanism::Lrp);
+        a.ret_capacity = Some(2);
+        let b = quick_spec(Structure::Queue, Mechanism::Bb);
+        let (ra, rb, rows) = run_diff(&a, &b);
+        assert!(!rows.is_empty(), "differential blame table is non-empty");
+        assert!(
+            ra.blame
+                .exact
+                .iter()
+                .any(|((site, cause), cell)| *cause == BlameCause::RetFull
+                    && site.starts_with("queue/")
+                    && cell.cycles > 0),
+            "LRP must charge RET-full stalls to queue sites: {:?}",
+            ra.blame.exact
+        );
+        assert!(
+            rb.blame
+                .exact
+                .iter()
+                .any(|((site, cause), cell)| *cause == BlameCause::BarrierDrain
+                    && site.starts_with("queue/")
+                    && cell.cycles > 0),
+            "BB must charge full-barrier drains to queue sites: {:?}",
+            rb.blame.exact
+        );
+        assert_eq!(rb.blame.cycles_for_cause(BlameCause::RetFull), 0);
+        let rendered = render_diff(&a, &b, &rows, 20);
+        assert!(rendered.contains("ret_full") || rendered.contains("barrier_drain"));
+    }
+
+    #[test]
+    fn folded_export_is_loadable_and_site_labeled() {
+        let run = run(&quick_spec(Structure::Queue, Mechanism::Lrp));
+        let folded = run.blame.folded();
+        assert!(folded.lines().count() > 0);
+        assert!(folded.contains("queue/"));
+        for line in folded.lines() {
+            let (stack, count) = line.rsplit_once(' ').unwrap();
+            assert_eq!(stack.split(';').count(), 3, "bad folded line {line:?}");
+            count.parse::<u64>().unwrap();
+        }
+    }
+
+    fn smoke_summary() -> Json {
+        let matrix = MatrixSpec::smoke();
+        let records = run_campaign(
+            matrix.cells(),
+            &CampaignConfig {
+                workers: 1,
+                ..CampaignConfig::default()
+            },
+            |_| {},
+        );
+        summary_json(&matrix, &summarize(&matrix, &records))
+    }
+
+    /// Multiplies every `merged_stats.cycles` by `num/den`, which moves
+    /// ops/cycle by the inverse factor.
+    fn scale_merged_cycles(doc: &mut Json, num: u64, den: u64) {
+        match doc {
+            Json::Obj(pairs) => {
+                for (k, v) in pairs.iter_mut() {
+                    if k == "merged_stats" {
+                        if let Json::Obj(stats) = v {
+                            for (sk, sv) in stats.iter_mut() {
+                                if sk == "cycles" {
+                                    if let Json::U64(n) = sv {
+                                        *sv = Json::U64(*n * num / den);
+                                    }
+                                }
+                            }
+                        }
+                    } else {
+                        scale_merged_cycles(v, num, den);
+                    }
+                }
+            }
+            Json::Arr(items) => {
+                for item in items.iter_mut() {
+                    scale_merged_cycles(item, num, den);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn gate_passes_baseline_against_itself_and_fails_a_25pct_regression() {
+        let baseline = smoke_summary();
+        let tol = GateTolerances::default();
+
+        let self_check = gate(&baseline, &baseline, &tol).unwrap();
+        assert!(self_check.pass(), "{}", render_gate(&self_check));
+        assert!(self_check.compared > 0);
+
+        // 4/3 more cycles for the same ops => ops/cycle drops 25%,
+        // beyond the default 20% tolerance.
+        let mut current = baseline.clone();
+        scale_merged_cycles(&mut current, 4, 3);
+        let v = gate(&baseline, &current, &tol).unwrap();
+        assert!(!v.pass());
+        assert!(
+            v.failures().iter().all(|c| c.metric == "ops_per_cycle"),
+            "only throughput regressed: {}",
+            render_gate(&v)
+        );
+
+        // The same regression with ops-only gating still fails.
+        let ops_only = GateTolerances {
+            ops_only: true,
+            ..GateTolerances::default()
+        };
+        assert!(!gate(&baseline, &current, &ops_only).unwrap().pass());
+
+        // A tolerance looser than the regression passes.
+        let loose = GateTolerances {
+            ops_frac: 0.30,
+            ..GateTolerances::default()
+        };
+        assert!(gate(&baseline, &current, &loose).unwrap().pass());
+    }
+
+    #[test]
+    fn gate_verdict_json_is_machine_readable() {
+        let baseline = smoke_summary();
+        let tol = GateTolerances::default();
+        let v = gate(&baseline, &baseline, &tol).unwrap();
+        let doc = Json::parse(&verdict_json(&v, &tol).to_pretty()).unwrap();
+        assert_eq!(doc.get("type").and_then(Json::as_str), Some("gate"));
+        assert_eq!(doc.get("pass").and_then(Json::as_bool), Some(true));
+        assert!(doc.get("checks").and_then(Json::as_arr).is_some());
+        assert_eq!(
+            doc.get("tolerances")
+                .and_then(|t| t.get("ops_frac"))
+                .and_then(Json::as_f64),
+            Some(0.20)
+        );
+    }
+
+    #[test]
+    fn gate_rejects_non_campaign_documents() {
+        let junk = Json::obj([("type", Json::Str("gate".to_string()))]);
+        assert!(gate(&junk, &junk, &GateTolerances::default()).is_err());
+    }
+
+    #[test]
+    fn attribution_does_not_change_simulated_timing() {
+        // The profiler's recorder must be timing-invisible: the same
+        // spec with and without the recorder yields identical stats.
+        let spec = quick_spec(Structure::Queue, Mechanism::Lrp);
+        let trace = WorkloadSpec::new(spec.structure)
+            .initial_size(spec.initial_size)
+            .threads(spec.threads)
+            .ops_per_thread(spec.ops_per_thread)
+            .seed(spec.seed)
+            .build_trace();
+        let cfg = SimConfig::new(spec.mechanism).nvm_mode(spec.mode);
+        let plain = Sim::new(cfg.clone(), &trace).run();
+        let profiled = run(&spec);
+        assert_eq!(plain.stats, profiled.stats);
+    }
+}

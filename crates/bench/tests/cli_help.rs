@@ -1,0 +1,106 @@
+//! The `--help` contract of every workspace binary: exit 0, usage on
+//! stdout, and every flag the binary actually extracts is documented.
+
+use std::process::Command;
+
+fn help_output(bin: &str) -> String {
+    let out = Command::new(bin)
+        .arg("--help")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{bin} --help must exit 0");
+    String::from_utf8(out.stdout).expect("usage is UTF-8")
+}
+
+fn assert_documents(bin: &str, flags: &[&str]) {
+    let help = help_output(bin);
+    for flag in flags {
+        assert!(
+            help.contains(&format!("--{flag}")),
+            "{bin} --help does not mention --{flag}:\n{help}"
+        );
+    }
+    assert!(help.contains("exit code"), "{bin} --help lists exit codes");
+}
+
+#[test]
+fn lrp_eval_help_documents_every_flag() {
+    assert_documents(
+        env!("CARGO_BIN_EXE_lrp-eval"),
+        &[
+            "quick",
+            "threads",
+            "ops",
+            "seed",
+            "structure",
+            "mech",
+            "mode",
+            "trace-out",
+            "metrics-out",
+            "sample-every",
+        ],
+    );
+}
+
+#[test]
+fn lrp_trace_help_documents_every_flag() {
+    assert_documents(
+        env!("CARGO_BIN_EXE_lrp-trace"),
+        &[
+            "structure",
+            "size",
+            "threads",
+            "ops",
+            "seed",
+            "out",
+            "trace-out",
+            "metrics-out",
+            "sample-every",
+        ],
+    );
+}
+
+#[test]
+fn lrp_profile_help_documents_every_flag() {
+    assert_documents(
+        env!("CARGO_BIN_EXE_lrp-profile"),
+        &[
+            "structure",
+            "mech",
+            "a",
+            "b",
+            "mode",
+            "threads",
+            "ops",
+            "size",
+            "seed",
+            "ret-capacity",
+            "top",
+            "folded-out",
+            "baseline",
+            "current",
+            "tol-ops",
+            "tol-stall",
+            "tol-latency",
+            "ops-only",
+            "json-out",
+        ],
+    );
+}
+
+#[test]
+fn unknown_flags_exit_2_with_usage() {
+    for bin in [
+        env!("CARGO_BIN_EXE_lrp-eval"),
+        env!("CARGO_BIN_EXE_lrp-trace"),
+        env!("CARGO_BIN_EXE_lrp-profile"),
+    ] {
+        let out = Command::new(bin)
+            .args(["run", "--no-such-flag"])
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "{bin} rejects unknown flags");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("usage"), "{bin} prints usage on error: {err}");
+    }
+}

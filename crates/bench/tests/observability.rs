@@ -127,3 +127,60 @@ fn recorder_does_not_change_timing() {
         assert_eq!(plain.persist_log, observed.persist_log, "{}", mech.name());
     }
 }
+
+#[test]
+fn provenance_labels_flow_from_workload_to_blame_table() {
+    for s in Structure::ALL {
+        let (_, obs) = instrumented_run(s, Mechanism::Lrp, RecorderConfig::summaries_only());
+        assert!(
+            obs.site_names.len() > 1,
+            "{}: trace carries OpSite labels",
+            s.name()
+        );
+        assert_eq!(obs.site_names[0], "unknown");
+        let prefix = format!("{}/", s.name());
+        assert!(
+            obs.site_names
+                .iter()
+                .skip(1)
+                .all(|n| n.starts_with(&prefix)),
+            "{}: sites follow structure/operation[/phase]: {:?}",
+            s.name(),
+            obs.site_names
+        );
+        assert!(!obs.blame.is_empty(), "{}: blame table populated", s.name());
+        assert!(
+            obs.blame
+                .exact
+                .iter()
+                .any(|((site, _), cell)| site.starts_with(&prefix) && cell.cycles > 0),
+            "{}: cycles charged to labeled sites: {:?}",
+            s.name(),
+            obs.blame.exact
+        );
+        let folded = obs.blame.folded();
+        assert!(
+            folded.contains(&prefix),
+            "{}: folded export labeled",
+            s.name()
+        );
+    }
+}
+
+#[test]
+fn blame_survives_ring_drops() {
+    // A tiny ring drops most events; the online blame table must match
+    // the drop-free summaries-only run exactly.
+    let tiny_ring = RecorderConfig {
+        ring_capacity: 8,
+        ..RecorderConfig::default()
+    };
+    let (_, dropped) = instrumented_run(Structure::Queue, Mechanism::Lrp, tiny_ring);
+    assert!(dropped.dropped > 0, "the tiny ring must actually drop");
+    let (_, clean) = instrumented_run(
+        Structure::Queue,
+        Mechanism::Lrp,
+        RecorderConfig::summaries_only(),
+    );
+    assert_eq!(dropped.blame, clean.blame);
+}

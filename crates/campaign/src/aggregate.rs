@@ -12,7 +12,7 @@
 use crate::isolation::{CellOutcome, CellRecord};
 use crate::matrix::MatrixSpec;
 use lrp_lfds::Structure;
-use lrp_obs::Hist;
+use lrp_obs::{BlameTable, Hist};
 use lrp_sim::{Mechanism, NvmMode, Stats};
 use std::collections::HashMap;
 
@@ -79,6 +79,8 @@ pub struct MechSummary {
     pub release_to_persist: Hist,
     /// All completed cells' RET-residency histograms merged.
     pub ret_residency: Hist,
+    /// All completed cells' blame tables merged.
+    pub blame: BlameTable,
     /// Total I1–I4 audit violations (0 for a healthy mechanism).
     pub audit_violations: u64,
     /// Total RP violations (0 for a healthy mechanism).
@@ -245,6 +247,7 @@ fn summarize_mech(
         flush_to_ack: Hist::new(),
         release_to_persist: Hist::new(),
         ret_residency: Hist::new(),
+        blame: BlameTable::default(),
         audit_violations: 0,
         rp_violations: 0,
         recovery_points: 0,
@@ -265,6 +268,7 @@ fn summarize_mech(
                 s.flush_to_ack.merge(&result.flush_to_ack);
                 s.release_to_persist.merge(&result.release_to_persist);
                 s.ret_residency.merge(&result.ret_residency);
+                s.blame.merge(&result.blame);
                 s.audit_violations += result.audit_violations;
                 s.rp_violations += result.rp_violations;
                 s.recovery_points += result.recovery_points;

@@ -5,7 +5,7 @@
 
 use crate::matrix::CellSpec;
 use lrp_lfds::WorkloadSpec;
-use lrp_obs::{Hist, RecorderConfig};
+use lrp_obs::{BlameTable, Hist, RecorderConfig};
 use lrp_recovery::{check_null_recovery, CrashPlan};
 use lrp_sim::{Mechanism, Sim, SimConfig, Stats};
 
@@ -35,6 +35,9 @@ pub struct CellResult {
     pub release_to_persist: Hist,
     /// RET entry lifetime (cycles).
     pub ret_residency: Hist,
+    /// Per-`OpSite` blame attribution of stall cycles and persist
+    /// latency.
+    pub blame: BlameTable,
     /// I1–I4 audit observations performed.
     pub audit_checks: u64,
     /// I1–I4 audit observations where the invariant did not hold.
@@ -96,6 +99,7 @@ pub fn run_cell(spec: &CellSpec) -> CellResult {
         flush_to_ack: obs.flush_to_ack.clone(),
         release_to_persist: obs.release_to_persist.clone(),
         ret_residency: obs.ret_residency.clone(),
+        blame: obs.blame.clone(),
         audit_checks: obs.audit.total_checks(),
         audit_violations: obs.audit.total_violations(),
         stats: run.stats,

@@ -23,8 +23,9 @@ use crate::json::Json;
 use crate::matrix::{CellSpec, MatrixSpec};
 use crate::scheduler::{run_campaign, CampaignConfig};
 use lrp_lfds::Structure;
+use lrp_obs::blame::{blame_json, parse_blame};
 use lrp_obs::metrics::{hist_json, stats_json};
-use lrp_obs::Hist;
+use lrp_obs::{BlameTable, Hist};
 use lrp_sim::{Mechanism, NvmMode, Stats};
 use std::io::{self, Write as _};
 use std::path::Path;
@@ -97,6 +98,7 @@ fn result_json(r: &CellResult) -> Json {
                 ("ret_residency", hist_json(&r.ret_residency)),
             ]),
         ),
+        ("blame", blame_json(&r.blame)),
         (
             "audit",
             Json::obj([
@@ -105,6 +107,15 @@ fn result_json(r: &CellResult) -> Json {
             ]),
         ),
     ])
+}
+
+/// Parses the `blame` key; pre-profiler manifests lack it entirely,
+/// which parses as an empty table.
+fn field_blame(doc: &Json) -> io::Result<BlameTable> {
+    match doc.get("blame") {
+        Some(b) => parse_blame(b).map_err(bad_data),
+        None => Ok(BlameTable::default()),
+    }
 }
 
 /// Parses one named histogram under the `hists` key; pre-observability
@@ -139,6 +150,7 @@ fn parse_result(doc: &Json) -> io::Result<CellResult> {
         flush_to_ack: field_hist(doc, "flush_to_ack")?,
         release_to_persist: field_hist(doc, "release_to_persist")?,
         ret_residency: field_hist(doc, "ret_residency")?,
+        blame: field_blame(doc)?,
         audit_checks: audit_u64("checks")?,
         audit_violations: audit_u64("violations")?,
     })
@@ -366,6 +378,7 @@ pub fn summary_json(matrix: &MatrixSpec, summary: &CampaignSummary) -> Json {
                                 ("ret_residency", hist_json(&m.ret_residency)),
                             ]),
                         ),
+                        ("blame", blame_json(&m.blame)),
                     ])
                 })
                 .collect();
@@ -512,6 +525,32 @@ pub fn render_table(matrix: &MatrixSpec, summary: &CampaignSummary) -> String {
                 fmt_hist(&m.release_to_persist),
                 fmt_hist(&m.ret_residency)
             ));
+        }
+    }
+    out.push_str("\nblame attribution (top sites by charged cycles):\n");
+    out.push_str(&format!(
+        "{:<12} {:<10} {:>3} {:<10} {:<34} {:<14} {:>12}\n",
+        "structure", "mode", "t", "mechanism", "site", "cause", "cycles"
+    ));
+    for g in &summary.groups {
+        for m in &g.mechs {
+            if m.ok == 0 || m.mechanism == Mechanism::Nop || m.blame.is_empty() {
+                continue;
+            }
+            let mut rows: Vec<_> = m.blame.exact.iter().filter(|(_, c)| c.cycles > 0).collect();
+            rows.sort_by(|a, b| b.1.cycles.cmp(&a.1.cycles).then_with(|| a.0.cmp(b.0)));
+            for ((site, cause), cell) in rows.into_iter().take(3) {
+                out.push_str(&format!(
+                    "{:<12} {:<10} {:>3} {:<10} {:<34} {:<14} {:>12}\n",
+                    g.structure.name(),
+                    g.mode.name(),
+                    g.threads,
+                    m.mechanism.name(),
+                    site,
+                    cause.name(),
+                    cell.cycles
+                ));
+            }
         }
     }
     out

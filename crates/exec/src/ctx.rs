@@ -86,6 +86,13 @@ pub trait PmemCtx {
     fn op_begin(&mut self, op: OpKind);
     /// Marks the end of the current operation with its result.
     fn op_end(&mut self, result: u64);
+    /// Sets the `structure/operation` [`OpSite`](lrp_model::Trace::site_names)
+    /// prefix for subsequent events on this thread (clears any phase).
+    /// Purely observational; contexts without a recorder ignore it.
+    fn site_op(&mut self, _label: &str) {}
+    /// Sets the phase suffix of the current site, labelling subsequent
+    /// events `prefix/phase`. Purely observational.
+    fn site_phase(&mut self, _phase: &str) {}
 
     /// Plain load.
     fn read(&mut self, addr: Addr) -> u64 {
@@ -113,6 +120,14 @@ pub trait PmemCtx {
     }
 }
 
+/// Per-thread current [`OpSite`](lrp_model::Trace::site_names) label.
+#[derive(Debug, Default, Clone)]
+struct SiteState {
+    prefix: String,
+    phase: String,
+    cached: Option<u16>,
+}
+
 /// Records events and operation markers while an execution runs.
 #[derive(Debug, Default)]
 pub struct Recorder {
@@ -120,14 +135,81 @@ pub struct Recorder {
     pub events: Vec<Event>,
     /// Completed operation markers.
     pub markers: Vec<OpMarker>,
+    /// Interned site labels; index 0 is `"unknown"` once any label exists.
+    pub site_names: Vec<String>,
+    /// Per-event site index, parallel to [`Recorder::events`].
+    pub event_sites: Vec<u16>,
     open: HashMap<ThreadId, (OpKind, EventId)>,
     last_writer: HashMap<Addr, EventId>,
+    site_ids: HashMap<String, u16>,
+    sites: HashMap<ThreadId, SiteState>,
 }
 
 impl Recorder {
     /// A fresh recorder.
     pub fn new() -> Self {
         Recorder::default()
+    }
+
+    fn intern(&mut self, label: &str) -> u16 {
+        if self.site_names.is_empty() {
+            self.site_names.push("unknown".to_string());
+            self.site_ids.insert("unknown".to_string(), 0);
+        }
+        if let Some(&id) = self.site_ids.get(label) {
+            return id;
+        }
+        let id = u16::try_from(self.site_names.len()).unwrap_or(0);
+        if id != 0 {
+            self.site_names.push(label.to_string());
+            self.site_ids.insert(label.to_string(), id);
+        }
+        id
+    }
+
+    /// Sets `tid`'s site prefix (`structure/operation`), clearing the phase.
+    pub fn site_op(&mut self, tid: ThreadId, label: &str) {
+        let s = self.sites.entry(tid).or_default();
+        s.prefix = label.to_string();
+        s.phase.clear();
+        s.cached = None;
+    }
+
+    /// Sets `tid`'s phase suffix within the current site prefix.
+    pub fn site_phase(&mut self, tid: ThreadId, phase: &str) {
+        let s = self.sites.entry(tid).or_default();
+        s.phase = phase.to_string();
+        s.cached = None;
+    }
+
+    /// The interned site id for `tid`'s current label, stamped per event.
+    fn stamp(&mut self, tid: ThreadId) {
+        let cached = self.sites.get(&tid).and_then(|s| s.cached);
+        let id = match cached {
+            Some(id) => id,
+            None => {
+                let label = match self.sites.get(&tid) {
+                    None => String::new(),
+                    Some(s) if s.prefix.is_empty() => String::new(),
+                    Some(s) if s.phase.is_empty() => s.prefix.clone(),
+                    Some(s) => format!("{}/{}", s.prefix, s.phase),
+                };
+                let id = if label.is_empty() {
+                    if self.site_names.is_empty() {
+                        0
+                    } else {
+                        self.intern("unknown")
+                    }
+                } else {
+                    self.intern(&label)
+                };
+                if let Some(s) = self.sites.get_mut(&tid) {
+                    s.cached = Some(id);
+                }
+                id
+            }
+        };
+        self.event_sites.push(id);
     }
 
     /// Records a load.
@@ -144,6 +226,7 @@ impl Recorder {
             wval: 0,
             rf: self.last_writer.get(&addr).copied(),
         });
+        self.stamp(tid);
         id
     }
 
@@ -162,6 +245,7 @@ impl Recorder {
             rf: None,
         });
         self.last_writer.insert(addr, id);
+        self.stamp(tid);
         id
     }
 
@@ -193,6 +277,7 @@ impl Recorder {
         if ok {
             self.last_writer.insert(addr, id);
         }
+        self.stamp(tid);
         id
     }
 
@@ -306,6 +391,18 @@ impl PmemCtx for DirectCtx {
     fn op_end(&mut self, result: u64) {
         if let Some(rec) = &mut self.rec {
             rec.end(self.tid, result);
+        }
+    }
+
+    fn site_op(&mut self, label: &str) {
+        if let Some(rec) = &mut self.rec {
+            rec.site_op(self.tid, label);
+        }
+    }
+
+    fn site_phase(&mut self, phase: &str) {
+        if let Some(rec) = &mut self.rec {
+            rec.site_phase(self.tid, phase);
         }
     }
 }

@@ -81,6 +81,8 @@ enum Req {
     Alloc(usize),
     OpBegin(OpKind),
     OpEnd(u64),
+    SiteOp(String),
+    SitePhase(String),
     Done,
 }
 
@@ -149,6 +151,18 @@ impl PmemCtx for GateCtx {
 
     fn op_end(&mut self, result: u64) {
         self.tx.send(Req::OpEnd(result)).expect("scheduler hung up");
+    }
+
+    fn site_op(&mut self, label: &str) {
+        self.tx
+            .send(Req::SiteOp(label.to_string()))
+            .expect("scheduler hung up");
+    }
+
+    fn site_phase(&mut self, phase: &str) {
+        self.tx
+            .send(Req::SitePhase(phase.to_string()))
+            .expect("scheduler hung up");
     }
 }
 
@@ -239,6 +253,8 @@ pub fn run(cfg: &ExecConfig, setup: impl FnOnce(&mut DirectCtx), bodies: Vec<Thr
         markers: sched.rec.markers,
         roots,
         heap_range,
+        site_names: sched.rec.site_names,
+        event_sites: sched.rec.event_sites,
     }
 }
 
@@ -263,6 +279,8 @@ impl Scheduler {
                 }
                 Ok(Req::OpBegin(op)) => self.rec.begin(t as ThreadId, op),
                 Ok(Req::OpEnd(r)) => self.rec.end(t as ThreadId, r),
+                Ok(Req::SiteOp(label)) => self.rec.site_op(t as ThreadId, &label),
+                Ok(Req::SitePhase(phase)) => self.rec.site_phase(t as ThreadId, &phase),
                 Ok(Req::Done) | Err(_) => return None,
             }
         }
@@ -490,6 +508,31 @@ mod tests {
             })],
         );
         assert_eq!(first, *vals2.lock().unwrap());
+    }
+
+    #[test]
+    fn sites_are_interned_and_stamped() {
+        let cfg = ExecConfig::new(1);
+        let t = run(
+            &cfg,
+            |_| {},
+            vec![Box::new(|c: &mut GateCtx| {
+                c.write(0x1000, 1); // before any label: unknown
+                c.site_op("queue/enqueue");
+                c.write(0x1008, 2);
+                c.site_phase("link-next");
+                c.write(0x1010, 3);
+                c.site_op("queue/dequeue"); // new op clears the phase
+                c.write(0x1018, 4);
+            })],
+        );
+        t.validate().unwrap();
+        assert_eq!(t.event_sites.len(), t.events.len());
+        assert_eq!(t.site_name_of(0), "unknown");
+        assert_eq!(t.site_name_of(1), "queue/enqueue");
+        assert_eq!(t.site_name_of(2), "queue/enqueue/link-next");
+        assert_eq!(t.site_name_of(3), "queue/dequeue");
+        assert_eq!(t.site_of(99), 0, "out of range reads as unknown");
     }
 
     #[test]

@@ -281,13 +281,14 @@ impl WorkloadSpec {
                         let key = rng.below(range) + 1;
                         let is_read = rng.below(100) < read_pct as u64;
                         let is_insert = rng.below(2) == 0;
+                        let op = SetOp::pick(is_read, is_insert);
                         match h {
                             Handle::List(l) => {
                                 drive_set(
                                     c,
+                                    "linkedlist",
                                     key,
-                                    is_read,
-                                    is_insert,
+                                    op,
                                     |c, k| l.contains(c, k),
                                     |c, k| l.insert(c, k, k),
                                     |c, k| l.delete(c, k),
@@ -296,9 +297,9 @@ impl WorkloadSpec {
                             Handle::Map(m) => {
                                 drive_set(
                                     c,
+                                    "hashmap",
                                     key,
-                                    is_read,
-                                    is_insert,
+                                    op,
                                     |c, k| m.contains(c, k),
                                     |c, k| m.insert(c, k, k),
                                     |c, k| m.delete(c, k),
@@ -307,9 +308,9 @@ impl WorkloadSpec {
                             Handle::Bst(b) => {
                                 drive_set(
                                     c,
+                                    "bstree",
                                     key,
-                                    is_read,
-                                    is_insert,
+                                    op,
                                     |c, k| b.contains(c, k),
                                     |c, k| b.insert(c, k, k),
                                     |c, k| b.delete(c, k),
@@ -318,9 +319,9 @@ impl WorkloadSpec {
                             Handle::Skip(sl) => {
                                 drive_set(
                                     c,
+                                    "skiplist",
                                     key,
-                                    is_read,
-                                    is_insert,
+                                    op,
                                     |c, k| sl.contains(c, k),
                                     |c, k| sl.insert(c, k, k),
                                     |c, k| sl.delete(c, k),
@@ -330,10 +331,12 @@ impl WorkloadSpec {
                                 if is_insert {
                                     let v = (t as u64 + 1) * 1_000_000 + i as u64;
                                     c.op_begin(OpKind::Enqueue(v));
+                                    c.site_op("queue/enqueue");
                                     q.enqueue(c, v);
                                     c.op_end(1);
                                 } else {
                                     c.op_begin(OpKind::Dequeue);
+                                    c.site_op("queue/dequeue");
                                     let r = q.dequeue(c);
                                     c.op_end(r.map(|v| v + 1).unwrap_or(0));
                                 }
@@ -351,28 +354,56 @@ impl WorkloadSpec {
     }
 }
 
-/// Issues one set-structure operation with markers.
+/// Which set-structure operation [`drive_set`] issues.
+#[derive(Clone, Copy)]
+enum SetOp {
+    Contains,
+    Insert,
+    Delete,
+}
+
+impl SetOp {
+    fn pick(is_read: bool, is_insert: bool) -> SetOp {
+        if is_read {
+            SetOp::Contains
+        } else if is_insert {
+            SetOp::Insert
+        } else {
+            SetOp::Delete
+        }
+    }
+}
+
+/// Issues one set-structure operation with markers and an
+/// `structure/operation` [`OpSite`](lrp_model::Trace::site_names) label.
 fn drive_set<C: PmemCtx>(
     c: &mut C,
+    structure: &str,
     key: u64,
-    is_read: bool,
-    is_insert: bool,
+    op: SetOp,
     contains: impl Fn(&mut C, u64) -> bool,
     insert: impl Fn(&mut C, u64) -> bool,
     delete: impl Fn(&mut C, u64) -> bool,
 ) {
-    if is_read {
-        c.op_begin(OpKind::Contains(key));
-        let r = contains(c, key);
-        c.op_end(r as u64);
-    } else if is_insert {
-        c.op_begin(OpKind::Insert(key, key));
-        let r = insert(c, key);
-        c.op_end(r as u64);
-    } else {
-        c.op_begin(OpKind::Delete(key));
-        let r = delete(c, key);
-        c.op_end(r as u64);
+    match op {
+        SetOp::Contains => {
+            c.op_begin(OpKind::Contains(key));
+            c.site_op(&format!("{structure}/contains"));
+            let r = contains(c, key);
+            c.op_end(r as u64);
+        }
+        SetOp::Insert => {
+            c.op_begin(OpKind::Insert(key, key));
+            c.site_op(&format!("{structure}/insert"));
+            let r = insert(c, key);
+            c.op_end(r as u64);
+        }
+        SetOp::Delete => {
+            c.op_begin(OpKind::Delete(key));
+            c.site_op(&format!("{structure}/delete"));
+            let r = delete(c, key);
+            c.op_end(r as u64);
+        }
     }
 }
 

@@ -45,9 +45,11 @@ impl Queue {
 
     /// Enqueues `value`.
     pub fn enqueue<C: PmemCtx>(&self, ctx: &mut C, value: u64) {
+        ctx.site_phase("init-node");
         let node = ctx.alloc(NODE_WORDS);
         ctx.write(node + VAL, value);
         ctx.write(node + NEXT, 0);
+        ctx.site_phase("traverse");
         loop {
             let tail = ctx.read_acq(self.tail_loc());
             let next = ctx.read_acq(tail + NEXT);
@@ -56,20 +58,26 @@ impl Queue {
             }
             if next == 0 {
                 // Publish: link after the last node (the release).
+                ctx.site_phase("link-next");
                 if ctx.cas_rel(tail + NEXT, 0, node).0 {
                     // Swing the tail — a hint, not a publication: plain.
+                    ctx.site_phase("swing-tail");
                     let _ = ctx.cas_annot(self.tail_loc(), tail, node, lrp_model::Annot::Plain);
                     return;
                 }
+                ctx.site_phase("traverse");
             } else {
                 // Help a lagging enqueuer swing the tail (plain hint).
+                ctx.site_phase("help-swing");
                 let _ = ctx.cas_annot(self.tail_loc(), tail, next, lrp_model::Annot::Plain);
+                ctx.site_phase("traverse");
             }
         }
     }
 
     /// Dequeues a value, or `None` if the queue is empty.
     pub fn dequeue<C: PmemCtx>(&self, ctx: &mut C) -> Option<u64> {
+        ctx.site_phase("traverse");
         loop {
             let head = ctx.read_acq(self.head_loc());
             let tail = ctx.read_acq(self.tail_loc());
@@ -82,13 +90,17 @@ impl Queue {
             }
             if head == tail {
                 // Tail is lagging; help before advancing head (hint).
+                ctx.site_phase("help-swing");
                 let _ = ctx.cas_annot(self.tail_loc(), tail, next, lrp_model::Annot::Plain);
+                ctx.site_phase("traverse");
                 continue;
             }
             let value = ctx.read(next + VAL);
+            ctx.site_phase("advance-head");
             if ctx.cas_rel(self.head_loc(), head, next).0 {
                 return Some(value);
             }
+            ctx.site_phase("traverse");
         }
     }
 

@@ -129,6 +129,12 @@ pub struct Trace {
     pub roots: Vec<(String, Addr)>,
     /// `[lo, hi)` byte range covered by the trace's heap allocator.
     pub heap_range: (Addr, Addr),
+    /// Interned [`OpSite`] labels (`structure/operation[/phase]`); index 0
+    /// is always the catch-all `"unknown"` when any labels exist.
+    pub site_names: Vec<String>,
+    /// Per-event site index into [`Trace::site_names`], parallel to
+    /// [`Trace::events`]. Empty when the producer recorded no provenance.
+    pub event_sites: Vec<u16>,
 }
 
 /// Errors found by [`Trace::validate`].
@@ -246,6 +252,20 @@ impl Trace {
     /// Number of write effects in the trace.
     pub fn write_count(&self) -> usize {
         self.events.iter().filter(|e| e.is_write_effect()).count()
+    }
+
+    /// The site index of event `id` (0 — "unknown" — when the trace
+    /// carries no provenance or the id is out of range).
+    pub fn site_of(&self, id: EventId) -> u16 {
+        self.event_sites.get(id as usize).copied().unwrap_or(0)
+    }
+
+    /// The site label of event `id` (`"unknown"` when unlabeled).
+    pub fn site_name_of(&self, id: EventId) -> &str {
+        self.site_names
+            .get(self.site_of(id) as usize)
+            .map(String::as_str)
+            .unwrap_or("unknown")
     }
 }
 

@@ -137,6 +137,8 @@ impl LitmusBuilder {
             markers: Vec::new(),
             roots: Vec::new(),
             heap_range: (0, 0),
+            site_names: Vec::new(),
+            event_sites: Vec::new(),
         }
     }
 }

@@ -1,0 +1,656 @@
+//! lrp-blame: streaming attribution of persist cost to `OpSite`s.
+//!
+//! A [`BlameTable`] charges stall cycles and persist latency to
+//! `(site, cause)` keys as the run executes. Two stores cooperate:
+//!
+//! * **exact per-site totals** — a map keyed by `(site, cause)`; like the
+//!   online histograms, these never drop, so they stay correct even when
+//!   the export ring overflows;
+//! * a **space-saving top-K sketch** over `(site, cause, line)` — the
+//!   per-cache-line heavy hitters, in bounded memory. The classic
+//!   space-saving guarantee applies: a key's reported weight
+//!   overestimates its true weight by at most its recorded `error`, and
+//!   any key whose true weight exceeds `total/capacity` is present.
+//!   Evictions are counted and exposed, never silent.
+//!
+//! Site labels follow the `structure/operation[/phase]` naming scheme
+//! (e.g. `queue/enqueue/link-next`); `"unknown"` collects unlabeled work.
+
+use crate::json::Json;
+use crate::stats::{FlushClass, StallCause};
+use lrp_model::LineAddr;
+use std::collections::BTreeMap;
+
+/// Default sketch capacity (distinct `(site, cause, line)` keys tracked).
+pub const DEFAULT_SKETCH_CAPACITY: usize = 512;
+
+/// Why cycles were charged to a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BlameCause {
+    /// A raw core stall, by its machine-level cause.
+    Stall(StallCause),
+    /// A store-side stall taken while the RET was full — LRP's
+    /// critical-path drain (§5.1's stall-on-full-table).
+    RetFull,
+    /// A store-side stall taken behind a mechanism flush barrier — the
+    /// BB/SB full-barrier drain on the issuing core's critical path.
+    BarrierDrain,
+    /// Persist latency (issue→ack) of a flush, by its class.
+    Flush(FlushClass),
+}
+
+impl BlameCause {
+    /// Every cause, in the stable order used by serialized reports.
+    pub const ALL: [BlameCause; 11] = [
+        BlameCause::Stall(StallCause::LoadMiss),
+        BlameCause::Stall(StallCause::StoreDrain),
+        BlameCause::Stall(StallCause::MechFlush),
+        BlameCause::Stall(StallCause::PersistAck),
+        BlameCause::Stall(StallCause::RfWait),
+        BlameCause::RetFull,
+        BlameCause::BarrierDrain,
+        BlameCause::Flush(FlushClass::Critical),
+        BlameCause::Flush(FlushClass::Background),
+        BlameCause::Flush(FlushClass::Sync),
+        BlameCause::Flush(FlushClass::Directory),
+    ];
+
+    /// The folded-stack middle frame: what family of cost this is.
+    pub fn kind(self) -> &'static str {
+        match self {
+            BlameCause::Stall(_) | BlameCause::RetFull | BlameCause::BarrierDrain => "stall",
+            BlameCause::Flush(_) => "flush",
+        }
+    }
+
+    /// Stable snake_case detail name (the folded-stack leaf frame).
+    pub fn name(self) -> &'static str {
+        match self {
+            BlameCause::Stall(c) => c.name(),
+            BlameCause::RetFull => "ret_full",
+            BlameCause::BarrierDrain => "barrier_drain",
+            BlameCause::Flush(c) => c.name(),
+        }
+    }
+
+    /// Parses a `(kind, name)` pair back into a cause.
+    pub fn from_parts(kind: &str, name: &str) -> Option<BlameCause> {
+        BlameCause::ALL
+            .into_iter()
+            .find(|c| c.kind() == kind && c.name() == name)
+    }
+}
+
+/// Exact accumulated blame for one `(site, cause)` key.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlameCell {
+    /// Charges recorded.
+    pub count: u64,
+    /// Cycles charged.
+    pub cycles: u64,
+}
+
+/// One tracked heavy-hitter key: a cache line at a site, per cause.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LineKey {
+    /// The `OpSite` label.
+    pub site: String,
+    /// What cost was charged.
+    pub cause: BlameCause,
+    /// The cache line blamed.
+    pub line: LineAddr,
+}
+
+/// A sketch counter: `weight` may overestimate by at most `error`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SketchCell {
+    /// Estimated cycles charged to this key (upper bound).
+    pub weight: u64,
+    /// Maximum overestimate inherited from evicted keys.
+    pub error: u64,
+}
+
+/// A space-saving top-K heavy-hitter sketch with deterministic
+/// tie-breaking (smallest key evicts first among minimum weights).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpaceSaving {
+    cap: usize,
+    counters: BTreeMap<LineKey, SketchCell>,
+    evictions: u64,
+}
+
+impl SpaceSaving {
+    /// A sketch tracking at most `cap` distinct keys (`0` disables it).
+    pub fn new(cap: usize) -> SpaceSaving {
+        SpaceSaving {
+            cap,
+            counters: BTreeMap::new(),
+            evictions: 0,
+        }
+    }
+
+    /// Adds `weight` to `key`, evicting the minimum-weight counter when
+    /// the sketch is at capacity and the key is new.
+    pub fn add(&mut self, key: LineKey, weight: u64) {
+        self.add_with_error(key, weight, 0);
+    }
+
+    fn add_with_error(&mut self, key: LineKey, weight: u64, error: u64) {
+        if self.cap == 0 {
+            self.evictions += 1;
+            return;
+        }
+        if let Some(c) = self.counters.get_mut(&key) {
+            c.weight = c.weight.saturating_add(weight);
+            c.error = c.error.saturating_add(error);
+            return;
+        }
+        if self.counters.len() < self.cap {
+            self.counters.insert(key, SketchCell { weight, error });
+            return;
+        }
+        // Space-saving eviction: the new key inherits the minimum
+        // counter's weight as both weight floor and error bound.
+        let victim = self
+            .counters
+            .iter()
+            .min_by_key(|(k, c)| (c.weight, (*k).clone()))
+            .map(|(k, c)| (k.clone(), c.weight))
+            .expect("non-empty at capacity");
+        self.counters.remove(&victim.0);
+        self.evictions += 1;
+        self.counters.insert(
+            key,
+            SketchCell {
+                weight: victim.1.saturating_add(weight),
+                error: victim.1.saturating_add(error),
+            },
+        );
+    }
+
+    /// Distinct keys currently tracked.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// True when nothing has been tracked.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Counters evicted (or refused, for a zero-capacity sketch). When
+    /// zero, every reported weight is exact.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// All tracked counters in key order.
+    pub fn entries(&self) -> impl Iterator<Item = (&LineKey, &SketchCell)> {
+        self.counters.iter()
+    }
+
+    /// The `n` heaviest keys, weight-descending (key order breaks ties).
+    pub fn top(&self, n: usize) -> Vec<(&LineKey, &SketchCell)> {
+        let mut v: Vec<_> = self.counters.iter().collect();
+        v.sort_by(|a, b| b.1.weight.cmp(&a.1.weight).then_with(|| a.0.cmp(b.0)));
+        v.truncate(n);
+        v
+    }
+
+    /// Folds another sketch into this one. When the union of keys fits
+    /// the capacity the merge is exact (weights and errors sum);
+    /// otherwise overflow keys go through the eviction path and the
+    /// result remains a valid space-saving summary of the union.
+    pub fn merge(&mut self, other: &SpaceSaving) {
+        for (k, c) in &other.counters {
+            self.add_with_error(k.clone(), c.weight, c.error);
+        }
+        self.evictions += other.evictions;
+    }
+}
+
+/// The streaming attribution table: exact `(site, cause)` totals plus
+/// the per-line heavy-hitter sketch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlameTable {
+    /// Exact per-`(site, cause)` totals (never dropped).
+    pub exact: BTreeMap<(String, BlameCause), BlameCell>,
+    /// The bounded per-line sketch.
+    pub sketch: SpaceSaving,
+}
+
+impl Default for BlameTable {
+    fn default() -> Self {
+        BlameTable::new(DEFAULT_SKETCH_CAPACITY)
+    }
+}
+
+impl BlameTable {
+    /// A table whose sketch tracks `sketch_capacity` line keys.
+    pub fn new(sketch_capacity: usize) -> BlameTable {
+        BlameTable {
+            exact: BTreeMap::new(),
+            sketch: SpaceSaving::new(sketch_capacity),
+        }
+    }
+
+    /// Charges `cycles` of `cause` at `line` to `site`.
+    pub fn charge(&mut self, site: &str, cause: BlameCause, line: LineAddr, cycles: u64) {
+        let cell = self.exact.entry((site.to_string(), cause)).or_default();
+        cell.count += 1;
+        cell.cycles = cell.cycles.saturating_add(cycles);
+        self.sketch.add(
+            LineKey {
+                site: site.to_string(),
+                cause,
+                line,
+            },
+            cycles,
+        );
+    }
+
+    /// True when nothing has been charged.
+    pub fn is_empty(&self) -> bool {
+        self.exact.is_empty()
+    }
+
+    /// Total cycles charged across all keys.
+    pub fn total_cycles(&self) -> u64 {
+        self.exact.values().map(|c| c.cycles).sum()
+    }
+
+    /// Cycles charged to one `(site, cause)` key (0 when absent).
+    pub fn cycles_for(&self, site: &str, cause: BlameCause) -> u64 {
+        self.exact
+            .get(&(site.to_string(), cause))
+            .map(|c| c.cycles)
+            .unwrap_or(0)
+    }
+
+    /// Cycles charged to `cause` summed over all sites.
+    pub fn cycles_for_cause(&self, cause: BlameCause) -> u64 {
+        self.exact
+            .iter()
+            .filter(|((_, c), _)| *c == cause)
+            .map(|(_, cell)| cell.cycles)
+            .sum()
+    }
+
+    /// Folds another table into this one. Exact totals merge exactly;
+    /// the sketch merge is exact while the key union fits its capacity.
+    pub fn merge(&mut self, other: &BlameTable) {
+        for ((site, cause), cell) in &other.exact {
+            let mine = self.exact.entry((site.clone(), *cause)).or_default();
+            mine.count += cell.count;
+            mine.cycles = mine.cycles.saturating_add(cell.cycles);
+        }
+        self.sketch.merge(&other.sketch);
+    }
+
+    /// Folded-stacks flame-graph export: one `site;kind;cause cycles`
+    /// line per non-zero key, loadable by standard flamegraph tools.
+    pub fn folded(&self) -> String {
+        let mut out = String::new();
+        for ((site, cause), cell) in &self.exact {
+            if cell.cycles == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "{};{};{} {}\n",
+                site,
+                cause.kind(),
+                cause.name(),
+                cell.cycles
+            ));
+        }
+        out
+    }
+}
+
+/// One row of a differential profile: how blame moved between runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlameDelta {
+    /// The `OpSite` label.
+    pub site: String,
+    /// The cost family.
+    pub cause: BlameCause,
+    /// Cycles in run A.
+    pub a_cycles: u64,
+    /// Cycles in run B.
+    pub b_cycles: u64,
+}
+
+impl BlameDelta {
+    /// Signed `a - b` cycle delta.
+    pub fn delta(&self) -> i128 {
+        self.a_cycles as i128 - self.b_cycles as i128
+    }
+}
+
+/// Ranks every `(site, cause)` key appearing in either table by the
+/// magnitude of its attribution delta, largest first (key order breaks
+/// ties deterministically).
+pub fn diff(a: &BlameTable, b: &BlameTable) -> Vec<BlameDelta> {
+    let mut keys: Vec<&(String, BlameCause)> = a.exact.keys().collect();
+    for k in b.exact.keys() {
+        if !a.exact.contains_key(k) {
+            keys.push(k);
+        }
+    }
+    let mut rows: Vec<BlameDelta> = keys
+        .into_iter()
+        .map(|(site, cause)| BlameDelta {
+            site: site.clone(),
+            cause: *cause,
+            a_cycles: a.cycles_for(site, *cause),
+            b_cycles: b.cycles_for(site, *cause),
+        })
+        .collect();
+    rows.sort_by(|x, y| {
+        y.delta()
+            .abs()
+            .cmp(&x.delta().abs())
+            .then_with(|| (&x.site, x.cause).cmp(&(&y.site, y.cause)))
+    });
+    rows
+}
+
+/// Serializes a table (exact totals + sketch) for machine consumption.
+pub fn blame_json(t: &BlameTable) -> Json {
+    let exact = t
+        .exact
+        .iter()
+        .map(|((site, cause), cell)| {
+            Json::obj([
+                ("site", Json::Str(site.clone())),
+                ("kind", Json::Str(cause.kind().to_string())),
+                ("cause", Json::Str(cause.name().to_string())),
+                ("count", Json::U64(cell.count)),
+                ("cycles", Json::U64(cell.cycles)),
+            ])
+        })
+        .collect();
+    let lines = t
+        .sketch
+        .entries()
+        .map(|(k, c)| {
+            Json::obj([
+                ("site", Json::Str(k.site.clone())),
+                ("kind", Json::Str(k.cause.kind().to_string())),
+                ("cause", Json::Str(k.cause.name().to_string())),
+                ("line", Json::U64(k.line)),
+                ("weight", Json::U64(c.weight)),
+                ("error", Json::U64(c.error)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("sketch_capacity", Json::U64(t.sketch.capacity() as u64)),
+        ("sketch_evictions", Json::U64(t.sketch.evictions())),
+        ("exact", Json::Arr(exact)),
+        ("lines", Json::Arr(lines)),
+    ])
+}
+
+fn parse_cause(doc: &Json) -> Result<BlameCause, String> {
+    let kind = doc
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("missing blame kind")?;
+    let name = doc
+        .get("cause")
+        .and_then(Json::as_str)
+        .ok_or("missing blame cause")?;
+    BlameCause::from_parts(kind, name).ok_or_else(|| format!("unknown blame cause {kind}:{name}"))
+}
+
+fn get_u64(doc: &Json, key: &str) -> Result<u64, String> {
+    doc.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing blame field {key:?}"))
+}
+
+fn get_str(doc: &Json, key: &str) -> Result<String, String> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing blame field {key:?}"))
+}
+
+/// Parses a table serialized by [`blame_json`].
+pub fn parse_blame(doc: &Json) -> Result<BlameTable, String> {
+    let cap = get_u64(doc, "sketch_capacity")? as usize;
+    let mut t = BlameTable::new(cap);
+    for e in doc
+        .get("exact")
+        .and_then(Json::as_arr)
+        .ok_or("missing blame exact array")?
+    {
+        let cause = parse_cause(e)?;
+        t.exact.insert(
+            (get_str(e, "site")?, cause),
+            BlameCell {
+                count: get_u64(e, "count")?,
+                cycles: get_u64(e, "cycles")?,
+            },
+        );
+    }
+    for e in doc
+        .get("lines")
+        .and_then(Json::as_arr)
+        .ok_or("missing blame lines array")?
+    {
+        let key = LineKey {
+            site: get_str(e, "site")?,
+            cause: parse_cause(e)?,
+            line: get_u64(e, "line")?,
+        };
+        t.sketch.counters.insert(
+            key,
+            SketchCell {
+                weight: get_u64(e, "weight")?,
+                error: get_u64(e, "error")?,
+            },
+        );
+    }
+    t.sketch.evictions = get_u64(doc, "sketch_evictions")?;
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(site: &str, line: LineAddr) -> LineKey {
+        LineKey {
+            site: site.to_string(),
+            cause: BlameCause::RetFull,
+            line,
+        }
+    }
+
+    #[test]
+    fn sketch_is_bounded_and_counts_evictions() {
+        let mut s = SpaceSaving::new(4);
+        for i in 0..10u64 {
+            s.add(key("a", i * 64), 1);
+        }
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.evictions(), 6);
+    }
+
+    #[test]
+    fn sketch_keeps_the_heavy_hitter() {
+        let mut s = SpaceSaving::new(4);
+        s.add(key("hot", 0x40), 1000);
+        for i in 1..50u64 {
+            s.add(key("cold", i * 64), 1);
+        }
+        let top = s.top(1);
+        assert_eq!(top[0].0.site, "hot");
+        assert!(top[0].1.weight >= 1000, "weight is an upper bound");
+    }
+
+    #[test]
+    fn sketch_under_capacity_is_exact() {
+        let mut s = SpaceSaving::new(16);
+        s.add(key("a", 0x40), 10);
+        s.add(key("a", 0x40), 5);
+        s.add(key("b", 0x80), 3);
+        assert_eq!(s.evictions(), 0);
+        let top = s.top(2);
+        assert_eq!(top[0].1.weight, 15);
+        assert_eq!(top[0].1.error, 0);
+        assert_eq!(top[1].1.weight, 3);
+    }
+
+    #[test]
+    fn charge_accumulates_exact_totals() {
+        let mut t = BlameTable::new(8);
+        t.charge("queue/enqueue/link-next", BlameCause::RetFull, 0x40, 100);
+        t.charge("queue/enqueue/link-next", BlameCause::RetFull, 0x80, 20);
+        t.charge(
+            "queue/dequeue",
+            BlameCause::Flush(FlushClass::Critical),
+            0x40,
+            350,
+        );
+        assert_eq!(
+            t.cycles_for("queue/enqueue/link-next", BlameCause::RetFull),
+            120
+        );
+        assert_eq!(
+            t.cycles_for_cause(BlameCause::Flush(FlushClass::Critical)),
+            350
+        );
+        assert_eq!(t.total_cycles(), 470);
+    }
+
+    fn sample(tag: &str, n: u64) -> BlameTable {
+        let mut t = BlameTable::new(64);
+        for i in 0..n {
+            t.charge(
+                &format!("{tag}/op"),
+                BlameCause::Stall(StallCause::StoreDrain),
+                i * 64,
+                10 + i,
+            );
+            t.charge("shared/op", BlameCause::RetFull, 0x1000, 7);
+        }
+        t
+    }
+
+    #[test]
+    fn merge_matches_serial_and_is_order_independent() {
+        let a = sample("a", 3);
+        let b = sample("b", 5);
+        let c = sample("c", 2);
+        // Serial: one table charged with everything.
+        let mut serial = BlameTable::new(64);
+        for part in [&a, &b, &c] {
+            for ((site, cause), cell) in &part.exact {
+                // Re-derive serial charges from the parts' exact cells.
+                let mine = serial.exact.entry((site.clone(), *cause)).or_default();
+                mine.count += cell.count;
+                mine.cycles += cell.cycles;
+            }
+        }
+        let mut fwd = BlameTable::new(64);
+        fwd.merge(&a);
+        fwd.merge(&b);
+        fwd.merge(&c);
+        let mut rev = BlameTable::new(64);
+        rev.merge(&c);
+        rev.merge(&b);
+        rev.merge(&a);
+        assert_eq!(fwd.exact, rev.exact);
+        assert_eq!(
+            fwd.sketch, rev.sketch,
+            "under-capacity sketch merge is exact"
+        );
+        assert_eq!(fwd.exact, serial.exact);
+        // Associativity: (a+b)+c == a+(b+c).
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_equals_serial_charging() {
+        let mut serial = BlameTable::new(64);
+        let mut a = BlameTable::new(64);
+        let mut b = BlameTable::new(64);
+        for (i, part) in [(0u64, &mut a), (1, &mut b)] {
+            for j in 0..4u64 {
+                part.charge("s/op", BlameCause::RetFull, (i * 4 + j) * 64, j + 1);
+            }
+        }
+        for i in 0..8u64 {
+            serial.charge("s/op", BlameCause::RetFull, i * 64, i % 4 + 1);
+        }
+        a.merge(&b);
+        assert_eq!(a, serial);
+    }
+
+    #[test]
+    fn folded_output_is_flamegraph_loadable() {
+        let mut t = BlameTable::new(8);
+        t.charge("queue/enqueue/link-next", BlameCause::RetFull, 0x40, 120);
+        t.charge(
+            "queue/dequeue",
+            BlameCause::Flush(FlushClass::Background),
+            0x80,
+            350,
+        );
+        let folded = t.folded();
+        assert!(folded.contains("queue/enqueue/link-next;stall;ret_full 120\n"));
+        assert!(folded.contains("queue/dequeue;flush;background 350\n"));
+        for line in folded.lines() {
+            let (stack, count) = line.rsplit_once(' ').unwrap();
+            assert_eq!(stack.split(';').count(), 3);
+            count.parse::<u64>().unwrap();
+        }
+    }
+
+    #[test]
+    fn diff_ranks_by_delta_magnitude() {
+        let mut a = BlameTable::new(8);
+        a.charge("x/op", BlameCause::RetFull, 0x40, 1000);
+        a.charge("y/op", BlameCause::BarrierDrain, 0x80, 10);
+        let mut b = BlameTable::new(8);
+        b.charge("y/op", BlameCause::BarrierDrain, 0x80, 500);
+        let rows = diff(&a, &b);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].site, "x/op");
+        assert_eq!(rows[0].delta(), 1000);
+        assert_eq!(rows[1].delta(), -490);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut t = sample("rt", 6);
+        t.charge("rt/extra", BlameCause::Flush(FlushClass::Sync), 0xF00, 42);
+        let doc = blame_json(&t);
+        let back = parse_blame(&Json::parse(&doc.to_compact()).unwrap()).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(blame_json(&back).to_compact(), doc.to_compact());
+    }
+
+    #[test]
+    fn causes_have_stable_parseable_names() {
+        for c in BlameCause::ALL {
+            assert_eq!(BlameCause::from_parts(c.kind(), c.name()), Some(c));
+        }
+        assert_eq!(BlameCause::from_parts("stall", "nope"), None);
+    }
+}

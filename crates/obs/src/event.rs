@@ -97,6 +97,9 @@ pub struct TraceEvent {
     /// Core (hardware-thread) index; directory/NVM events carry the
     /// core on whose behalf they act.
     pub core: u32,
+    /// The [`OpSite`](crate::BlameTable) the originating core was
+    /// executing (an index into the run's site-name table; 0 = unknown).
+    pub site: u16,
     /// What happened.
     pub kind: EventKind,
 }
@@ -209,6 +212,7 @@ mod tests {
         TraceEvent {
             t,
             core: 0,
+            site: 0,
             kind: EventKind::StallBegin {
                 cause: StallCause::LoadMiss,
             },

@@ -26,6 +26,11 @@
 //! * **Invariant audit** ([`audit`]) — counters that *observe* (never
 //!   enforce) invariants I1–I4 of §5.1 at the points where the machine
 //!   is supposed to uphold them, giving a cheap always-on sanity signal.
+//! * **Blame attribution** ([`blame`]) — streaming `(site, cause)` blame
+//!   tables charging stall cycles and persist latency to `OpSite` labels
+//!   (`structure/operation[/phase]`), with a space-saving top-K sketch
+//!   of per-cache-line heavy hitters. Computed online like the
+//!   histograms, so ring-buffer drops never skew attribution.
 //! * **Exporters** ([`chrome`], [`metrics`]) — Chrome trace-event JSON
 //!   (loadable in Perfetto / `about://tracing`) and a JSONL metrics
 //!   stream sharing the campaign aggregator's `Stats` serialization.
@@ -37,6 +42,7 @@
 //! them under their historical paths.
 
 pub mod audit;
+pub mod blame;
 pub mod chrome;
 pub mod event;
 pub mod hist;
@@ -47,6 +53,7 @@ pub mod series;
 pub mod stats;
 
 pub use audit::{AuditCounter, InvariantAudit};
+pub use blame::{BlameCause, BlameCell, BlameDelta, BlameTable, LineKey, SpaceSaving};
 pub use event::{EngineState, EventKind, MechEvent, TraceEvent};
 pub use hist::Hist;
 pub use json::Json;

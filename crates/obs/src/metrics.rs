@@ -239,6 +239,12 @@ pub fn export_jsonl(report: &ObsReport, stats: &Stats) -> String {
     }
     out.push_str(&audit_json(report).to_compact());
     out.push('\n');
+    let blame = Json::obj([
+        ("type", Json::Str("blame".to_string())),
+        ("blame", crate::blame::blame_json(&report.blame)),
+    ]);
+    out.push_str(&blame.to_compact());
+    out.push('\n');
     let aggregate = Json::obj([
         ("type", Json::Str("aggregate".to_string())),
         ("stats", stats_json(stats)),
@@ -300,7 +306,7 @@ mod tests {
             2,
         );
         let stats = sample_stats();
-        r.flush_issue(10, 0, 0x40, FlushClass::Critical);
+        r.flush_issue(10, 0, 0x40, FlushClass::Critical, 0);
         r.flush_ack(130, 0, 0x40);
         r.maybe_sample(150, &stats);
         let text = export_jsonl(&r.finish(1000, &stats), &stats);
@@ -312,7 +318,25 @@ mod tests {
         assert_eq!(types[0], "obs-header");
         assert!(types.iter().filter(|t| *t == "interval").count() >= 2);
         assert_eq!(types.iter().filter(|t| *t == "hist").count(), 3);
-        assert_eq!(types[types.len() - 2], "audit");
+        assert_eq!(types[types.len() - 3], "audit");
+        assert_eq!(types[types.len() - 2], "blame");
         assert_eq!(types[types.len() - 1], "aggregate");
+    }
+
+    #[test]
+    fn blame_line_round_trips_through_the_stream() {
+        let mut r = Recorder::new(RecorderConfig::summaries_only(), 1);
+        r.set_site_names(vec!["unknown".into(), "queue/enqueue".into()]);
+        r.flush_issue(10, 0, 0x40, FlushClass::Critical, 1);
+        r.flush_ack(130, 0, 0x40);
+        let report = r.finish(1000, &Stats::default());
+        let text = export_jsonl(&report, &Stats::default());
+        let line = text
+            .lines()
+            .find(|l| l.contains("\"type\":\"blame\""))
+            .expect("blame line present");
+        let doc = Json::parse(line).unwrap();
+        let back = crate::blame::parse_blame(doc.get("blame").unwrap()).unwrap();
+        assert_eq!(back, report.blame);
     }
 }

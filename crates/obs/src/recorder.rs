@@ -8,6 +8,7 @@
 //! invariant audit counters.
 
 use crate::audit::InvariantAudit;
+use crate::blame::{BlameCause, BlameTable};
 use crate::event::{EngineState, EventKind, EventRing, MechEvent, Time, TraceEvent};
 use crate::hist::Hist;
 use crate::series::{IntervalSample, Sampler};
@@ -71,7 +72,15 @@ pub struct ObsReport {
     pub audit: InvariantAudit,
     /// Highest RET occupancy observed on any core over the whole run.
     pub ret_high_water: u32,
+    /// Per-`(site, cause)` blame attribution with line heavy hitters.
+    pub blame: BlameTable,
+    /// `OpSite` labels referenced by [`TraceEvent::site`] and the blame
+    /// table (index 0 = unknown).
+    pub site_names: Vec<String>,
 }
+
+/// Outstanding flush issues awaiting their acks, oldest first.
+type FlushIssueFifo = VecDeque<(Time, u16, FlushClass)>;
 
 /// Collects events, metrics, and audits during one simulation run.
 #[derive(Debug)]
@@ -83,8 +92,9 @@ pub struct Recorder {
     flush_to_ack: Hist,
     release_to_persist: Hist,
     ret_residency: Hist,
-    /// FIFO of issue times per (core, line): acks match oldest issue.
-    open_flush: HashMap<(u32, LineAddr), VecDeque<Time>>,
+    /// FIFO of issue (time, site, class) per (core, line): acks match
+    /// the oldest issue.
+    open_flush: HashMap<(u32, LineAddr), FlushIssueFifo>,
     /// Release store commit times awaiting their persist.
     release_commit: HashMap<EventId, Time>,
     /// RET entry times per (core, line).
@@ -94,6 +104,13 @@ pub struct Recorder {
     /// methods directly at each enforcement point.
     pub audit: InvariantAudit,
     ret_high_water: u32,
+    blame: BlameTable,
+    site_names: Vec<String>,
+    /// The site each core is currently executing (set by the substrate).
+    core_site: Vec<u16>,
+    /// A RET-full drain was observed on this core and not yet consumed
+    /// by a store-side stall: the next store-drain stall is RET blame.
+    ret_full_pending: Vec<bool>,
 }
 
 impl Recorder {
@@ -113,11 +130,45 @@ impl Recorder {
             engine: vec![EngineState::Idle; ncores as usize],
             audit: InvariantAudit::new(),
             ret_high_water: 0,
+            blame: BlameTable::default(),
+            site_names: Vec::new(),
+            core_site: vec![0; ncores as usize],
+            ret_full_pending: vec![false; ncores as usize],
         }
     }
 
+    /// Installs the trace's `OpSite` intern table, resolved when blame
+    /// charges and exports render labels.
+    pub fn set_site_names(&mut self, names: Vec<String>) {
+        self.site_names = names;
+    }
+
+    /// The substrate reports the site `core` is currently executing.
+    pub fn set_core_site(&mut self, core: u32, site: u16) {
+        self.core_site[core as usize] = site;
+    }
+
     fn push(&mut self, t: Time, core: u32, kind: EventKind) {
-        self.ring.push(TraceEvent { t, core, kind });
+        let site = self.core_site[core as usize];
+        self.push_at_site(t, core, site, kind);
+    }
+
+    fn push_at_site(&mut self, t: Time, core: u32, site: u16, kind: EventKind) {
+        self.ring.push(TraceEvent {
+            t,
+            core,
+            site,
+            kind,
+        });
+    }
+
+    fn charge(&mut self, site: u16, cause: BlameCause, line: LineAddr, cycles: u64) {
+        let name = self
+            .site_names
+            .get(site as usize)
+            .map(String::as_str)
+            .unwrap_or("unknown");
+        self.blame.charge(name, cause, line, cycles);
     }
 
     /// A core began stalling.
@@ -125,34 +176,71 @@ impl Recorder {
         self.push(t, core, EventKind::StallBegin { cause });
     }
 
-    /// A core resumed after `cycles` stalled on `cause`.
-    pub fn stall_end(&mut self, t: Time, core: u32, cause: StallCause, cycles: Time) {
+    /// A core resumed after `cycles` stalled on `cause`. `line` is the
+    /// cache line the stall waited on when known; `mech_wait` is true
+    /// when the head of the store queue was held up by a mechanism
+    /// flush barrier while the stall ended.
+    ///
+    /// Attribution refinement (observation-only; [`Stats`] stays keyed
+    /// by the raw cause): a store-side stall with a pending RET-full
+    /// drain is charged as [`BlameCause::RetFull`]; otherwise a
+    /// store-side stall behind a barrier is [`BlameCause::BarrierDrain`].
+    pub fn stall_end(
+        &mut self,
+        t: Time,
+        core: u32,
+        cause: StallCause,
+        cycles: Time,
+        line: Option<LineAddr>,
+        mech_wait: bool,
+    ) {
+        let blame = if cause == StallCause::StoreDrain && self.ret_full_pending[core as usize] {
+            self.ret_full_pending[core as usize] = false;
+            BlameCause::RetFull
+        } else if cause == StallCause::StoreDrain && mech_wait {
+            BlameCause::BarrierDrain
+        } else {
+            BlameCause::Stall(cause)
+        };
+        let site = self.core_site[core as usize];
+        self.charge(site, blame, line.unwrap_or(0), cycles);
         self.push(t, core, EventKind::StallEnd { cause, cycles });
     }
 
-    /// A line flush was issued toward the NVM controllers.
-    pub fn flush_issue(&mut self, t: Time, core: u32, line: LineAddr, class: FlushClass) {
+    /// A line flush was issued toward the NVM controllers on behalf of
+    /// the op at `site` (the store that materialized the flush).
+    pub fn flush_issue(
+        &mut self,
+        t: Time,
+        core: u32,
+        line: LineAddr,
+        class: FlushClass,
+        site: u16,
+    ) {
         self.open_flush
             .entry((core, line))
             .or_default()
-            .push_back(t);
-        self.push(t, core, EventKind::FlushIssue { line, class });
+            .push_back((t, site, class));
+        self.push_at_site(t, core, site, EventKind::FlushIssue { line, class });
     }
 
-    /// A flush ack arrived for `line` at `core`.
+    /// A flush ack arrived for `line` at `core`; persist latency is
+    /// charged to the issuing site.
     pub fn flush_ack(&mut self, t: Time, core: u32, line: LineAddr) {
-        let latency = match self.open_flush.get_mut(&(core, line)) {
+        let (latency, site) = match self.open_flush.get_mut(&(core, line)) {
             Some(q) => {
-                let issued = q.pop_front().unwrap_or(t);
+                let (issued, site, class) = q.pop_front().unwrap_or((t, 0, FlushClass::Critical));
                 if q.is_empty() {
                     self.open_flush.remove(&(core, line));
                 }
-                t.saturating_sub(issued)
+                let latency = t.saturating_sub(issued);
+                self.charge(site, BlameCause::Flush(class), line, latency);
+                (latency, site)
             }
-            None => 0,
+            None => (0, self.core_site[core as usize]),
         };
         self.flush_to_ack.record(latency);
-        self.push(t, core, EventKind::FlushAck { line, latency });
+        self.push_at_site(t, core, site, EventKind::FlushAck { line, latency });
     }
 
     /// A release store committed (left the store buffer into the L1);
@@ -204,6 +292,9 @@ impl Recorder {
                     }
                     self.note_ret_occupancy(occupancy);
                 }
+                MechEvent::RetDrain { full: true, .. } => {
+                    self.ret_full_pending[core as usize] = true;
+                }
                 MechEvent::EpochAdvance { .. } | MechEvent::RetDrain { .. } => {}
             }
             self.push(t, core, EventKind::Mech(ev));
@@ -240,6 +331,8 @@ impl Recorder {
             ret_residency: self.ret_residency,
             audit: self.audit,
             ret_high_water: self.ret_high_water,
+            blame: self.blame,
+            site_names: self.site_names,
         }
     }
 }
@@ -251,14 +344,78 @@ mod tests {
     #[test]
     fn flush_latency_matches_issue_to_ack() {
         let mut r = Recorder::new(RecorderConfig::default(), 2);
-        r.flush_issue(100, 0, 0x40, FlushClass::Critical);
-        r.flush_issue(110, 0, 0x40, FlushClass::Background);
+        r.flush_issue(100, 0, 0x40, FlushClass::Critical, 0);
+        r.flush_issue(110, 0, 0x40, FlushClass::Background, 0);
         r.flush_ack(220, 0, 0x40); // matches the t=100 issue
         r.flush_ack(300, 0, 0x40); // matches the t=110 issue
         let report = r.finish(400, &Stats::default());
         assert_eq!(report.flush_to_ack.count, 2);
         assert_eq!(report.flush_to_ack.min(), 120);
         assert_eq!(report.flush_to_ack.max(), 190);
+    }
+
+    #[test]
+    fn flush_blame_charges_the_issuing_site() {
+        let mut r = Recorder::new(RecorderConfig::default(), 1);
+        r.set_site_names(vec!["unknown".into(), "queue/enqueue/link-next".into()]);
+        r.flush_issue(100, 0, 0x40, FlushClass::Critical, 1);
+        r.flush_ack(220, 0, 0x40);
+        let report = r.finish(400, &Stats::default());
+        assert_eq!(
+            report.blame.cycles_for(
+                "queue/enqueue/link-next",
+                BlameCause::Flush(FlushClass::Critical)
+            ),
+            120
+        );
+    }
+
+    #[test]
+    fn store_stall_after_ret_full_drain_is_ret_blame() {
+        let mut r = Recorder::new(RecorderConfig::default(), 1);
+        r.set_site_names(vec!["unknown".into(), "q/enq".into()]);
+        r.set_core_site(0, 1);
+        r.mech_events(
+            10,
+            0,
+            &[MechEvent::RetDrain {
+                line: 0x40,
+                epoch: 3,
+                full: true,
+            }],
+        );
+        r.stall_begin(10, 0, StallCause::StoreDrain);
+        r.stall_end(90, 0, StallCause::StoreDrain, 80, Some(0x40), true);
+        // The pending flag is consumed: the next barrier stall is not RET.
+        r.stall_begin(100, 0, StallCause::StoreDrain);
+        r.stall_end(150, 0, StallCause::StoreDrain, 50, Some(0x80), true);
+        // Non-store stalls keep their raw cause.
+        r.stall_end(200, 0, StallCause::LoadMiss, 30, Some(0xC0), false);
+        let report = r.finish(300, &Stats::default());
+        assert_eq!(report.blame.cycles_for("q/enq", BlameCause::RetFull), 80);
+        assert_eq!(
+            report.blame.cycles_for("q/enq", BlameCause::BarrierDrain),
+            50
+        );
+        assert_eq!(
+            report
+                .blame
+                .cycles_for("q/enq", BlameCause::Stall(StallCause::LoadMiss)),
+            30
+        );
+    }
+
+    #[test]
+    fn events_carry_the_core_site() {
+        let mut r = Recorder::new(RecorderConfig::default(), 1);
+        r.set_site_names(vec!["unknown".into(), "hashmap/insert".into()]);
+        r.stall_begin(5, 0, StallCause::LoadMiss);
+        r.set_core_site(0, 1);
+        r.stall_begin(10, 0, StallCause::LoadMiss);
+        let report = r.finish(20, &Stats::default());
+        assert_eq!(report.events[0].site, 0);
+        assert_eq!(report.events[1].site, 1);
+        assert_eq!(report.site_names[1], "hashmap/insert");
     }
 
     #[test]
@@ -317,11 +474,15 @@ mod tests {
     #[test]
     fn summaries_only_keeps_no_events_but_all_metrics() {
         let mut r = Recorder::new(RecorderConfig::summaries_only(), 1);
-        r.flush_issue(0, 0, 0x40, FlushClass::Sync);
+        r.flush_issue(0, 0, 0x40, FlushClass::Sync, 0);
         r.flush_ack(120, 0, 0x40);
         let report = r.finish(200, &Stats::default());
         assert!(report.events.is_empty());
         assert_eq!(report.flush_to_ack.count, 1);
         assert!(report.intervals.is_empty());
+        assert!(
+            !report.blame.is_empty(),
+            "blame survives summaries-only mode"
+        );
     }
 }

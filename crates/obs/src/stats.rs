@@ -2,7 +2,7 @@
 //! classification behind Figure 6.
 
 /// Why a core was stalled (cycles accumulate per cause).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum StallCause {
     /// Waiting for a load miss.
     LoadMiss,
@@ -41,7 +41,7 @@ impl StallCause {
 }
 
 /// Why a flush was issued (write-back classification for Figure 6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum FlushClass {
     /// The issuing core stalls for it: store `flush_before`, eviction
     /// `flush_before` (I1), RMW persists, RET-full drains. These are the

@@ -131,6 +131,14 @@ struct Core {
     finish: Option<u64>,
     stall_since: u64,
     stall_cause: Option<StallCause>,
+    /// `OpSite` index of the op this core is currently executing
+    /// (attribution only — never consulted for timing).
+    cur_site: u16,
+    /// Line the current stall waits on, for per-line blame.
+    stall_line: Option<LineAddr>,
+    /// The current stall spent time behind a mechanism-ordered flush
+    /// (head store task reached Flushing/WaitAck while stalled).
+    stall_mech: bool,
 }
 
 #[derive(Debug)]
@@ -163,6 +171,9 @@ enum StorePhase {
 struct FlushDesc {
     line: LineAddr,
     covered: Vec<EventId>,
+    /// `OpSite` blamed for the flush: the site of the write that first
+    /// dirtied the line (falls back to the issuing core's current site).
+    site: u16,
 }
 
 #[derive(Debug)]
@@ -341,6 +352,10 @@ pub struct Sim {
     /// Event/metric/audit collection; `None` keeps every hook to a
     /// single branch.
     recorder: Option<Recorder>,
+    /// Interned `OpSite` labels carried over from the trace.
+    site_names: Vec<String>,
+    /// Per-event site index, parallel to the trace's event ids.
+    event_sites: Vec<u16>,
 }
 
 impl Sim {
@@ -365,6 +380,9 @@ impl Sim {
                 finish: None,
                 stall_since: 0,
                 stall_cause: None,
+                cur_site: 0,
+                stall_line: None,
+                stall_mech: false,
             })
             .collect::<Vec<_>>();
         let l1s = (0..ncores)
@@ -407,6 +425,8 @@ impl Sim {
             persist_log: Vec::new(),
             stats: Stats::default(),
             recorder: None,
+            site_names: trace.site_names.clone(),
+            event_sites: trace.event_sites.clone(),
         };
         for c in 0..ncores {
             sim.schedule(0, Ev::CoreStep(c));
@@ -420,8 +440,15 @@ impl Sim {
         for l1 in &mut self.l1s {
             l1.mech.obs_enable();
         }
-        self.recorder = Some(Recorder::new(cfg, self.l1s.len() as u32));
+        let mut r = Recorder::new(cfg, self.l1s.len() as u32);
+        r.set_site_names(self.site_names.clone());
+        self.recorder = Some(r);
         self
+    }
+
+    /// The `OpSite` label index of a trace event (0 = unknown).
+    fn site_of(&self, ev: EventId) -> u16 {
+        self.event_sites.get(ev as usize).copied().unwrap_or(0)
     }
 
     /// Drains mechanism-internal events from core `c` into the recorder,
@@ -568,11 +595,32 @@ impl Sim {
     // -- core -----------------------------------------------------------
 
     fn begin_stall(&mut self, c: usize, cause: StallCause) {
-        self.cores[c].stall_since = self.now;
-        self.cores[c].stall_cause = Some(cause);
+        let core = &self.cores[c];
+        let line = match core.state {
+            CoreState::WaitLoad { line } => Some(line),
+            _ => core.store_q.front().map(|t| t.line),
+        };
+        let mech = core
+            .store_q
+            .front()
+            .map(|t| matches!(t.phase, StorePhase::Flushing | StorePhase::WaitAck))
+            .unwrap_or(false);
+        let core = &mut self.cores[c];
+        core.stall_since = self.now;
+        core.stall_cause = Some(cause);
+        core.stall_line = line;
+        core.stall_mech = mech;
         let now = self.now;
         if let Some(r) = self.recorder.as_mut() {
             r.stall_begin(now, c as u32, cause);
+        }
+    }
+
+    /// Latches the mechanism-wait hint: the head store task moved into a
+    /// flush phase while its core was stalled on the drain.
+    fn note_mech_drain(&mut self, c: usize) {
+        if self.cores[c].stall_cause == Some(StallCause::StoreDrain) {
+            self.cores[c].stall_mech = true;
         }
     }
 
@@ -580,9 +628,11 @@ impl Sim {
         if let Some(cause) = self.cores[c].stall_cause.take() {
             let dur = self.now - self.cores[c].stall_since;
             self.stats.record_stall(cause, dur);
+            let line = self.cores[c].stall_line.take();
+            let mech = std::mem::take(&mut self.cores[c].stall_mech);
             let now = self.now;
             if let Some(r) = self.recorder.as_mut() {
-                r.stall_end(now, c as u32, cause, dur);
+                r.stall_end(now, c as u32, cause, dur, line, mech);
             }
         }
     }
@@ -615,6 +665,13 @@ impl Sim {
         }
         let op = self.cores[c].ops[self.cores[c].pc];
         let line = lrp_model::line_of(op.addr);
+        let site = self.site_of(op.id);
+        if self.cores[c].cur_site != site {
+            self.cores[c].cur_site = site;
+            if let Some(r) = self.recorder.as_mut() {
+                r.set_core_site(c as u32, site);
+            }
+        }
         let is_store = op.kind == EventKind::Write;
         let is_rmw_success = op.kind == EventKind::RmwSuccess;
         let is_read = matches!(op.kind, EventKind::Read | EventKind::RmwFail);
@@ -792,6 +849,7 @@ impl Sim {
                 } else {
                     let t = self.cores[c].store_q.front_mut().unwrap();
                     t.phase = StorePhase::Flushing;
+                    self.note_mech_drain(c);
                     self.enqueue_run(
                         c,
                         act.flush_before,
@@ -883,11 +941,20 @@ impl Sim {
             let run = EngineRun {
                 stages: vec![vec![line]],
             };
+            let site = covered
+                .first()
+                .map(|&e| self.site_of(e))
+                .unwrap_or_else(|| self.site_of(ev));
             let t = self.cores[c].store_q.front_mut().unwrap();
             t.phase = StorePhase::WaitAck;
+            self.note_mech_drain(c);
             self.enqueue_materialized(
                 c,
-                vec![VecDeque::from([vec![FlushDesc { line, covered }]])],
+                vec![VecDeque::from([vec![FlushDesc {
+                    line,
+                    covered,
+                    site,
+                }]])],
                 FlushClass::Critical,
                 JobDone::RmwAck,
                 0,
@@ -942,7 +1009,15 @@ impl Sim {
                     // The line is considered "being flushed" from hand-off
                     // until the NVM ack (the residual-conflict window).
                     *self.l1s[c].inflight.entry(line).or_insert(0) += 1;
-                    descs.push(FlushDesc { line, covered });
+                    let site = covered
+                        .first()
+                        .map(|&e| self.site_of(e))
+                        .unwrap_or(self.cores[c].cur_site);
+                    descs.push(FlushDesc {
+                        line,
+                        covered,
+                        site,
+                    });
                 }
             }
             if !descs.is_empty() {
@@ -1059,7 +1134,7 @@ impl Sim {
         self.stats.record_flush(class, desc.covered.len());
         let now = self.now;
         if let Some(r) = self.recorder.as_mut() {
-            r.flush_issue(now, c as u32, desc.line, class);
+            r.flush_issue(now, c as u32, desc.line, class, desc.site);
         }
         self.l1s[c].seq.pending += 1;
         let n = self.nvm_of(desc.line);
