@@ -1,0 +1,144 @@
+//! `lrp-serve` — the sharded persistent-KV service front-end.
+//!
+//! ```text
+//! lrp-serve --bind 127.0.0.1:0 --shards 2 --port-file /tmp/serve.addr
+//! lrp-serve --uds /tmp/lrp.sock --structure skiplist --mech lrp
+//! ```
+//!
+//! Starts N shards, each owning one simulated machine and one log-free
+//! structure, and serves the length-prefixed wire protocol until a
+//! client sends `Shutdown` (e.g. `lrp-load --shutdown`). On shutdown it
+//! emits the per-shard metrics stream (JSONL) and fails with exit 4 if
+//! any durably-acked write was lost or a null-recovery check failed —
+//! the service-level durability contract of the paper.
+
+use lrp_bench::cli::Cli;
+use lrp_lfds::Structure;
+use lrp_obs::RecorderConfig;
+use lrp_serve::{Bind, Server, ServerConfig, ShardConfig};
+use lrp_sim::{Mechanism, NvmMode};
+
+const USAGE: &str = "usage:\n  \
+    lrp-serve [--bind ADDR | --uds PATH] [--shards N]\n            \
+    [--structure linkedlist|hashmap|bstree|skiplist] [--mech M]\n            \
+    [--mode cached|uncached] [--sim-threads N] [--size N]\n            \
+    [--key-range N] [--seed N] [--audit-samples N]\n            \
+    [--batch-max N] [--batch-wait-ms N] [--queue-depth N]\n            \
+    [--metrics-every-ms N] [--metrics-out FILE] [--port-file FILE]\n            \
+    [--record]\n\n\
+    defaults:\n  \
+    --bind 127.0.0.1:0   (ephemeral port; the bound address goes to\n                        \
+    stderr and, with --port-file, to that file)\n  \
+    --shards 2     --structure hashmap   --mech lrp   --mode cached\n  \
+    --sim-threads 2  --size 64   --key-range 256   --seed 1\n  \
+    --audit-samples 8  --batch-max 16  --batch-wait-ms 5\n  \
+    --queue-depth 64   --metrics-every-ms 250\n  \
+    --record       attach the event recorder (summaries only)\n\n\
+    the server runs until a client sends Shutdown (lrp-load --shutdown)\n\n\
+    exit codes:\n  \
+    0  clean shutdown, durability contract held\n  \
+    1  I/O error (bind, port-file, or metrics-out write)\n  \
+    2  usage error (unknown flag, missing or invalid value)\n  \
+    4  durability violation: a durably-acked write was lost across a\n       \
+    crash-restart, or a null-recovery validation failed";
+
+fn main() {
+    let mut cli = Cli::from_env(USAGE);
+    let bind_addr = cli.opt("bind");
+    let uds: Option<String> = cli.opt("uds");
+    let shards = cli.opt_parse("shards").unwrap_or(2usize);
+    let structure_name = cli.opt("structure").unwrap_or_else(|| "hashmap".into());
+    let mech_name = cli.opt("mech").unwrap_or_else(|| "lrp".into());
+    let mode_name = cli.opt("mode").unwrap_or_else(|| "cached".into());
+    let sim_threads = cli.opt_parse("sim-threads").unwrap_or(2u16);
+    let size = cli.opt_parse("size").unwrap_or(64usize);
+    let key_range = cli.opt_parse("key-range").unwrap_or(256u64);
+    let seed = cli.opt_parse("seed").unwrap_or(1u64);
+    let audit_samples = cli.opt_parse("audit-samples").unwrap_or(8usize);
+    let batch_max = cli.opt_parse("batch-max").unwrap_or(16usize);
+    let batch_wait_ms = cli.opt_parse("batch-wait-ms").unwrap_or(5u64);
+    let queue_depth = cli.opt_parse("queue-depth").unwrap_or(64usize);
+    let metrics_every_ms = cli.opt_parse("metrics-every-ms").unwrap_or(250u64);
+    let metrics_out: Option<String> = cli.opt("metrics-out");
+    let port_file: Option<String> = cli.opt("port-file");
+    let record = cli.flag("record");
+    cli.positionals(0, 0);
+
+    let structure = Structure::from_name(&structure_name)
+        .unwrap_or_else(|| cli.fail(format!("unknown structure {structure_name:?}")));
+    if structure == Structure::Queue {
+        cli.fail("the service layer is a KV store; --structure queue is not servable");
+    }
+    let mechanism = Mechanism::from_name(&mech_name)
+        .unwrap_or_else(|| cli.fail(format!("unknown mechanism {mech_name:?}")));
+    let mode = NvmMode::from_name(&mode_name)
+        .unwrap_or_else(|| cli.fail(format!("unknown NVM mode {mode_name:?}")));
+    if shards == 0 {
+        cli.fail("--shards must be at least 1");
+    }
+    if sim_threads < 2 {
+        cli.fail("--sim-threads must be at least 2 (single-threaded batches rarely persist under lazy mechanisms)");
+    }
+    let uds_path = uds.clone();
+    let bind = match (uds, bind_addr) {
+        (Some(_), Some(_)) => cli.fail("--bind and --uds are mutually exclusive"),
+        #[cfg(unix)]
+        (Some(path), None) => Bind::Uds(path.into()),
+        #[cfg(not(unix))]
+        (Some(_), None) => cli.fail("--uds is only available on unix"),
+        (None, addr) => Bind::Tcp(addr.unwrap_or_else(|| "127.0.0.1:0".into())),
+    };
+
+    let mut shard = ShardConfig::new(structure);
+    shard.mechanism = mechanism;
+    shard.nvm_mode = mode;
+    shard.sim_threads = sim_threads;
+    shard.initial_size = size;
+    shard.key_range = key_range;
+    shard.seed = seed;
+    shard.audit_samples = audit_samples;
+    if record {
+        shard.recorder = Some(RecorderConfig::summaries_only());
+    }
+    let mut cfg = ServerConfig::new(shard);
+    cfg.bind = bind;
+    cfg.shards = shards;
+    cfg.batch_max = batch_max;
+    cfg.batch_wait_ms = batch_wait_ms;
+    cfg.queue_depth = queue_depth;
+    cfg.metrics_every_ms = metrics_every_ms;
+
+    let server = Server::start(cfg).unwrap_or_else(|e| {
+        eprintln!("cannot start server: {e}");
+        std::process::exit(1);
+    });
+    let published = match server.local_addr() {
+        Some(addr) => addr.to_string(),
+        None => uds_path.unwrap_or_else(|| "unix socket".into()),
+    };
+    eprintln!(
+        "lrp-serve: {shards} shard(s) of {structure_name}/{mech_name}/{mode_name} on {published}"
+    );
+    if let Some(path) = &port_file {
+        std::fs::write(path, &published).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+    }
+
+    // Blocks until a client sends Shutdown.
+    let report = server.join();
+    if let Some(path) = &metrics_out {
+        std::fs::write(path, report.to_jsonl()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote shard metrics to {path}");
+    }
+    let lost = report.lost_acked();
+    let failures = report.recovery_failures();
+    eprintln!("lrp-serve: shutdown complete (lost_acked={lost} recovery_failures={failures})");
+    if lost > 0 || failures > 0 {
+        std::process::exit(4);
+    }
+}

@@ -89,11 +89,96 @@ fn lrp_profile_help_documents_every_flag() {
 }
 
 #[test]
+fn lrp_serve_help_documents_every_flag() {
+    assert_documents(
+        env!("CARGO_BIN_EXE_lrp-serve"),
+        &[
+            "bind",
+            "uds",
+            "shards",
+            "structure",
+            "mech",
+            "mode",
+            "sim-threads",
+            "size",
+            "key-range",
+            "seed",
+            "audit-samples",
+            "batch-max",
+            "batch-wait-ms",
+            "queue-depth",
+            "metrics-every-ms",
+            "metrics-out",
+            "port-file",
+            "record",
+        ],
+    );
+}
+
+#[test]
+fn lrp_load_help_documents_every_flag() {
+    assert_documents(
+        env!("CARGO_BIN_EXE_lrp-load"),
+        &[
+            "addr",
+            "uds",
+            "conns",
+            "requests",
+            "window",
+            "dist",
+            "theta",
+            "key-range",
+            "read-pct",
+            "qps",
+            "seed",
+            "crash-at",
+            "crash-shard",
+            "no-verify",
+            "shutdown",
+            "json-out",
+        ],
+    );
+}
+
+#[test]
+fn serve_binaries_document_the_durability_exit_code() {
+    for bin in [
+        env!("CARGO_BIN_EXE_lrp-serve"),
+        env!("CARGO_BIN_EXE_lrp-load"),
+    ] {
+        let help = help_output(bin);
+        assert!(
+            help.contains("4  durability violation"),
+            "{bin} --help documents exit 4:\n{help}"
+        );
+    }
+}
+
+#[test]
+fn lrp_load_requires_a_target() {
+    let out = Command::new(env!("CARGO_BIN_EXE_lrp-load"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "no --addr/--uds is a usage error"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--addr"),
+        "error names the missing flag: {err}"
+    );
+}
+
+#[test]
 fn unknown_flags_exit_2_with_usage() {
     for bin in [
         env!("CARGO_BIN_EXE_lrp-eval"),
         env!("CARGO_BIN_EXE_lrp-trace"),
         env!("CARGO_BIN_EXE_lrp-profile"),
+        env!("CARGO_BIN_EXE_lrp-serve"),
+        env!("CARGO_BIN_EXE_lrp-load"),
     ] {
         let out = Command::new(bin)
             .args(["run", "--no-such-flag"])

@@ -94,6 +94,130 @@ impl std::fmt::Display for Structure {
     }
 }
 
+/// How workload (and service) key draws are distributed over the key
+/// range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDist {
+    /// Uniform over `[1, key_range]` (the SynchroBench default).
+    Uniform,
+    /// Zipfian with exponent `theta` — rank 1 (key 1) is hottest. The
+    /// classic skewed-service distribution (YCSB uses theta = 0.99).
+    Zipfian {
+        /// Skew exponent in `(0, 1)`; larger is more skewed.
+        theta: f64,
+    },
+}
+
+impl KeyDist {
+    /// YCSB's default skew.
+    pub const ZIPFIAN_DEFAULT_THETA: f64 = 0.99;
+
+    /// A short stable name (`uniform` / `zipfian`).
+    pub fn name(self) -> &'static str {
+        match self {
+            KeyDist::Uniform => "uniform",
+            KeyDist::Zipfian { .. } => "zipfian",
+        }
+    }
+
+    /// Builds the per-thread draw state for keys in `[1, range]`.
+    pub fn sampler(self, range: u64) -> KeySampler {
+        match self {
+            KeyDist::Uniform => KeySampler::Uniform { range },
+            KeyDist::Zipfian { theta } => KeySampler::Zipfian(Zipfian::new(range, theta)),
+        }
+    }
+}
+
+impl std::str::FromStr for KeyDist {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "uniform" => Ok(KeyDist::Uniform),
+            "zipfian" => Ok(KeyDist::Zipfian {
+                theta: KeyDist::ZIPFIAN_DEFAULT_THETA,
+            }),
+            other => Err(format!(
+                "unknown key distribution {other:?} (expected uniform|zipfian)"
+            )),
+        }
+    }
+}
+
+/// Materialized draw state for a [`KeyDist`] over a fixed range.
+#[derive(Debug, Clone)]
+pub enum KeySampler {
+    /// Uniform draws.
+    Uniform {
+        /// Keys are drawn from `[1, range]`.
+        range: u64,
+    },
+    /// Zipfian draws.
+    Zipfian(Zipfian),
+}
+
+impl KeySampler {
+    /// Draws one key in `[1, range]` using `rng`.
+    pub fn draw(&self, rng: &mut Xorshift64) -> u64 {
+        match self {
+            KeySampler::Uniform { range } => rng.below(*range) + 1,
+            KeySampler::Zipfian(z) => z.draw(rng),
+        }
+    }
+}
+
+/// Deterministic Zipfian rank generator over `[1, n]` (Gray et al.'s
+/// constant-time-per-draw formulation, as popularized by YCSB), driven
+/// by the in-tree [`Xorshift64`]. Construction is O(n) (one harmonic
+/// sum); draws are O(1). Rank 1 is the most popular key, so skew is
+/// directly observable (and testable) without a scramble step.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipfian {
+    /// A generator over `[1, n]` with exponent `theta` in `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Zipfian {
+        assert!(n >= 1, "zipfian needs a non-empty range");
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "zipfian theta must be in (0, 1), got {theta}"
+        );
+        let zeta = |upto: u64| -> f64 { (1..=upto).map(|i| 1.0 / (i as f64).powf(theta)).sum() };
+        let zetan = zeta(n);
+        let zeta2 = zeta(2.min(n));
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta,
+        }
+    }
+
+    /// Draws one rank in `[1, n]`.
+    pub fn draw(&self, rng: &mut Xorshift64) -> u64 {
+        // 53-bit mantissa uniform in [0, 1).
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 1;
+        }
+        if self.n >= 2 && uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 2;
+        }
+        let rank = 1 + (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n)
+    }
+}
+
 #[derive(Clone, Copy)]
 enum Handle {
     List(LinkedList),
@@ -126,6 +250,8 @@ pub struct WorkloadSpec {
     /// Bucket count for the hash map (0 = `initial_size`, load factor
     /// ~1 as in Michael's evaluation; min 4).
     pub nbuckets: u64,
+    /// How worker key draws are distributed over `[1, key_range]`.
+    pub key_dist: KeyDist,
 }
 
 impl WorkloadSpec {
@@ -141,6 +267,7 @@ impl WorkloadSpec {
             seed: 1,
             read_pct: 0,
             nbuckets: 0,
+            key_dist: KeyDist::Uniform,
         }
     }
 
@@ -184,6 +311,12 @@ impl WorkloadSpec {
     /// Sets the hash-map bucket count.
     pub fn nbuckets(mut self, n: u64) -> Self {
         self.nbuckets = n;
+        self
+    }
+
+    /// Sets the key distribution.
+    pub fn key_dist(mut self, d: KeyDist) -> Self {
+        self.key_dist = d;
         self
     }
 
@@ -273,12 +406,13 @@ impl WorkloadSpec {
                 let ops = self.ops_per_thread;
                 let read_pct = self.read_pct;
                 let seed = self.seed;
+                let sampler = self.key_dist.sampler(range);
                 Box::new(move |c: &mut lrp_exec::GateCtx| {
                     let h = *handle.get().expect("setup ran before workers");
                     let mut rng =
                         Xorshift64::new(seed.wrapping_mul(0x5851_F42D).wrapping_add(t as u64 + 1));
                     for i in 0..ops {
-                        let key = rng.below(range) + 1;
+                        let key = sampler.draw(&mut rng);
                         let is_read = rng.below(100) < read_pct as u64;
                         let is_insert = rng.below(2) == 0;
                         let op = SetOp::pick(is_read, is_insert);
@@ -492,6 +626,103 @@ mod tests {
         }
         assert!("btree".parse::<Structure>().is_err());
         assert_eq!(Structure::infer_from_roots(["nbuckets"]), None);
+    }
+
+    #[test]
+    fn zipfian_draws_are_deterministic() {
+        let z = Zipfian::new(1000, 0.99);
+        let mut a = Xorshift64::new(7);
+        let mut b = Xorshift64::new(7);
+        let seq_a: Vec<u64> = (0..64).map(|_| z.draw(&mut a)).collect();
+        let seq_b: Vec<u64> = (0..64).map(|_| z.draw(&mut b)).collect();
+        assert_eq!(seq_a, seq_b);
+        let mut c = Xorshift64::new(8);
+        let seq_c: Vec<u64> = (0..64).map(|_| z.draw(&mut c)).collect();
+        assert_ne!(seq_a, seq_c, "different seeds draw different keys");
+    }
+
+    #[test]
+    fn zipfian_skew_has_the_right_shape() {
+        let n = 100u64;
+        let draws = 100_000usize;
+        let z = Zipfian::new(n, 0.99);
+        let mut rng = Xorshift64::new(42);
+        let mut counts = vec![0u64; n as usize + 1];
+        for _ in 0..draws {
+            let k = z.draw(&mut rng);
+            assert!((1..=n).contains(&k));
+            counts[k as usize] += 1;
+        }
+        // Rank 1's analytic share at theta=0.99, n=100 is ~19%; allow slack.
+        let share1 = counts[1] as f64 / draws as f64;
+        assert!(share1 > 0.12, "rank 1 share {share1} too flat for zipfian");
+        // Broad monotonicity: the head decile dominates the tail decile.
+        let head: u64 = counts[1..=10].iter().sum();
+        let tail: u64 = counts[91..=100].iter().sum();
+        assert!(
+            head > 10 * tail.max(1),
+            "head {head} should dwarf tail {tail}"
+        );
+        // Uniform stays flat by comparison.
+        let u = KeyDist::Uniform.sampler(n);
+        let mut rng = Xorshift64::new(42);
+        let mut ucounts = vec![0u64; n as usize + 1];
+        for _ in 0..draws {
+            ucounts[u.draw(&mut rng) as usize] += 1;
+        }
+        let (umin, umax) = (1..=n as usize).fold((u64::MAX, 0), |(lo, hi), k| {
+            (lo.min(ucounts[k]), hi.max(ucounts[k]))
+        });
+        assert!(
+            (umax as f64) < 2.0 * umin as f64,
+            "uniform draws unexpectedly skewed: min {umin} max {umax}"
+        );
+    }
+
+    #[test]
+    fn zipfian_traces_hit_hot_keys_and_stay_deterministic() {
+        let base = WorkloadSpec::new(Structure::HashMap)
+            .initial_size(32)
+            .threads(2)
+            .ops_per_thread(40)
+            .seed(11);
+        let zipf = base.clone().key_dist(KeyDist::Zipfian { theta: 0.99 });
+        let a = zipf.build_trace();
+        let b = zipf.build_trace();
+        assert_eq!(a.events, b.events, "zipfian traces are deterministic");
+        a.validate().unwrap();
+        // The zipfian trace must differ from the uniform one and
+        // concentrate its operations on low keys.
+        let uni = base.build_trace();
+        assert_ne!(a.events, uni.events);
+        let low_keys = |t: &Trace| {
+            t.markers
+                .iter()
+                .filter_map(|m| match m.op {
+                    OpKind::Insert(k, _) | OpKind::Delete(k) | OpKind::Contains(k) => Some(k),
+                    _ => None,
+                })
+                .filter(|&k| k <= 8)
+                .count()
+        };
+        assert!(
+            low_keys(&a) > 2 * low_keys(&uni).max(1),
+            "zipfian ops should concentrate on the hot head"
+        );
+    }
+
+    #[test]
+    fn key_dist_parses_and_names_round_trip() {
+        assert_eq!("uniform".parse::<KeyDist>(), Ok(KeyDist::Uniform));
+        assert_eq!(
+            "zipfian".parse::<KeyDist>(),
+            Ok(KeyDist::Zipfian {
+                theta: KeyDist::ZIPFIAN_DEFAULT_THETA
+            })
+        );
+        assert!("zipf".parse::<KeyDist>().is_err());
+        assert_eq!(KeyDist::Uniform.name(), "uniform");
+        assert_eq!(KeyDist::Zipfian { theta: 0.5 }.name(), "zipfian");
     }
 
     #[test]

@@ -32,5 +32,5 @@ pub mod queue;
 pub mod skiplist;
 pub mod validate;
 
-pub use harness::{Structure, WorkloadSpec};
-pub use validate::{validate_image, MemImage, ValidationError};
+pub use harness::{KeyDist, KeySampler, Structure, WorkloadSpec, Zipfian};
+pub use validate::{validate_image, MemImage, Recovered, ValidationError};

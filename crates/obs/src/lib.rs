@@ -58,5 +58,5 @@ pub use event::{EngineState, EventKind, MechEvent, TraceEvent};
 pub use hist::Hist;
 pub use json::Json;
 pub use recorder::{ObsReport, Recorder, RecorderConfig};
-pub use series::IntervalSample;
+pub use series::{GaugeSample, GaugeSeries, IntervalSample, GAUGE_COUNTERS};
 pub use stats::{FlushClass, StallCause, Stats};

@@ -122,6 +122,110 @@ impl Sampler {
     }
 }
 
+/// One interval of a [`GaugeSeries`]: a gauge's high-water mark plus
+/// monotone counter deltas over a fixed-width time window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GaugeSample {
+    /// First tick covered (inclusive).
+    pub start: u64,
+    /// Last tick covered (exclusive).
+    pub end: u64,
+    /// Highest gauge value observed during the interval.
+    pub high: u64,
+    /// Gauge value at the end of the interval (last observation).
+    pub last: u64,
+    /// Counter increments accrued during the interval (e.g. items
+    /// enqueued, requests shed), in the caller's slot order.
+    pub counts: [u64; GAUGE_COUNTERS],
+}
+
+/// Counter slots carried per [`GaugeSample`].
+pub const GAUGE_COUNTERS: usize = 4;
+
+/// The service-side counterpart of [`Sampler`]: samples one gauge (e.g.
+/// a shard's queue depth) and up to [`GAUGE_COUNTERS`] monotone event
+/// counters (enqueues, sheds, …) into fixed-width intervals on an
+/// arbitrary clock (the serving layer uses milliseconds; the simulator
+/// uses cycles). Like [`Sampler`], a quiet period emits one wider
+/// interval rather than fabricating empty ones, and counter deltas over
+/// a series sum exactly to the totals.
+#[derive(Debug, Clone)]
+pub struct GaugeSeries {
+    every: u64,
+    last_end: u64,
+    gauge: u64,
+    high: u64,
+    counts: [u64; GAUGE_COUNTERS],
+    marked: [u64; GAUGE_COUNTERS],
+    /// Completed intervals, in time order.
+    pub intervals: Vec<GaugeSample>,
+}
+
+impl GaugeSeries {
+    /// A series emitting an interval every `every` ticks.
+    pub fn new(every: u64) -> GaugeSeries {
+        GaugeSeries {
+            every: every.max(1),
+            last_end: 0,
+            gauge: 0,
+            high: 0,
+            counts: [0; GAUGE_COUNTERS],
+            marked: [0; GAUGE_COUNTERS],
+            intervals: Vec::new(),
+        }
+    }
+
+    /// Records a gauge observation at tick `now`, closing any crossed
+    /// interval boundary first.
+    pub fn note(&mut self, now: u64, value: u64) {
+        self.roll(now);
+        self.gauge = value;
+        self.high = self.high.max(value);
+    }
+
+    /// Bumps counter `slot` by `n` at tick `now`.
+    pub fn bump(&mut self, now: u64, slot: usize, n: u64) {
+        self.roll(now);
+        self.counts[slot] += n;
+    }
+
+    /// Total accumulated for counter `slot` across the whole series.
+    pub fn total(&self, slot: usize) -> u64 {
+        self.counts[slot]
+    }
+
+    fn roll(&mut self, now: u64) {
+        let boundary = now - (now % self.every);
+        if boundary > self.last_end {
+            self.emit(boundary);
+        }
+    }
+
+    fn emit(&mut self, end: u64) {
+        let mut deltas = [0u64; GAUGE_COUNTERS];
+        for (d, (c, m)) in deltas.iter_mut().zip(self.counts.iter().zip(&self.marked)) {
+            *d = c - m;
+        }
+        self.intervals.push(GaugeSample {
+            start: self.last_end,
+            end,
+            high: self.high,
+            last: self.gauge,
+            counts: deltas,
+        });
+        self.last_end = end;
+        self.marked = self.counts;
+        self.high = self.gauge;
+    }
+
+    /// Closes the final (possibly partial) interval at end of run.
+    pub fn finish(&mut self, now: u64) {
+        if now > self.last_end || self.intervals.is_empty() {
+            self.emit(now.max(self.last_end));
+        }
+    }
+}
+
 /// Sums interval deltas — the consistency check's counterpart to the
 /// final aggregate `Stats`.
 pub fn sum_intervals(intervals: &[IntervalSample]) -> IntervalSample {
@@ -184,6 +288,40 @@ mod tests {
         smp.finish(15, &stats(2, 0, 0));
         assert_eq!(smp.intervals[0].ret_high_water, 28);
         assert_eq!(smp.intervals[1].ret_high_water, 3);
+    }
+
+    #[test]
+    fn gauge_series_tracks_high_water_and_counter_deltas() {
+        let mut g = GaugeSeries::new(100);
+        g.note(10, 3);
+        g.note(40, 8);
+        g.bump(50, 0, 2); // slot 0: enqueued
+        g.note(90, 1);
+        g.note(130, 5); // crosses the 100 boundary
+        g.bump(150, 1, 1); // slot 1: shed
+        g.finish(170);
+        assert_eq!(g.intervals.len(), 2);
+        let a = g.intervals[0];
+        assert_eq!((a.start, a.end), (0, 100));
+        assert_eq!(a.high, 8);
+        assert_eq!(a.last, 1);
+        assert_eq!(a.counts[0], 2);
+        let b = g.intervals[1];
+        assert_eq!((b.start, b.end), (100, 170));
+        assert_eq!(b.high, 5, "carries the live gauge into the new interval");
+        assert_eq!(b.counts[1], 1);
+        let shed: u64 = g.intervals.iter().map(|s| s.counts[1]).sum();
+        assert_eq!(shed, g.total(1), "deltas sum to the counter total");
+    }
+
+    #[test]
+    fn gauge_series_quiet_period_emits_one_wide_interval() {
+        let mut g = GaugeSeries::new(10);
+        g.note(5, 2);
+        g.note(95, 2); // jumped 8 boundaries: one wide interval
+        g.finish(95);
+        let spans: Vec<(u64, u64)> = g.intervals.iter().map(|s| (s.start, s.end)).collect();
+        assert_eq!(spans, vec![(0, 90), (90, 95)]);
     }
 
     #[test]

@@ -24,7 +24,9 @@ pub mod check;
 pub mod counterexample;
 pub mod crash;
 pub mod history;
+pub mod restart;
 
 pub use check::{check_null_recovery, RecoveryReport};
 pub use crash::{nvm_at, CrashPlan};
 pub use history::{history_consistent, HistoryViolation};
+pub use restart::{crash_restart, crash_restart_random, random_crash_stamp, ShardRestart};

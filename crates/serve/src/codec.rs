@@ -1,0 +1,515 @@
+//! Zero-dependency length-prefixed wire protocol.
+//!
+//! Frames are `u32` little-endian length followed by `length` payload
+//! bytes (capped at [`MAX_FRAME`]); the payload is an opcode byte, the
+//! client-assigned request id, and fixed-width little-endian fields.
+//! Strings are `u32` length + UTF-8 bytes. Every reply echoes the
+//! request id, so clients may pipeline: replies can arrive out of order
+//! across shards.
+//!
+//! Decoding is total: malformed input (truncated frame, oversized
+//! length, unknown opcode, bad UTF-8) yields a typed [`WireError`],
+//! never a panic — the fuzz test drives seeded random bytes through
+//! both decoders to hold that line.
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on payload length; larger prefixes are rejected without
+/// allocating.
+pub const MAX_FRAME: usize = 64 * 1024;
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Membership/value query.
+    Get {
+        /// Client-assigned id echoed in the reply.
+        id: u64,
+        /// Key queried.
+        key: u64,
+    },
+    /// Insert `key` (set semantics: the LFDs store `value = key`).
+    Put {
+        /// Client-assigned id echoed in the reply.
+        id: u64,
+        /// Key inserted.
+        key: u64,
+    },
+    /// Delete `key`.
+    Del {
+        /// Client-assigned id echoed in the reply.
+        id: u64,
+        /// Key deleted.
+        key: u64,
+    },
+    /// Liveness probe; answered from the accept path, never queued.
+    Ping {
+        /// Client-assigned id echoed in the reply.
+        id: u64,
+    },
+    /// Server counters snapshot as a JSON string reply.
+    Stats {
+        /// Client-assigned id echoed in the reply.
+        id: u64,
+    },
+    /// Admin: kill shard `shard` at its next batch and restart it from
+    /// its NVM image (null recovery).
+    Crash {
+        /// Client-assigned id echoed in the reply.
+        id: u64,
+        /// Shard to kill.
+        shard: u32,
+    },
+    /// Admin: drain queues, write metrics, and stop the server.
+    Shutdown {
+        /// Client-assigned id echoed in the reply.
+        id: u64,
+    },
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Reply to [`Request::Get`].
+    Value {
+        /// Echo of the request id.
+        id: u64,
+        /// Key present at the linearization point.
+        present: bool,
+        /// The observation is backed by persisted state only.
+        durable: bool,
+        /// Shard batch that executed the op.
+        batch: u64,
+        /// Execution rank within the batch (global event order).
+        seq: u64,
+    },
+    /// Reply to [`Request::Put`]/[`Request::Del`].
+    Done {
+        /// Echo of the request id.
+        id: u64,
+        /// Operation took effect (`false` = key already present/absent).
+        applied: bool,
+        /// Effect (and everything it depends on) persisted before the
+        /// batch completed: the durable ack. `false` is retryable.
+        durable: bool,
+        /// Shard batch that executed the op.
+        batch: u64,
+        /// Execution rank within the batch (global event order).
+        seq: u64,
+        /// Simulated cycle, within the batch, at which the op's last
+        /// write persisted (0 for no-op/read-only outcomes).
+        persist_cycles: u64,
+    },
+    /// Admission control: the shard queue is full; retry after the hint.
+    Overloaded {
+        /// Echo of the request id.
+        id: u64,
+        /// Suggested client back-off.
+        retry_after_ms: u32,
+        /// Queue depth observed at rejection.
+        queue_depth: u32,
+    },
+    /// The op was in flight when its shard crashed: **unacked**, effect
+    /// unknown; retry to find out.
+    Crashed {
+        /// Echo of the request id.
+        id: u64,
+        /// Shard that crashed.
+        shard: u32,
+        /// Batch the op was riding in when the crash hit.
+        batch: u64,
+    },
+    /// Reply to [`Request::Ping`].
+    Pong {
+        /// Echo of the request id.
+        id: u64,
+    },
+    /// JSON payload reply ([`Request::Stats`], [`Request::Crash`]).
+    Report {
+        /// Echo of the request id.
+        id: u64,
+        /// Compact JSON document.
+        json: String,
+    },
+    /// Reply to [`Request::Shutdown`].
+    ShuttingDown {
+        /// Echo of the request id.
+        id: u64,
+    },
+    /// Server-side failure (e.g. unroutable request).
+    Error {
+        /// Echo of the request id.
+        id: u64,
+        /// Human-readable cause.
+        msg: String,
+    },
+}
+
+/// Why a frame or payload failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before a declared field.
+    Truncated,
+    /// Length prefix exceeded [`MAX_FRAME`].
+    Oversized(usize),
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// A string field was not UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::Oversized(n) => write!(f, "frame of {n} bytes exceeds {MAX_FRAME}"),
+            WireError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            WireError::BadUtf8 => write!(f, "string field is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for io::Error {
+    fn from(e: WireError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+// -- primitive readers/writers ----------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, at: 0 }
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.at).ok_or(WireError::Truncated)?;
+        self.at += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let end = self.at.checked_add(4).ok_or(WireError::Truncated)?;
+        let bytes = self.buf.get(self.at..end).ok_or(WireError::Truncated)?;
+        self.at = end;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let end = self.at.checked_add(8).ok_or(WireError::Truncated)?;
+        let bytes = self.buf.get(self.at..end).ok_or(WireError::Truncated)?;
+        self.at = end;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        if len > MAX_FRAME {
+            return Err(WireError::Oversized(len));
+        }
+        let end = self.at.checked_add(len).ok_or(WireError::Truncated)?;
+        let bytes = self.buf.get(self.at..end).ok_or(WireError::Truncated)?;
+        self.at = end;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+// -- opcodes ----------------------------------------------------------
+
+const OP_GET: u8 = 0x01;
+const OP_PUT: u8 = 0x02;
+const OP_DEL: u8 = 0x03;
+const OP_PING: u8 = 0x04;
+const OP_STATS: u8 = 0x05;
+const OP_CRASH: u8 = 0x06;
+const OP_SHUTDOWN: u8 = 0x07;
+
+const OP_VALUE: u8 = 0x81;
+const OP_DONE: u8 = 0x82;
+const OP_OVERLOADED: u8 = 0x83;
+const OP_CRASHED: u8 = 0x84;
+const OP_PONG: u8 = 0x85;
+const OP_REPORT: u8 = 0x86;
+const OP_SHUTTING_DOWN: u8 = 0x87;
+const OP_ERROR: u8 = 0x88;
+
+/// Encodes a request payload (no length prefix).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::with_capacity(17);
+    match req {
+        Request::Get { id, key } => {
+            out.push(OP_GET);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&key.to_le_bytes());
+        }
+        Request::Put { id, key } => {
+            out.push(OP_PUT);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&key.to_le_bytes());
+        }
+        Request::Del { id, key } => {
+            out.push(OP_DEL);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&key.to_le_bytes());
+        }
+        Request::Ping { id } => {
+            out.push(OP_PING);
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        Request::Stats { id } => {
+            out.push(OP_STATS);
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        Request::Crash { id, shard } => {
+            out.push(OP_CRASH);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&shard.to_le_bytes());
+        }
+        Request::Shutdown { id } => {
+            out.push(OP_SHUTDOWN);
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes a request payload.
+pub fn decode_request(buf: &[u8]) -> Result<Request, WireError> {
+    let mut r = Reader::new(buf);
+    let op = r.u8()?;
+    let id = r.u64()?;
+    match op {
+        OP_GET => Ok(Request::Get { id, key: r.u64()? }),
+        OP_PUT => Ok(Request::Put { id, key: r.u64()? }),
+        OP_DEL => Ok(Request::Del { id, key: r.u64()? }),
+        OP_PING => Ok(Request::Ping { id }),
+        OP_STATS => Ok(Request::Stats { id }),
+        OP_CRASH => Ok(Request::Crash {
+            id,
+            shard: r.u32()?,
+        }),
+        OP_SHUTDOWN => Ok(Request::Shutdown { id }),
+        other => Err(WireError::BadOpcode(other)),
+    }
+}
+
+/// Encodes a response payload (no length prefix).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::with_capacity(41);
+    match resp {
+        Response::Value {
+            id,
+            present,
+            durable,
+            batch,
+            seq,
+        } => {
+            out.push(OP_VALUE);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.push(*present as u8);
+            out.push(*durable as u8);
+            out.extend_from_slice(&batch.to_le_bytes());
+            out.extend_from_slice(&seq.to_le_bytes());
+        }
+        Response::Done {
+            id,
+            applied,
+            durable,
+            batch,
+            seq,
+            persist_cycles,
+        } => {
+            out.push(OP_DONE);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.push(*applied as u8);
+            out.push(*durable as u8);
+            out.extend_from_slice(&batch.to_le_bytes());
+            out.extend_from_slice(&seq.to_le_bytes());
+            out.extend_from_slice(&persist_cycles.to_le_bytes());
+        }
+        Response::Overloaded {
+            id,
+            retry_after_ms,
+            queue_depth,
+        } => {
+            out.push(OP_OVERLOADED);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&retry_after_ms.to_le_bytes());
+            out.extend_from_slice(&queue_depth.to_le_bytes());
+        }
+        Response::Crashed { id, shard, batch } => {
+            out.push(OP_CRASHED);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&shard.to_le_bytes());
+            out.extend_from_slice(&batch.to_le_bytes());
+        }
+        Response::Pong { id } => {
+            out.push(OP_PONG);
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        Response::Report { id, json } => {
+            out.push(OP_REPORT);
+            out.extend_from_slice(&id.to_le_bytes());
+            put_string(&mut out, json);
+        }
+        Response::ShuttingDown { id } => {
+            out.push(OP_SHUTTING_DOWN);
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        Response::Error { id, msg } => {
+            out.push(OP_ERROR);
+            out.extend_from_slice(&id.to_le_bytes());
+            put_string(&mut out, msg);
+        }
+    }
+    out
+}
+
+/// Decodes a response payload.
+pub fn decode_response(buf: &[u8]) -> Result<Response, WireError> {
+    let mut r = Reader::new(buf);
+    let op = r.u8()?;
+    let id = r.u64()?;
+    match op {
+        OP_VALUE => Ok(Response::Value {
+            id,
+            present: r.u8()? != 0,
+            durable: r.u8()? != 0,
+            batch: r.u64()?,
+            seq: r.u64()?,
+        }),
+        OP_DONE => Ok(Response::Done {
+            id,
+            applied: r.u8()? != 0,
+            durable: r.u8()? != 0,
+            batch: r.u64()?,
+            seq: r.u64()?,
+            persist_cycles: r.u64()?,
+        }),
+        OP_OVERLOADED => Ok(Response::Overloaded {
+            id,
+            retry_after_ms: r.u32()?,
+            queue_depth: r.u32()?,
+        }),
+        OP_CRASHED => Ok(Response::Crashed {
+            id,
+            shard: r.u32()?,
+            batch: r.u64()?,
+        }),
+        OP_PONG => Ok(Response::Pong { id }),
+        OP_REPORT => Ok(Response::Report {
+            id,
+            json: r.string()?,
+        }),
+        OP_SHUTTING_DOWN => Ok(Response::ShuttingDown { id }),
+        OP_ERROR => Ok(Response::Error {
+            id,
+            msg: r.string()?,
+        }),
+        other => Err(WireError::BadOpcode(other)),
+    }
+}
+
+/// The id a request carries (every variant has one).
+pub fn request_id(req: &Request) -> u64 {
+    match req {
+        Request::Get { id, .. }
+        | Request::Put { id, .. }
+        | Request::Del { id, .. }
+        | Request::Ping { id }
+        | Request::Stats { id }
+        | Request::Crash { id, .. }
+        | Request::Shutdown { id } => *id,
+    }
+}
+
+/// The id a response echoes (every variant has one).
+pub fn response_id(resp: &Response) -> u64 {
+    match resp {
+        Response::Value { id, .. }
+        | Response::Done { id, .. }
+        | Response::Overloaded { id, .. }
+        | Response::Crashed { id, .. }
+        | Response::Pong { id }
+        | Response::Report { id, .. }
+        | Response::ShuttingDown { id }
+        | Response::Error { id, .. } => *id,
+    }
+}
+
+// -- framing ----------------------------------------------------------
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. `Ok(None)` on clean EOF at a frame
+/// boundary; oversized or truncated frames are [`io::ErrorKind::InvalidData`].
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read(&mut len) {
+        Ok(0) => return Ok(None),
+        Ok(n) if n < 4 => r.read_exact(&mut len[n..]).map_err(truncated)?,
+        Ok(_) => {}
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::Oversized(len).into());
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(truncated)?;
+    Ok(Some(payload))
+}
+
+fn truncated(e: io::Error) -> io::Error {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        WireError::Truncated.into()
+    } else {
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_through_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn ids_are_extractable_from_every_variant() {
+        let req = Request::Crash { id: 9, shard: 1 };
+        assert_eq!(request_id(&req), 9);
+        let resp = Response::Overloaded {
+            id: 12,
+            retry_after_ms: 5,
+            queue_depth: 3,
+        };
+        assert_eq!(response_id(&resp), 12);
+    }
+}

@@ -1,0 +1,160 @@
+//! JSONL metrics export for the serving layer.
+//!
+//! The stream extends the workspace's metrics vocabulary (see
+//! `lrp_obs::metrics`) with three service-level record types:
+//!
+//! * `serve-header` — one line: the server's static configuration;
+//! * `serve-shard` — one line per shard: lifetime counters, the merged
+//!   simulator [`Stats`], and the three persist-latency histograms;
+//! * `serve-interval` — per-shard time series from a
+//!   [`GaugeSeries`](lrp_obs::GaugeSeries): queue-depth high-water and
+//!   enqueue/shed/complete/batch counter deltas per wall-clock window.
+
+use crate::shard::ShardCounters;
+use lrp_obs::metrics::{hist_json, stats_json, METRICS_VERSION};
+use lrp_obs::{GaugeSample, Hist, Json, Stats};
+
+/// Names for the four [`lrp_obs::GAUGE_COUNTERS`] slots the serving
+/// layer uses, in slot order.
+pub const GAUGE_SLOT_NAMES: [&str; 4] = ["enqueued", "shed", "completed", "batches"];
+
+/// Counter slot: requests admitted to a shard queue.
+pub const SLOT_ENQUEUED: usize = 0;
+/// Counter slot: requests rejected by admission control.
+pub const SLOT_SHED: usize = 1;
+/// Counter slot: requests answered (any reply type).
+pub const SLOT_COMPLETED: usize = 2;
+/// Counter slot: batches executed.
+pub const SLOT_BATCHES: usize = 3;
+
+/// The `serve-header` line.
+#[allow(clippy::too_many_arguments)]
+pub fn header_json(
+    shards: usize,
+    structure: &str,
+    mechanism: &str,
+    nvm_mode: &str,
+    sim_threads: u64,
+    batch_max: u64,
+    batch_wait_ms: u64,
+    queue_depth: u64,
+) -> Json {
+    Json::obj([
+        ("record", Json::Str("serve-header".into())),
+        ("version", Json::U64(METRICS_VERSION)),
+        ("shards", Json::U64(shards as u64)),
+        ("structure", Json::Str(structure.into())),
+        ("mechanism", Json::Str(mechanism.into())),
+        ("nvm_mode", Json::Str(nvm_mode.into())),
+        ("sim_threads", Json::U64(sim_threads)),
+        ("batch_max", Json::U64(batch_max)),
+        ("batch_wait_ms", Json::U64(batch_wait_ms)),
+        ("queue_depth", Json::U64(queue_depth)),
+    ])
+}
+
+/// Counters as a JSON object (shared by `serve-shard` lines and the
+/// `Stats` admin reply).
+pub fn counters_json(c: &ShardCounters) -> Json {
+    Json::obj([
+        ("requests", Json::U64(c.requests)),
+        ("batches", Json::U64(c.batches)),
+        ("acked_durable", Json::U64(c.acked_durable)),
+        ("nondurable", Json::U64(c.nondurable)),
+        ("downgrades", Json::U64(c.downgrades)),
+        ("crashes", Json::U64(c.crashes)),
+        ("recovery_failures", Json::U64(c.recovery_failures)),
+        ("lost_acked", Json::U64(c.lost_acked)),
+    ])
+}
+
+/// The `serve-shard` line for one shard.
+pub fn shard_json(
+    shard: usize,
+    counters: &ShardCounters,
+    committed: u64,
+    stats: &Stats,
+    hists: &[Hist; 3],
+) -> Json {
+    Json::obj([
+        ("record", Json::Str("serve-shard".into())),
+        ("shard", Json::U64(shard as u64)),
+        ("counters", counters_json(counters)),
+        ("committed_keys", Json::U64(committed)),
+        ("stats", stats_json(stats)),
+        ("flush_to_ack", hist_json(&hists[0])),
+        ("release_to_persist", hist_json(&hists[1])),
+        ("ret_residency", hist_json(&hists[2])),
+    ])
+}
+
+/// One `serve-interval` line: shard queue gauge + counter deltas over a
+/// wall-clock window (milliseconds since server start).
+pub fn interval_json(shard: usize, s: &GaugeSample) -> Json {
+    let mut counts = Vec::with_capacity(GAUGE_SLOT_NAMES.len());
+    for (i, name) in GAUGE_SLOT_NAMES.iter().enumerate() {
+        counts.push((*name, Json::U64(s.counts[i])));
+    }
+    Json::obj([
+        ("record", Json::Str("serve-interval".into())),
+        ("shard", Json::U64(shard as u64)),
+        ("start_ms", Json::U64(s.start)),
+        ("end_ms", Json::U64(s.end)),
+        ("queue_high", Json::U64(s.high)),
+        ("queue_last", Json::U64(s.last)),
+        ("counts", Json::obj(counts)),
+    ])
+}
+
+/// A [`CrashOutcome`](crate::shard::CrashOutcome) as the JSON document
+/// returned in the `Crash` admin reply.
+pub fn crash_json(shard: usize, o: &crate::shard::CrashOutcome) -> Json {
+    Json::obj([
+        ("record", Json::Str("serve-crash".into())),
+        ("shard", Json::U64(shard as u64)),
+        ("batch", Json::U64(o.batch)),
+        (
+            "crash_stamp",
+            match o.crash_stamp {
+                Some(s) => Json::U64(s),
+                None => Json::Null,
+            },
+        ),
+        ("consistent", Json::Bool(o.consistent)),
+        ("recovered_keys", Json::U64(o.recovered as u64)),
+        ("lost_acked", Json::U64(o.lost_acked.len() as u64)),
+        ("phantom", Json::U64(o.phantom.len() as u64)),
+        ("audit_points", Json::U64(o.audit_points as u64)),
+        ("audit_failures", Json::U64(o.audit_failures as u64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_lines_parse_back_and_name_every_slot() {
+        let h = header_json(2, "hashmap", "lrp", "cached", 2, 16, 5, 64);
+        let parsed = Json::parse(&h.to_compact()).unwrap();
+        assert_eq!(parsed.get("record").unwrap().as_str(), Some("serve-header"));
+        assert_eq!(parsed.get("shards").unwrap().as_u64(), Some(2));
+
+        let mut sample = GaugeSample {
+            start: 0,
+            end: 250,
+            high: 9,
+            last: 1,
+            ..GaugeSample::default()
+        };
+        sample.counts[SLOT_ENQUEUED] = 40;
+        sample.counts[SLOT_SHED] = 3;
+        let line = interval_json(1, &sample);
+        let parsed = Json::parse(&line.to_compact()).unwrap();
+        let counts = parsed.get("counts").unwrap();
+        assert_eq!(counts.get("enqueued").unwrap().as_u64(), Some(40));
+        assert_eq!(counts.get("shed").unwrap().as_u64(), Some(3));
+        assert_eq!(counts.get("completed").unwrap().as_u64(), Some(0));
+        assert_eq!(parsed.get("queue_high").unwrap().as_u64(), Some(9));
+    }
+}

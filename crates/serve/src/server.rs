@@ -1,0 +1,690 @@
+//! The service front-end: listener, router, per-shard queues and
+//! batching workers, admission control, crash administration, and
+//! shutdown.
+//!
+//! Threading model: one accept thread, one detached reader thread per
+//! connection, and one worker thread per shard. Readers route requests
+//! by key hash into a bounded per-shard queue (full queue ⇒ typed
+//! `Overloaded` reply — the reader never blocks on a slow shard, so an
+//! overloaded shard cannot stall the accept path). Each worker drains
+//! its queue in batches (closed by size or deadline), executes the
+//! batch on its [`Shard`], and writes replies directly to the owning
+//! connections; replies are length-prefixed frames tagged with the
+//! request id, so they may interleave arbitrarily with other traffic on
+//! the same connection.
+
+use crate::codec::{decode_request, encode_response, read_frame, write_frame, Request, Response};
+use crate::metrics::{
+    counters_json, crash_json, header_json, interval_json, shard_json, SLOT_BATCHES,
+    SLOT_COMPLETED, SLOT_ENQUEUED, SLOT_SHED,
+};
+use crate::shard::{KvOp, Shard, ShardConfig, ShardCounters};
+use lrp_obs::{GaugeSample, GaugeSeries, Hist, Json, Stats};
+use std::collections::VecDeque;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Where the server listens.
+#[derive(Debug, Clone)]
+pub enum Bind {
+    /// TCP address, e.g. `127.0.0.1:0` (port 0 picks an ephemeral port).
+    Tcp(String),
+    /// Unix-domain socket path (the loopback mode without TCP).
+    #[cfg(unix)]
+    Uds(std::path::PathBuf),
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address.
+    pub bind: Bind,
+    /// Number of shards (each owns one structure + simulated machine).
+    pub shards: usize,
+    /// Template shard configuration; each shard derives its own seed.
+    pub shard: ShardConfig,
+    /// Maximum requests per batch.
+    pub batch_max: usize,
+    /// Deadline from the first queued request to batch close.
+    pub batch_wait_ms: u64,
+    /// Bounded queue length per shard; beyond it requests are shed.
+    pub queue_depth: usize,
+    /// Width of the `serve-interval` metrics windows (milliseconds).
+    pub metrics_every_ms: u64,
+}
+
+impl ServerConfig {
+    /// Defaults: 2 shards on an ephemeral loopback port, batches of 16
+    /// closed after 5 ms, 64-deep queues.
+    pub fn new(shard: ShardConfig) -> ServerConfig {
+        ServerConfig {
+            bind: Bind::Tcp("127.0.0.1:0".into()),
+            shards: 2,
+            shard,
+            batch_max: 16,
+            batch_wait_ms: 5,
+            queue_depth: 64,
+            metrics_every_ms: 250,
+        }
+    }
+}
+
+/// Maps a key to its owning shard (splitmix-style hash so adjacent keys
+/// spread; stable across restarts, which the load generator relies on).
+pub fn route(key: u64, shards: usize) -> usize {
+    ((key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) % shards as u64) as usize
+}
+
+// -- connections ------------------------------------------------------
+
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Uds(std::os::unix::net::UnixStream),
+}
+
+impl Conn {
+    fn try_clone(&self) -> io::Result<Conn> {
+        match self {
+            Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+            #[cfg(unix)]
+            Conn::Uds(s) => s.try_clone().map(Conn::Uds),
+        }
+    }
+
+    fn shutdown(&self) {
+        match self {
+            Conn::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            #[cfg(unix)]
+            Conn::Uds(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl io::Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => io::Read::read(s, buf),
+            #[cfg(unix)]
+            Conn::Uds(s) => io::Read::read(s, buf),
+        }
+    }
+}
+
+impl io::Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => io::Write::write(s, buf),
+            #[cfg(unix)]
+            Conn::Uds(s) => io::Write::write(s, buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => io::Write::flush(s),
+            #[cfg(unix)]
+            Conn::Uds(s) => io::Write::flush(s),
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Uds(std::os::unix::net::UnixListener),
+}
+
+impl Listener {
+    fn accept(&self) -> io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+            #[cfg(unix)]
+            Listener::Uds(l) => l.accept().map(|(s, _)| Conn::Uds(s)),
+        }
+    }
+}
+
+/// A shared handle to a connection's write half; replies from any
+/// thread serialize through the mutex so frames never interleave.
+#[derive(Clone)]
+struct Replier(Arc<Mutex<Conn>>);
+
+impl Replier {
+    fn send(&self, resp: &Response) {
+        let payload = encode_response(resp);
+        let mut w = self.0.lock().unwrap();
+        // A vanished client is not a server error; the reply is dropped.
+        let _ = write_frame(&mut *w, &payload);
+    }
+}
+
+// -- shared state -----------------------------------------------------
+
+enum Work {
+    Op { op: KvOp, id: u64, reply: Replier },
+    Crash { id: u64, reply: Replier },
+}
+
+struct ShardQueue {
+    q: Mutex<VecDeque<Work>>,
+    cv: Condvar,
+}
+
+/// Snapshot a reader can serve in a `Stats` reply without touching the
+/// worker-owned shard.
+#[derive(Clone, Copy, Default)]
+struct Snapshot {
+    counters: ShardCounters,
+    committed: u64,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    queues: Vec<ShardQueue>,
+    gauges: Vec<Mutex<GaugeSeries>>,
+    snapshots: Vec<Mutex<Snapshot>>,
+    /// Milliseconds the shard's most recent batch took (retry hints).
+    batch_ms: Vec<AtomicU64>,
+    shutdown: AtomicBool,
+    epoch: Instant,
+    /// The live dial target for self-pokes (set after bind).
+    poke_addr: Mutex<Option<std::net::SocketAddr>>,
+}
+
+impl Shared {
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    fn wake_all(&self) {
+        for q in &self.queues {
+            q.cv.notify_all();
+        }
+    }
+
+    /// Unblocks the accept loop by dialing the server once.
+    fn poke(&self) {
+        match &self.cfg.bind {
+            Bind::Tcp(_) => {
+                if let Some(a) = *self.poke_addr.lock().unwrap() {
+                    let _ = TcpStream::connect(a);
+                }
+            }
+            #[cfg(unix)]
+            Bind::Uds(path) => {
+                let _ = std::os::unix::net::UnixStream::connect(path);
+            }
+        }
+    }
+}
+
+/// What one shard hands back when its worker exits.
+struct ShardFinal {
+    counters: ShardCounters,
+    committed: u64,
+    stats: Stats,
+    hists: [Hist; 3],
+    intervals: Vec<GaugeSample>,
+}
+
+/// End-of-run report: everything needed for the metrics stream and for
+/// the caller's exit code.
+pub struct ServerReport {
+    header: Json,
+    shard_lines: Vec<Json>,
+    interval_lines: Vec<Json>,
+    lost_acked: u64,
+    recovery_failures: u64,
+}
+
+impl ServerReport {
+    /// Total durably-acked keys lost across every shard restart. The
+    /// durability claim is that this is zero.
+    pub fn lost_acked(&self) -> u64 {
+        self.lost_acked
+    }
+
+    /// Commits/restarts that had to fall back because the NVM image did
+    /// not validate.
+    pub fn recovery_failures(&self) -> u64 {
+        self.recovery_failures
+    }
+
+    /// The full metrics stream (`serve-header`, `serve-shard`,
+    /// `serve-interval` lines).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.to_compact());
+        out.push('\n');
+        for line in self.shard_lines.iter().chain(&self.interval_lines) {
+            out.push_str(&line.to_compact());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A running server.
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<ShardFinal>>,
+    conns: Arc<Mutex<Vec<Conn>>>,
+    addr: Option<std::net::SocketAddr>,
+}
+
+impl Server {
+    /// Binds and starts serving. Returns once the listener is live.
+    pub fn start(cfg: ServerConfig) -> io::Result<Server> {
+        assert!(cfg.shards >= 1, "need at least one shard");
+        let listener = match &cfg.bind {
+            Bind::Tcp(addr) => Listener::Tcp(TcpListener::bind(addr)?),
+            #[cfg(unix)]
+            Bind::Uds(path) => {
+                let _ = std::fs::remove_file(path);
+                Listener::Uds(std::os::unix::net::UnixListener::bind(path)?)
+            }
+        };
+        let addr = match &listener {
+            Listener::Tcp(l) => Some(l.local_addr()?),
+            #[cfg(unix)]
+            Listener::Uds(_) => None,
+        };
+
+        let shards = cfg.shards;
+        let shared = Arc::new(Shared {
+            queues: (0..shards)
+                .map(|_| ShardQueue {
+                    q: Mutex::new(VecDeque::new()),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+            gauges: (0..shards)
+                .map(|_| Mutex::new(GaugeSeries::new(cfg.metrics_every_ms.max(1))))
+                .collect(),
+            snapshots: (0..shards)
+                .map(|_| Mutex::new(Snapshot::default()))
+                .collect(),
+            batch_ms: (0..shards).map(|_| AtomicU64::new(1)).collect(),
+            shutdown: AtomicBool::new(false),
+            epoch: Instant::now(),
+            poke_addr: Mutex::new(addr),
+            cfg,
+        });
+
+        let workers = (0..shards)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("shard-{i}"))
+                    .spawn(move || worker_loop(i, &shared))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+
+        let conns: Arc<Mutex<Vec<Conn>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = shared.clone();
+            let conns = conns.clone();
+            std::thread::Builder::new()
+                .name("accept".into())
+                .spawn(move || accept_loop(listener, &shared, &conns))
+                .expect("spawn accept loop")
+        };
+
+        Ok(Server {
+            shared,
+            accept: Some(accept),
+            workers,
+            conns,
+            addr,
+        })
+    }
+
+    /// The bound TCP address (None in UDS mode).
+    pub fn local_addr(&self) -> Option<std::net::SocketAddr> {
+        self.addr
+    }
+
+    /// Triggers shutdown without a client `Shutdown` request.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wake_all();
+        self.shared.poke();
+    }
+
+    /// Waits for shutdown (client-requested or [`Server::shutdown`]),
+    /// drains the shards, and assembles the final report.
+    pub fn join(mut self) -> ServerReport {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Readers may still be parked on idle connections; sever them.
+        for c in self.conns.lock().unwrap().drain(..) {
+            c.shutdown();
+        }
+        self.shared.wake_all();
+        let finals: Vec<ShardFinal> = self
+            .workers
+            .drain(..)
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect();
+        #[cfg(unix)]
+        if let Bind::Uds(path) = &self.shared.cfg.bind {
+            let _ = std::fs::remove_file(path);
+        }
+
+        let cfg = &self.shared.cfg;
+        let header = header_json(
+            cfg.shards,
+            cfg.shard.structure.name(),
+            cfg.shard.mechanism.name(),
+            cfg.shard.nvm_mode.name(),
+            cfg.shard.sim_threads as u64,
+            cfg.batch_max as u64,
+            cfg.batch_wait_ms,
+            cfg.queue_depth as u64,
+        );
+        let mut shard_lines = Vec::new();
+        let mut interval_lines = Vec::new();
+        let mut lost_acked = 0;
+        let mut recovery_failures = 0;
+        for (i, f) in finals.iter().enumerate() {
+            lost_acked += f.counters.lost_acked;
+            recovery_failures += f.counters.recovery_failures;
+            shard_lines.push(shard_json(i, &f.counters, f.committed, &f.stats, &f.hists));
+            for s in &f.intervals {
+                interval_lines.push(interval_json(i, s));
+            }
+        }
+        ServerReport {
+            header,
+            shard_lines,
+            interval_lines,
+            lost_acked,
+            recovery_failures,
+        }
+    }
+}
+
+fn accept_loop(listener: Listener, shared: &Arc<Shared>, conns: &Arc<Mutex<Vec<Conn>>>) {
+    loop {
+        let conn = match listener.accept() {
+            Ok(c) => c,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let read_half = match conn.try_clone() {
+            Ok(r) => r,
+            Err(_) => continue,
+        };
+        if let Ok(registry) = conn.try_clone() {
+            conns.lock().unwrap().push(registry);
+        }
+        let shared = shared.clone();
+        let reply = Replier(Arc::new(Mutex::new(conn)));
+        let _ = std::thread::Builder::new()
+            .name("conn".into())
+            .spawn(move || reader_loop(read_half, reply, &shared));
+    }
+}
+
+fn reader_loop(mut conn: Conn, reply: Replier, shared: &Arc<Shared>) {
+    loop {
+        let payload = match read_frame(&mut conn) {
+            Ok(Some(p)) => p,
+            Ok(None) | Err(_) => return,
+        };
+        let req = match decode_request(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                // Framing survives (the bad payload was length-delimited)
+                // but the request is unusable; report and keep serving.
+                reply.send(&Response::Error {
+                    id: 0,
+                    msg: format!("bad request: {e}"),
+                });
+                continue;
+            }
+        };
+        match req {
+            Request::Ping { id } => reply.send(&Response::Pong { id }),
+            Request::Stats { id } => {
+                let mut shards = Vec::with_capacity(shared.cfg.shards);
+                for (i, snap) in shared.snapshots.iter().enumerate() {
+                    let s = *snap.lock().unwrap();
+                    shards.push(Json::obj([
+                        ("shard", Json::U64(i as u64)),
+                        ("counters", counters_json(&s.counters)),
+                        ("committed_keys", Json::U64(s.committed)),
+                    ]));
+                }
+                let doc = Json::obj([
+                    ("record", Json::Str("serve-stats".into())),
+                    ("uptime_ms", Json::U64(shared.now_ms())),
+                    ("shards", Json::Arr(shards)),
+                ]);
+                reply.send(&Response::Report {
+                    id,
+                    json: doc.to_compact(),
+                });
+            }
+            Request::Shutdown { id } => {
+                reply.send(&Response::ShuttingDown { id });
+                shared.shutdown.store(true, Ordering::SeqCst);
+                shared.wake_all();
+                shared.poke();
+                return;
+            }
+            Request::Crash { id, shard } => {
+                if (shard as usize) < shared.cfg.shards {
+                    enqueue(
+                        shared,
+                        shard as usize,
+                        Work::Crash {
+                            id,
+                            reply: reply.clone(),
+                        },
+                        /*admit_always=*/ true,
+                    );
+                } else {
+                    reply.send(&Response::Error {
+                        id,
+                        msg: format!("no shard {shard}"),
+                    });
+                }
+            }
+            Request::Get { id, key } | Request::Put { id, key } | Request::Del { id, key } => {
+                let op = match req {
+                    Request::Get { .. } => KvOp::Get(key),
+                    Request::Put { .. } => KvOp::Put(key),
+                    _ => KvOp::Del(key),
+                };
+                let shard = route(key, shared.cfg.shards);
+                let admitted = enqueue(
+                    shared,
+                    shard,
+                    Work::Op {
+                        op,
+                        id,
+                        reply: reply.clone(),
+                    },
+                    false,
+                );
+                if !admitted {
+                    let qlen = shared.queues[shard].q.lock().unwrap().len();
+                    let per_batch = shared.batch_ms[shard].load(Ordering::Relaxed).max(1);
+                    let backlog_batches = (qlen / shared.cfg.batch_max.max(1)) as u64 + 1;
+                    reply.send(&Response::Overloaded {
+                        id,
+                        retry_after_ms: (backlog_batches * per_batch).min(u32::MAX as u64) as u32,
+                        queue_depth: qlen as u32,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Admits `work` to shard `i`'s queue. Returns false (and bumps the
+/// shed counter) when admission control rejects it.
+fn enqueue(shared: &Arc<Shared>, i: usize, work: Work, admit_always: bool) -> bool {
+    let now = shared.now_ms();
+    let mut q = shared.queues[i].q.lock().unwrap();
+    if !admit_always && q.len() >= shared.cfg.queue_depth {
+        drop(q);
+        shared.gauges[i].lock().unwrap().bump(now, SLOT_SHED, 1);
+        return false;
+    }
+    q.push_back(work);
+    let depth = q.len() as u64;
+    shared.queues[i].cv.notify_all();
+    drop(q);
+    let mut g = shared.gauges[i].lock().unwrap();
+    g.bump(now, SLOT_ENQUEUED, 1);
+    g.note(now, depth);
+    true
+}
+
+fn worker_loop(i: usize, shared: &Arc<Shared>) -> ShardFinal {
+    let mut cfg = shared.cfg.shard.clone();
+    cfg.seed = cfg
+        .seed
+        .wrapping_add((i as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03));
+    let mut shard = Shard::new(cfg);
+    publish(shared, i, &shard);
+
+    loop {
+        let batch = collect_batch(shared, i);
+        if batch.is_empty() {
+            if shared.shutdown.load(Ordering::SeqCst)
+                && shared.queues[i].q.lock().unwrap().is_empty()
+            {
+                break;
+            }
+            continue;
+        }
+        let started = Instant::now();
+        let mut answered = 0u64;
+        let mut pending: Vec<(KvOp, u64, Replier)> = Vec::new();
+        for work in batch {
+            match work {
+                Work::Op { op, id, reply } => pending.push((op, id, reply)),
+                Work::Crash { id, reply } => {
+                    // Everything already drained for this batch is "in
+                    // flight" at the crash: unacked, answered `Crashed`.
+                    let ops: Vec<KvOp> = pending.iter().map(|(op, _, _)| *op).collect();
+                    let outcome = shard.crash(&ops);
+                    for (_, rid, r) in pending.drain(..) {
+                        r.send(&Response::Crashed {
+                            id: rid,
+                            shard: i as u32,
+                            batch: outcome.batch,
+                        });
+                        answered += 1;
+                    }
+                    reply.send(&Response::Report {
+                        id,
+                        json: crash_json(i, &outcome).to_compact(),
+                    });
+                    answered += 1;
+                }
+            }
+        }
+        if !pending.is_empty() {
+            let ops: Vec<KvOp> = pending.iter().map(|(op, _, _)| *op).collect();
+            let results = shard.execute(&ops);
+            for ((op, id, reply), res) in pending.into_iter().zip(results) {
+                let resp = match op {
+                    KvOp::Get(_) => Response::Value {
+                        id,
+                        present: res.applied,
+                        durable: res.durable,
+                        batch: res.batch,
+                        seq: res.seq,
+                    },
+                    KvOp::Put(_) | KvOp::Del(_) => Response::Done {
+                        id,
+                        applied: res.applied,
+                        durable: res.durable,
+                        batch: res.batch,
+                        seq: res.seq,
+                        persist_cycles: res.persist_cycles,
+                    },
+                };
+                reply.send(&resp);
+                answered += 1;
+            }
+        }
+        let elapsed = (started.elapsed().as_millis() as u64).max(1);
+        shared.batch_ms[i].store(elapsed, Ordering::Relaxed);
+        publish(shared, i, &shard);
+        let now = shared.now_ms();
+        let depth = shared.queues[i].q.lock().unwrap().len() as u64;
+        let mut g = shared.gauges[i].lock().unwrap();
+        g.bump(now, SLOT_COMPLETED, answered);
+        g.bump(now, SLOT_BATCHES, 1);
+        g.note(now, depth);
+    }
+
+    let now = shared.now_ms();
+    let mut g = shared.gauges[i].lock().unwrap();
+    g.finish(now);
+    ShardFinal {
+        counters: shard.counters(),
+        committed: shard.committed().len() as u64,
+        stats: shard.stats.clone(),
+        hists: shard.hists.clone(),
+        intervals: g.intervals.clone(),
+    }
+}
+
+fn publish(shared: &Arc<Shared>, i: usize, shard: &Shard) {
+    *shared.snapshots[i].lock().unwrap() = Snapshot {
+        counters: shard.counters(),
+        committed: shard.committed().len() as u64,
+    };
+}
+
+/// Blocks until work is available, then closes the batch by size or
+/// deadline. Returns an empty batch only on shutdown (once the queue is
+/// drained).
+fn collect_batch(shared: &Arc<Shared>, i: usize) -> Vec<Work> {
+    let sq = &shared.queues[i];
+    let mut q = sq.q.lock().unwrap();
+    while q.is_empty() && !shared.shutdown.load(Ordering::SeqCst) {
+        q = sq.cv.wait(q).unwrap();
+    }
+    if q.is_empty() {
+        return Vec::new();
+    }
+    let deadline = Instant::now() + Duration::from_millis(shared.cfg.batch_wait_ms);
+    while q.len() < shared.cfg.batch_max && !shared.shutdown.load(Ordering::SeqCst) {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            break;
+        }
+        let (guard, timeout) = sq.cv.wait_timeout(q, remaining).unwrap();
+        q = guard;
+        if timeout.timed_out() {
+            break;
+        }
+    }
+    let take = q.len().min(shared.cfg.batch_max);
+    q.drain(..take).collect()
+}

@@ -1,0 +1,279 @@
+//! End-to-end service tests over a real loopback socket: basic
+//! request/reply, durable-ack verification across a mid-traffic shard
+//! crash, admission-control shedding under overload, and the UDS mode.
+
+use lrp_lfds::{KeyDist, Structure};
+use lrp_serve::{
+    run_load, Bind, Client, LoadSpec, Request, Response, Server, ServerConfig, ShardConfig,
+};
+
+fn small_server(shards: usize, queue_depth: usize, seed: u64) -> ServerConfig {
+    let mut shard = ShardConfig::new(Structure::HashMap);
+    shard.initial_size = 32;
+    shard.key_range = 256;
+    shard.seed = seed;
+    shard.audit_samples = 4;
+    let mut cfg = ServerConfig::new(shard);
+    cfg.shards = shards;
+    cfg.batch_max = 16;
+    cfg.batch_wait_ms = 3;
+    cfg.queue_depth = queue_depth;
+    cfg.metrics_every_ms = 50;
+    cfg
+}
+
+fn tcp_bind(server: &Server) -> Bind {
+    Bind::Tcp(
+        server
+            .local_addr()
+            .expect("tcp server has an addr")
+            .to_string(),
+    )
+}
+
+/// Repeats `Put(key)`/`Del(key)` (per `insert`) until one attempt is
+/// acked durable, pipelining filler mutations on distinct keys so each
+/// batch carries multi-threaded traffic (a lone op usually stays in
+/// LRP's volatile tail). Returns false after ~20 attempts.
+fn durable_mutation(c: &mut Client, key: u64, insert: bool, id_base: u64) -> bool {
+    const FILLERS: u64 = 12;
+    for attempt in 0..20u64 {
+        let base = id_base + attempt * (FILLERS + 1);
+        let req = if insert {
+            Request::Put { id: base, key }
+        } else {
+            Request::Del { id: base, key }
+        };
+        c.send(&req).unwrap();
+        for f in 0..FILLERS {
+            let fkey = 10_000 + attempt * FILLERS + f;
+            c.send(&Request::Put {
+                id: base + 1 + f,
+                key: fkey,
+            })
+            .unwrap();
+        }
+        let mut durable_ack = false;
+        for _ in 0..=FILLERS {
+            match c.recv().unwrap() {
+                Response::Done { id, durable, .. } if id == base => durable_ack = durable,
+                Response::Done { .. } | Response::Overloaded { .. } => {}
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+        if durable_ack {
+            return true;
+        }
+    }
+    false
+}
+
+#[test]
+fn basic_ops_round_trip_over_tcp() {
+    let server = Server::start(small_server(2, 64, 11)).unwrap();
+    let bind = tcp_bind(&server);
+    let mut c = Client::dial(&bind).unwrap();
+
+    assert!(matches!(
+        c.call(&Request::Ping { id: 1 }).unwrap(),
+        Response::Pong { id: 1 }
+    ));
+
+    // A durable ack is the visibility contract: a `durable: false`
+    // reply is retryable (the effect may sit in the volatile tail and
+    // be dropped at the next commit), so mutate until the ack is
+    // durable — pipelining filler ops so the batch has enough
+    // cross-thread traffic to trigger lazy persists — and only then
+    // assert what a Get observes.
+    assert!(
+        durable_mutation(&mut c, 777, true, 10_000),
+        "put 777 never acked durable"
+    );
+    match c.call(&Request::Get { id: 3, key: 777 }).unwrap() {
+        Response::Value { id: 3, present, .. } => {
+            assert!(present, "durably inserted key visible")
+        }
+        other => panic!("unexpected get reply {other:?}"),
+    }
+    assert!(
+        durable_mutation(&mut c, 777, false, 20_000),
+        "del 777 never acked durable"
+    );
+    match c.call(&Request::Get { id: 5, key: 777 }).unwrap() {
+        Response::Value { id: 5, present, .. } => {
+            assert!(!present, "durably deleted key gone")
+        }
+        other => panic!("unexpected get reply {other:?}"),
+    }
+
+    // Stats is a parseable JSON report covering every shard.
+    match c.call(&Request::Stats { id: 6 }).unwrap() {
+        Response::Report { id: 6, json } => {
+            let doc = lrp_obs::Json::parse(&json).unwrap();
+            assert_eq!(doc.get("record").unwrap().as_str(), Some("serve-stats"));
+            assert_eq!(doc.get("shards").unwrap().as_arr().unwrap().len(), 2);
+        }
+        other => panic!("unexpected stats reply {other:?}"),
+    }
+
+    // Unroutable admin request gets a typed error.
+    match c.call(&Request::Crash { id: 7, shard: 99 }).unwrap() {
+        Response::Error { id: 7, msg } => assert!(msg.contains("no shard")),
+        other => panic!("unexpected reply {other:?}"),
+    }
+
+    server.shutdown();
+    let report = server.join();
+    assert_eq!(report.lost_acked(), 0);
+}
+
+#[test]
+fn crash_restart_preserves_every_durably_acked_write() {
+    let server = Server::start(small_server(2, 128, 23)).unwrap();
+    let bind = tcp_bind(&server);
+
+    let mut spec = LoadSpec::new(bind);
+    spec.conns = 3;
+    spec.requests = 600;
+    spec.window = 8;
+    spec.key_dist = KeyDist::Zipfian { theta: 0.9 };
+    spec.key_range = 256;
+    spec.read_pct = 10;
+    spec.seed = 5;
+    spec.crash_at = Some(40);
+    spec.crash_shard = 1;
+    spec.verify = true;
+    let summary = run_load(&spec).unwrap();
+
+    assert_eq!(summary.errors, 0, "transport errors during load");
+    assert!(
+        summary.completed >= summary.sent,
+        "admin replies also count"
+    );
+    assert!(summary.acked_durable > 0, "no durable acks under LRP");
+    let crash = summary
+        .crash_report
+        .as_deref()
+        .expect("crash was injected and reported");
+    assert_eq!(summary.crash_consistent, Some(true), "report: {crash}");
+    assert_eq!(summary.crash_lost_acked, Some(0), "report: {crash}");
+    assert!(
+        summary.verify_checked > 0,
+        "verification phase exercised some keys"
+    );
+    assert_eq!(
+        summary.verify_violations, 0,
+        "durably-acked write lost: keys {:?}",
+        summary.violating_keys
+    );
+    assert!(summary.durability_ok());
+
+    server.shutdown();
+    let report = server.join();
+    assert_eq!(report.lost_acked(), 0, "server-side lost-ack accounting");
+    // The metrics stream carries all three record types.
+    let jsonl = report.to_jsonl();
+    assert!(jsonl.contains("\"serve-header\""));
+    assert!(jsonl.contains("\"serve-shard\""));
+    assert!(jsonl.contains("\"serve-interval\""));
+}
+
+#[test]
+fn overload_sheds_with_typed_replies_and_keeps_serving() {
+    // A 1-deep queue with a slow batch deadline forces admission
+    // control to reject most of a pipelined burst.
+    let mut cfg = small_server(1, 1, 31);
+    cfg.batch_max = 4;
+    cfg.batch_wait_ms = 20;
+    let server = Server::start(cfg).unwrap();
+    let bind = tcp_bind(&server);
+
+    let mut spec = LoadSpec::new(bind.clone());
+    spec.conns = 4;
+    spec.requests = 400;
+    spec.window = 32;
+    spec.read_pct = 0;
+    spec.verify = false;
+    let summary = run_load(&spec).unwrap();
+
+    assert_eq!(summary.errors, 0);
+    assert_eq!(
+        summary.completed, summary.sent,
+        "every request got a reply — shed or served, never dropped"
+    );
+    assert!(summary.shed > 0, "tiny queue never shed under a burst");
+    assert!(
+        summary.completed > summary.shed,
+        "some requests were still served"
+    );
+
+    // The server still answers after the burst: no accept-loop stall.
+    let mut c = Client::dial(&bind).unwrap();
+    assert!(matches!(
+        c.call(&Request::Ping { id: 900 }).unwrap(),
+        Response::Pong { id: 900 }
+    ));
+
+    server.shutdown();
+    let report = server.join();
+    let jsonl = report.to_jsonl();
+    let shed_total: u64 = jsonl
+        .lines()
+        .filter(|l| l.contains("\"serve-interval\""))
+        .map(|l| {
+            lrp_obs::Json::parse(l)
+                .unwrap()
+                .get("counts")
+                .and_then(|c| c.get("shed"))
+                .and_then(lrp_obs::Json::as_u64)
+                .unwrap_or(0)
+        })
+        .sum();
+    assert_eq!(
+        shed_total, summary.shed,
+        "metrics stream accounts every shed"
+    );
+}
+
+#[test]
+fn client_requested_shutdown_stops_the_server() {
+    let server = Server::start(small_server(1, 16, 41)).unwrap();
+    let bind = tcp_bind(&server);
+    let mut spec = LoadSpec::new(bind);
+    spec.conns = 1;
+    spec.requests = 40;
+    spec.window = 4;
+    spec.verify = false;
+    spec.shutdown = true;
+    let summary = run_load(&spec).unwrap();
+    assert_eq!(summary.errors, 0);
+    // join() returns because the client's Shutdown request stopped the
+    // accept loop — no Server::shutdown() call here.
+    let report = server.join();
+    assert_eq!(report.lost_acked(), 0);
+}
+
+#[cfg(unix)]
+#[test]
+fn uds_mode_serves_the_same_protocol() {
+    let path = std::env::temp_dir().join(format!("lrp-serve-test-{}.sock", std::process::id()));
+    let mut cfg = small_server(2, 64, 53);
+    cfg.bind = Bind::Uds(path.clone());
+    let server = Server::start(cfg).unwrap();
+    assert!(server.local_addr().is_none(), "UDS has no TCP addr");
+
+    let bind = Bind::Uds(path.clone());
+    let mut spec = LoadSpec::new(bind);
+    spec.conns = 2;
+    spec.requests = 200;
+    spec.window = 8;
+    spec.verify = true;
+    let summary = run_load(&spec).unwrap();
+    assert_eq!(summary.errors, 0);
+    assert_eq!(summary.verify_violations, 0);
+
+    server.shutdown();
+    let report = server.join();
+    assert_eq!(report.lost_acked(), 0);
+    assert!(!path.exists(), "socket file cleaned up on join");
+}

@@ -12,4 +12,5 @@ pub use lrp_lfds as lfds;
 pub use lrp_model as model;
 pub use lrp_obs as obs;
 pub use lrp_recovery as recovery;
+pub use lrp_serve as serve;
 pub use lrp_sim as sim;
