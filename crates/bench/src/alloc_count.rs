@@ -1,0 +1,75 @@
+//! Heap-allocation counting for alloc-regression assertions.
+//!
+//! [`CountingAlloc`] wraps the system allocator and counts every
+//! `alloc`/`realloc` call. A binary or test opts in by declaring it as
+//! its global allocator:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: lrp_bench::alloc_count::CountingAlloc =
+//!     lrp_bench::alloc_count::CountingAlloc;
+//! ```
+//!
+//! Code that *reads* the counter (the host benchmark, the alloc-bound
+//! tests) checks [`installed`] first, so the same library works in
+//! binaries that did not opt in — they simply report no alloc data
+//! instead of bogus zeros.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+/// A system-allocator wrapper that counts allocation calls.
+pub struct CountingAlloc;
+
+// SAFETY: delegates every operation to `System` unchanged; the only
+// extra work is relaxed atomic bumps, which allocate nothing.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        INSTALLED.store(true, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Whether [`CountingAlloc`] is this process's global allocator (true
+/// once it has served at least one allocation, i.e. immediately in any
+/// real program).
+pub fn installed() -> bool {
+    INSTALLED.load(Ordering::Relaxed)
+}
+
+/// Total allocation calls served so far (alloc + realloc).
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Total bytes requested so far.
+pub fn bytes() -> u64 {
+    BYTES.load(Ordering::Relaxed)
+}
+
+/// Runs `f` and returns `(result, allocation calls during f)`.
+///
+/// The count is process-global, so keep other threads quiet while
+/// measuring. Returns a count of 0 when the allocator is not
+/// installed — callers should check [`installed`] when that matters.
+pub fn count<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let before = allocations();
+    let r = f();
+    (r, allocations() - before)
+}

@@ -1,0 +1,150 @@
+//! `lrp-bench` — host-side throughput benchmark and regression gate.
+//!
+//! ```text
+//! lrp-bench host --smoke --json-out BENCH_host.json
+//! lrp-bench gate --baseline baselines/BENCH_host.json \
+//!                --current BENCH_host.json --max-regression 2.0
+//! ```
+//!
+//! `host` replays a (structure × mechanism) matrix through the full
+//! timing simulator and reports per-cell host throughput (simulated
+//! cycles/sec, harness ops/sec, allocations/op); `gate` compares two
+//! `BENCH_host.json` reports and fails (exit 1) when any cell's
+//! ops/sec regressed by more than the allowed factor.
+
+use lrp_bench::alloc_count::CountingAlloc;
+use lrp_bench::cli::Cli;
+use lrp_bench::host::{self, HostSpec};
+use lrp_bench::profile::render_gate;
+use lrp_lfds::Structure;
+use lrp_obs::Json;
+use lrp_sim::{Mechanism, NvmMode};
+
+// The benchmark binary counts its own heap traffic so the report can
+// include allocations/op — the metric the zero-alloc scan work gates on.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const USAGE: &str = "usage:\n  \
+    lrp-bench host [--smoke] [--structures a,b,..] [--mechs a,b,..]\n                 \
+    [--mode cached|uncached] [--threads N] [--ops N] [--size N]\n                 \
+    [--seed N] [--samples N] [--json-out FILE]\n  \
+    lrp-bench gate --baseline FILE --current FILE\n                 \
+    [--max-regression F] [--json-out FILE]\n\n\
+    defaults:\n  \
+    host runs the full matrix: all five structures x nop,sb,bb,lrp\n                 \
+    (--threads 4 --ops 64 --size 128 --seed 1 --samples 5)\n  \
+    --smoke            the CI matrix: hashmap x nop,lrp at t2, seconds total\n  \
+    --structures LIST  comma-separated subset (linkedlist,hashmap,bstree,\n                     \
+    skiplist,queue)\n  \
+    --mechs LIST       comma-separated subset (nop,sb,bb,lrp)\n  \
+    --json-out FILE    write the report (host) or verdict (gate) as JSON\n  \
+    --max-regression F gate: fail a cell when current ops/sec falls below\n                     \
+    baseline/F (default 2.0 -- generous, CI runners are noisy)\n\n\
+    exit codes:\n  \
+    0  success (gate: no cell regressed beyond the allowed factor)\n  \
+    1  gate regression detected, or a file read/write/parse error\n  \
+    2  usage error (unknown flag or command, missing or invalid value)";
+
+fn main() {
+    let mut cli = Cli::from_env(USAGE);
+    let smoke = cli.flag("smoke");
+    let structures: Option<Vec<Structure>> = cli.opt_list("structures");
+    let mechs: Option<Vec<Mechanism>> = cli.opt_list("mechs");
+    let mode: Option<NvmMode> = cli.opt_parse("mode");
+    let threads: Option<u16> = cli.opt_parse("threads");
+    let ops: Option<usize> = cli.opt_parse("ops");
+    let size: Option<usize> = cli.opt_parse("size");
+    let seed: Option<u64> = cli.opt_parse("seed");
+    let samples: Option<usize> = cli.opt_parse("samples");
+    let baseline: Option<String> = cli.opt("baseline");
+    let current: Option<String> = cli.opt("current");
+    let max_regression: f64 = cli.opt_parse("max-regression").unwrap_or(2.0);
+    let json_out: Option<String> = cli.opt("json-out");
+    let pos = cli.positionals(1, 1);
+
+    match pos[0].as_str() {
+        "host" => {
+            let mut spec = if smoke {
+                HostSpec::smoke()
+            } else {
+                HostSpec::quick()
+            };
+            if let Some(v) = structures {
+                spec.structures = v;
+            }
+            if let Some(v) = mechs {
+                spec.mechanisms = v;
+            }
+            if let Some(v) = mode {
+                spec.mode = v;
+            }
+            if let Some(v) = threads {
+                spec.threads = v;
+            }
+            if let Some(v) = ops {
+                spec.ops_per_thread = v;
+            }
+            if let Some(v) = size {
+                spec.initial_size = v;
+            }
+            if let Some(v) = seed {
+                spec.seed = v;
+            }
+            if let Some(v) = samples {
+                spec.samples = v;
+            }
+            let report = host::run_host(&spec, |cell| {
+                eprintln!(
+                    "  {:<24} {:>10.3} ms  ({:.0} ops/s)",
+                    cell.key(),
+                    cell.wall_ms_min,
+                    cell.ops_per_sec()
+                );
+            });
+            print!("{}", host::render_report(&report));
+            if let Some(out) = &json_out {
+                write_out(out, &host::report_json(&report).to_pretty());
+                eprintln!("wrote host report to {out}");
+            }
+        }
+        "gate" => {
+            let (Some(base_path), Some(cur_path)) = (&baseline, &current) else {
+                cli.fail("gate needs --baseline and --current")
+            };
+            let base = load_json(base_path);
+            let cur = load_json(cur_path);
+            let verdict = host::gate_host(&base, &cur, max_regression).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            });
+            if let Some(out) = &json_out {
+                write_out(out, &host::gate_json(&verdict, max_regression).to_pretty());
+                eprintln!("wrote gate verdict to {out}");
+            }
+            print!("{}", render_gate(&verdict));
+            if !verdict.pass() {
+                std::process::exit(1);
+            }
+        }
+        other => cli.fail(format!("unknown command {other:?}")),
+    }
+}
+
+fn load_json(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn write_out(path: &str, text: &str) {
+    std::fs::write(path, text).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+}

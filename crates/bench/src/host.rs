@@ -1,0 +1,462 @@
+//! Host-throughput benchmark (`lrp-bench host`).
+//!
+//! Every subsystem in the workspace — campaign sweeps, the blame
+//! profiler, the serve shard loop — ultimately spends its wall-clock
+//! inside the discrete-event machine, so *simulated cycles per host
+//! second* is the scaling metric that matters. This module replays a
+//! (structure × mechanism) matrix with [`crate::microbench::sample_ms`]
+//! timing each cell, and reports per-cell:
+//!
+//! * `sim_cycles` / `ops` — deterministic workload size (simulated),
+//! * `wall_ms_min` / `wall_ms_median` — host wall time per replay,
+//! * `sim_cycles_per_sec` / `ops_per_sec` — host throughput (from the
+//!   minimum wall time, the standard noise-resistant estimator),
+//! * `allocs_per_op` — heap allocations per harness op, when the
+//!   counting allocator from [`crate::alloc_count`] is installed.
+//!
+//! [`gate_host`] compares two reports and fails any cell whose
+//! ops/sec dropped by more than the allowed factor — the CI regression
+//! gate of the hot-path overhaul, reusing the check/verdict machinery
+//! of [`crate::profile`].
+
+use crate::alloc_count;
+use crate::microbench::sample_ms;
+use crate::profile::{GateCheck, GateVerdict};
+use lrp_lfds::{Structure, WorkloadSpec};
+use lrp_obs::Json;
+use lrp_sim::{Mechanism, NvmMode, Sim, SimConfig};
+
+/// The benchmark matrix and workload shape.
+#[derive(Debug, Clone)]
+pub struct HostSpec {
+    /// Structures axis.
+    pub structures: Vec<Structure>,
+    /// Mechanisms axis.
+    pub mechanisms: Vec<Mechanism>,
+    /// NVM mode (one per report; the axis that matters is host-side).
+    pub mode: NvmMode,
+    /// Worker threads in the simulated workload.
+    pub threads: u16,
+    /// Operations per worker.
+    pub ops_per_thread: usize,
+    /// Initial structure population.
+    pub initial_size: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Timed replays per cell (plus one untimed warmup).
+    pub samples: usize,
+}
+
+impl HostSpec {
+    /// The default matrix: all five LFDs × the paper's four mechanisms
+    /// at a workload size that keeps the full matrix under a minute.
+    pub fn quick() -> HostSpec {
+        HostSpec {
+            structures: Structure::ALL.to_vec(),
+            mechanisms: Mechanism::ALL.to_vec(),
+            mode: NvmMode::Cached,
+            threads: 4,
+            ops_per_thread: 64,
+            initial_size: 128,
+            seed: 1,
+            samples: 5,
+        }
+    }
+
+    /// The CI smoke matrix: the shape of the smoke campaign (hashmap
+    /// under NOP + LRP), seconds end-to-end.
+    pub fn smoke() -> HostSpec {
+        HostSpec {
+            structures: vec![Structure::HashMap],
+            mechanisms: vec![Mechanism::Nop, Mechanism::Lrp],
+            threads: 2,
+            ops_per_thread: 32,
+            initial_size: 32,
+            samples: 3,
+            ..HostSpec::quick()
+        }
+    }
+}
+
+/// One timed (structure, mechanism) cell.
+#[derive(Debug, Clone)]
+pub struct HostCell {
+    /// The structure under test.
+    pub structure: Structure,
+    /// The persistency mechanism.
+    pub mechanism: Mechanism,
+    /// Simulated cycles of one replay (deterministic).
+    pub sim_cycles: u64,
+    /// Harness ops of one replay (deterministic).
+    pub ops: u64,
+    /// Minimum wall time over the samples, milliseconds.
+    pub wall_ms_min: f64,
+    /// Median wall time, milliseconds.
+    pub wall_ms_median: f64,
+    /// Heap allocations per op of one replay (`None` unless the
+    /// counting allocator is installed in this binary).
+    pub allocs_per_op: Option<f64>,
+}
+
+impl HostCell {
+    /// `structure/mechanism` report key.
+    pub fn key(&self) -> String {
+        format!("{}/{}", self.structure.name(), self.mechanism.name())
+    }
+
+    /// Simulated cycles advanced per host second (min-time estimator).
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        if self.wall_ms_min > 0.0 {
+            self.sim_cycles as f64 / (self.wall_ms_min / 1e3)
+        } else {
+            0.0
+        }
+    }
+
+    /// Harness ops replayed per host second (min-time estimator).
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.wall_ms_min > 0.0 {
+            self.ops as f64 / (self.wall_ms_min / 1e3)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The whole benchmark run.
+#[derive(Debug, Clone)]
+pub struct HostReport {
+    /// Workload shape, echoed for reproducibility.
+    pub spec: HostSpec,
+    /// One entry per matrix cell, in matrix order.
+    pub cells: Vec<HostCell>,
+}
+
+impl HostReport {
+    /// Total wall time of the timed samples (min per cell), ms.
+    pub fn total_wall_ms(&self) -> f64 {
+        self.cells.iter().map(|c| c.wall_ms_min).sum()
+    }
+
+    /// Aggregate simulated cycles per host second over the matrix.
+    pub fn total_sim_cycles_per_sec(&self) -> f64 {
+        let cycles: u64 = self.cells.iter().map(|c| c.sim_cycles).sum();
+        let ms = self.total_wall_ms();
+        if ms > 0.0 {
+            cycles as f64 / (ms / 1e3)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs the benchmark matrix. Trace generation is excluded from the
+/// timed region: the benchmark measures the simulator, not the
+/// workload generator.
+pub fn run_host(spec: &HostSpec, mut progress: impl FnMut(&HostCell)) -> HostReport {
+    let mut cells = Vec::new();
+    for &structure in &spec.structures {
+        let trace = WorkloadSpec::new(structure)
+            .initial_size(spec.initial_size)
+            .threads(spec.threads)
+            .ops_per_thread(spec.ops_per_thread)
+            .seed(spec.seed)
+            .build_trace();
+        for &mechanism in &spec.mechanisms {
+            let cfg = SimConfig::new(mechanism).nvm_mode(spec.mode);
+            let probe = Sim::new(cfg.clone(), &trace).run();
+            let allocs_per_op = alloc_count::installed().then(|| {
+                let before = alloc_count::allocations();
+                let r = Sim::new(cfg.clone(), &trace).run();
+                let allocs = alloc_count::allocations() - before;
+                std::hint::black_box(&r);
+                if r.stats.ops > 0 {
+                    allocs as f64 / r.stats.ops as f64
+                } else {
+                    0.0
+                }
+            });
+            let samples = sample_ms(spec.samples, || Sim::new(cfg.clone(), &trace).run());
+            let cell = HostCell {
+                structure,
+                mechanism,
+                sim_cycles: probe.stats.cycles,
+                ops: probe.stats.ops,
+                wall_ms_min: samples[0],
+                wall_ms_median: samples[samples.len() / 2],
+                allocs_per_op,
+            };
+            progress(&cell);
+            cells.push(cell);
+        }
+    }
+    HostReport {
+        spec: spec.clone(),
+        cells,
+    }
+}
+
+/// Serializes a report as the `BENCH_host.json` document.
+pub fn report_json(r: &HostReport) -> Json {
+    let cells = r
+        .cells
+        .iter()
+        .map(|c| {
+            let mut fields = vec![
+                ("structure", Json::Str(c.structure.name().to_string())),
+                ("mechanism", Json::Str(c.mechanism.name().to_string())),
+                ("sim_cycles", Json::U64(c.sim_cycles)),
+                ("ops", Json::U64(c.ops)),
+                ("wall_ms_min", Json::F64(c.wall_ms_min)),
+                ("wall_ms_median", Json::F64(c.wall_ms_median)),
+                ("sim_cycles_per_sec", Json::F64(c.sim_cycles_per_sec())),
+                ("ops_per_sec", Json::F64(c.ops_per_sec())),
+            ];
+            if let Some(a) = c.allocs_per_op {
+                fields.push(("allocs_per_op", Json::F64(a)));
+            }
+            Json::obj(fields)
+        })
+        .collect();
+    Json::obj([
+        ("type", Json::Str("host-bench".to_string())),
+        ("mode", Json::Str(r.spec.mode.name().to_string())),
+        ("threads", Json::U64(r.spec.threads as u64)),
+        ("ops_per_thread", Json::U64(r.spec.ops_per_thread as u64)),
+        ("initial_size", Json::U64(r.spec.initial_size as u64)),
+        ("seed", Json::U64(r.spec.seed)),
+        ("samples", Json::U64(r.spec.samples as u64)),
+        ("total_wall_ms", Json::F64(r.total_wall_ms())),
+        (
+            "total_sim_cycles_per_sec",
+            Json::F64(r.total_sim_cycles_per_sec()),
+        ),
+        ("cells", Json::Arr(cells)),
+    ])
+}
+
+/// Renders the report as an aligned text table.
+pub fn render_report(r: &HostReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "host throughput (mode={}, t{}, {} ops/thread, {} samples/cell)\n\
+         {:<24} {:>12} {:>8} {:>10} {:>16} {:>12} {:>10}\n",
+        r.spec.mode.name(),
+        r.spec.threads,
+        r.spec.ops_per_thread,
+        r.spec.samples,
+        "cell",
+        "sim cycles",
+        "ops",
+        "wall ms",
+        "sim cycles/s",
+        "ops/s",
+        "allocs/op",
+    ));
+    for c in &r.cells {
+        out.push_str(&format!(
+            "{:<24} {:>12} {:>8} {:>10.3} {:>16.0} {:>12.0} {:>10}\n",
+            c.key(),
+            c.sim_cycles,
+            c.ops,
+            c.wall_ms_min,
+            c.sim_cycles_per_sec(),
+            c.ops_per_sec(),
+            c.allocs_per_op
+                .map(|a| format!("{a:.1}"))
+                .unwrap_or_else(|| "-".to_string()),
+        ));
+    }
+    out.push_str(&format!(
+        "total: {:.1} ms wall, {:.0} simulated cycles/sec aggregate\n",
+        r.total_wall_ms(),
+        r.total_sim_cycles_per_sec()
+    ));
+    out
+}
+
+fn host_err(msg: impl Into<String>) -> String {
+    format!("bad host-bench report: {}", msg.into())
+}
+
+/// Extracts `key -> (ops_per_sec, sim_cycles_per_sec)` from a
+/// `BENCH_host.json` document.
+fn extract(doc: &Json) -> Result<Vec<(String, f64, f64)>, String> {
+    if doc.get("type").and_then(Json::as_str) != Some("host-bench") {
+        return Err(host_err("missing type: \"host-bench\""));
+    }
+    let cells = doc
+        .get("cells")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| host_err("missing cells array"))?;
+    let mut out = Vec::new();
+    for c in cells {
+        let structure = c
+            .get("structure")
+            .and_then(Json::as_str)
+            .ok_or_else(|| host_err("cell without structure"))?;
+        let mechanism = c
+            .get("mechanism")
+            .and_then(Json::as_str)
+            .ok_or_else(|| host_err("cell without mechanism"))?;
+        let ops = c
+            .get("ops_per_sec")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| host_err("cell without ops_per_sec"))?;
+        let cps = c
+            .get("sim_cycles_per_sec")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        out.push((format!("{structure}/{mechanism}"), ops, cps));
+    }
+    Ok(out)
+}
+
+/// Gates `current` against `baseline`: a cell fails when its ops/sec
+/// dropped below `baseline / max_regression` (2.0 = tolerate anything
+/// better than a 2x slowdown — CI runners are noisy and heterogeneous).
+/// Cells present in only one report are ignored, so growing the matrix
+/// never fails the gate by itself.
+pub fn gate_host(
+    baseline: &Json,
+    current: &Json,
+    max_regression: f64,
+) -> Result<GateVerdict, String> {
+    if max_regression < 1.0 || max_regression.is_nan() {
+        return Err("max regression factor must be >= 1.0".to_string());
+    }
+    let base = extract(baseline)?;
+    let cur = extract(current)?;
+    let mut checks = Vec::new();
+    let mut compared = 0;
+    for (key, b_ops, _) in &base {
+        let Some((_, c_ops, _)) = cur.iter().find(|(k, _, _)| k == key) else {
+            continue;
+        };
+        compared += 1;
+        checks.push(GateCheck {
+            key: key.clone(),
+            metric: "ops_per_sec".to_string(),
+            baseline: *b_ops,
+            current: *c_ops,
+            tol: max_regression,
+            pass: *c_ops * max_regression >= *b_ops,
+        });
+    }
+    Ok(GateVerdict { compared, checks })
+}
+
+/// Serializes a gate verdict (mirrors `profile::verdict_json`'s shape,
+/// with the host gate's single tolerance knob).
+pub fn gate_json(v: &GateVerdict, max_regression: f64) -> Json {
+    let checks = v
+        .checks
+        .iter()
+        .map(|c| {
+            Json::obj([
+                ("key", Json::Str(c.key.clone())),
+                ("metric", Json::Str(c.metric.clone())),
+                ("baseline", Json::F64(c.baseline)),
+                ("current", Json::F64(c.current)),
+                ("tolerance", Json::F64(c.tol)),
+                ("pass", Json::Bool(c.pass)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("type", Json::Str("host-gate".to_string())),
+        ("pass", Json::Bool(v.pass())),
+        ("compared_keys", Json::U64(v.compared as u64)),
+        ("max_regression", Json::F64(max_regression)),
+        ("checks", Json::Arr(checks)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::render_gate;
+
+    fn tiny_spec() -> HostSpec {
+        HostSpec {
+            structures: vec![Structure::Queue],
+            mechanisms: vec![Mechanism::Nop, Mechanism::Lrp],
+            threads: 2,
+            ops_per_thread: 8,
+            initial_size: 16,
+            samples: 1,
+            ..HostSpec::quick()
+        }
+    }
+
+    #[test]
+    fn host_report_round_trips_through_json() {
+        let report = run_host(&tiny_spec(), |_| {});
+        assert_eq!(report.cells.len(), 2);
+        for c in &report.cells {
+            assert!(c.sim_cycles > 0 && c.ops > 0);
+            assert!(c.sim_cycles_per_sec() > 0.0);
+        }
+        let doc = Json::parse(&report_json(&report).to_pretty()).unwrap();
+        let rows = extract(&doc).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "queue/nop");
+        assert!(rows.iter().all(|(_, ops, cps)| *ops > 0.0 && *cps > 0.0));
+        let rendered = render_report(&report);
+        assert!(rendered.contains("queue/lrp"));
+    }
+
+    #[test]
+    fn host_gate_passes_self_and_fails_2x_regression() {
+        let report = run_host(&tiny_spec(), |_| {});
+        let doc = report_json(&report);
+        let v = gate_host(&doc, &doc, 2.0).unwrap();
+        assert!(v.pass(), "{}", render_gate(&v));
+        assert_eq!(v.compared, 2);
+
+        // A report with ops/sec quartered fails the 2x gate.
+        let mut slow = report.clone();
+        for c in &mut slow.cells {
+            c.wall_ms_min *= 4.0;
+        }
+        let v = gate_host(&doc, &report_json(&slow), 2.0).unwrap();
+        assert!(!v.pass());
+        assert!(v.failures().iter().all(|c| c.metric == "ops_per_sec"));
+
+        // ...and passes a permissive 8x gate.
+        assert!(gate_host(&doc, &report_json(&slow), 8.0).unwrap().pass());
+    }
+
+    #[test]
+    fn host_gate_rejects_junk_documents() {
+        let junk = Json::obj([("type", Json::Str("campaign".to_string()))]);
+        assert!(gate_host(&junk, &junk, 2.0).is_err());
+        let report = report_json(&run_host(
+            &HostSpec {
+                mechanisms: vec![Mechanism::Nop],
+                samples: 1,
+                ops_per_thread: 4,
+                initial_size: 8,
+                structures: vec![Structure::Queue],
+                ..HostSpec::quick()
+            },
+            |_| {},
+        ));
+        assert!(
+            gate_host(&report, &report, 0.5).is_err(),
+            "factor < 1 rejected"
+        );
+    }
+
+    #[test]
+    fn simulated_outcomes_are_wall_clock_invariant() {
+        // The deterministic columns (sim_cycles, ops) must not vary
+        // across runs even though wall time does.
+        let a = run_host(&tiny_spec(), |_| {});
+        let b = run_host(&tiny_spec(), |_| {});
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(ca.sim_cycles, cb.sim_cycles);
+            assert_eq!(ca.ops, cb.ops);
+        }
+    }
+}

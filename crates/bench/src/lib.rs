@@ -15,8 +15,10 @@
 //! Full-size figure generation is minutes of CPU; every runner takes an
 //! [`experiments::EvalParams`] whose `quick` preset keeps CI fast.
 
+pub mod alloc_count;
 pub mod cli;
 pub mod experiments;
+pub mod host;
 pub mod microbench;
 pub mod profile;
 

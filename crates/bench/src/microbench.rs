@@ -13,6 +13,23 @@
 
 use std::time::Instant;
 
+/// Times `samples` runs of `f` (after one untimed warmup) and returns
+/// the wall times in milliseconds, sorted ascending. This is the timing
+/// core shared by [`Group::bench`] and the `lrp-bench host` throughput
+/// benchmark.
+pub fn sample_ms<R>(samples: usize, mut f: impl FnMut() -> R) -> Vec<f64> {
+    std::hint::black_box(f());
+    let mut out: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    out.sort_by(|a, b| a.total_cmp(b));
+    out
+}
+
 /// Top-level harness: parses the command line once.
 pub struct Runner {
     filter: Option<String>,
@@ -60,15 +77,7 @@ impl Group<'_> {
                 return;
             }
         }
-        std::hint::black_box(f());
-        let mut samples: Vec<f64> = (0..self.sample_size)
-            .map(|_| {
-                let t0 = Instant::now();
-                std::hint::black_box(f());
-                t0.elapsed().as_secs_f64() * 1e3
-            })
-            .collect();
-        samples.sort_by(|a, b| a.total_cmp(b));
+        let samples = sample_ms(self.sample_size, &mut f);
         let median = samples[samples.len() / 2];
         println!(
             "{full:<52} median {median:>9.3} ms  (min {:.3}, max {:.3}, n={})",

@@ -89,6 +89,28 @@ fn lrp_profile_help_documents_every_flag() {
 }
 
 #[test]
+fn lrp_bench_help_documents_every_flag() {
+    assert_documents(
+        env!("CARGO_BIN_EXE_lrp-bench"),
+        &[
+            "smoke",
+            "structures",
+            "mechs",
+            "mode",
+            "threads",
+            "ops",
+            "size",
+            "seed",
+            "samples",
+            "json-out",
+            "baseline",
+            "current",
+            "max-regression",
+        ],
+    );
+}
+
+#[test]
 fn lrp_serve_help_documents_every_flag() {
     assert_documents(
         env!("CARGO_BIN_EXE_lrp-serve"),
@@ -179,6 +201,7 @@ fn unknown_flags_exit_2_with_usage() {
         env!("CARGO_BIN_EXE_lrp-profile"),
         env!("CARGO_BIN_EXE_lrp-serve"),
         env!("CARGO_BIN_EXE_lrp-load"),
+        env!("CARGO_BIN_EXE_lrp-bench"),
     ] {
         let out = Command::new(bin)
             .args(["run", "--no-such-flag"])

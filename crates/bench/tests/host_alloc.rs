@@ -1,0 +1,35 @@
+//! Allocation budget for the simulator hot path.
+//!
+//! The event queue stores payloads inline, the coherence tables are
+//! flat, and `covered` write-sets move (never clone) along the
+//! flush/ack path — so steady-state allocations per harness op stay
+//! small. This test installs the counting allocator and pins a budget;
+//! re-introducing a per-event `HashMap` insert or a `covered.clone()`
+//! on the ack path blows well past it.
+
+use lrp_bench::alloc_count::{self, CountingAlloc};
+use lrp_bench::host::{run_host, HostSpec};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Generous vs the measured steady state (single digits per op) but
+/// far below the old clone-happy path.
+const MAX_ALLOCS_PER_OP: f64 = 64.0;
+
+#[test]
+fn hot_path_allocations_stay_bounded() {
+    assert!(alloc_count::installed(), "counting allocator not active");
+    let report = run_host(&HostSpec::smoke(), |_| {});
+    assert!(!report.cells.is_empty());
+    for cell in &report.cells {
+        let allocs = cell
+            .allocs_per_op
+            .expect("allocs_per_op measured when the allocator is installed");
+        assert!(
+            allocs <= MAX_ALLOCS_PER_OP,
+            "{}: {allocs:.1} allocs/op exceeds budget {MAX_ALLOCS_PER_OP}",
+            cell.key()
+        );
+    }
+}

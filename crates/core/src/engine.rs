@@ -24,29 +24,39 @@ use lrp_model::LineAddr;
 /// `min_epoch < upto`, plus `include` (the subject line) as the final
 /// stage.
 pub fn plan_release_run(l1: &dyn L1View, upto: Epoch, include: Option<LineAddr>) -> EngineRun {
+    // The releases list is pure scratch (sorted, then drained into
+    // single-line stages); reuse one buffer per thread so planning on
+    // the hot path allocates only for the stages it actually emits.
+    thread_local! {
+        static RELEASES: std::cell::RefCell<Vec<(Epoch, LineAddr)>> =
+            const { std::cell::RefCell::new(Vec::new()) };
+    }
     let mut writes = Vec::new();
-    let mut releases = Vec::new();
-    for (line, meta) in l1.nvm_dirty_lines() {
-        if Some(line) == include || meta.min_epoch >= upto {
-            continue;
+    RELEASES.with(|scratch| {
+        let mut releases = scratch.borrow_mut();
+        releases.clear();
+        l1.for_each_nvm_dirty(&mut |line, meta| {
+            if Some(line) == include || meta.min_epoch >= upto {
+                return;
+            }
+            if meta.release {
+                releases.push((meta.min_epoch, line));
+            } else {
+                writes.push(line);
+            }
+        });
+        releases.sort_unstable();
+        let mut stages = Vec::with_capacity(2 + releases.len());
+        stages.push(std::mem::take(&mut writes));
+        for &(_, line) in releases.iter() {
+            stages.push(vec![line]);
         }
-        if meta.release {
-            releases.push((meta.min_epoch, line));
-        } else {
-            writes.push(line);
+        if let Some(line) = include {
+            stages.push(vec![line]);
         }
-    }
-    releases.sort_unstable();
-    let mut stages = Vec::with_capacity(2 + releases.len());
-    stages.push(writes);
-    for (_, line) in releases {
-        stages.push(vec![line]);
-    }
-    if let Some(line) = include {
-        stages.push(vec![line]);
-    }
-    stages.retain(|s| !s.is_empty());
-    EngineRun { stages }
+        stages.retain(|s| !s.is_empty());
+        EngineRun { stages }
+    })
 }
 
 /// Plans a full-barrier flush in strict epoch order: one stage per
@@ -56,12 +66,12 @@ pub fn plan_release_run(l1: &dyn L1View, upto: Epoch, include: Option<LineAddr>)
 pub fn plan_epoch_stages(l1: &dyn L1View, upto: Epoch, include: Option<LineAddr>) -> EngineRun {
     let mut by_epoch: std::collections::BTreeMap<Epoch, Vec<LineAddr>> =
         std::collections::BTreeMap::new();
-    for (line, meta) in l1.nvm_dirty_lines() {
+    l1.for_each_nvm_dirty(&mut |line, meta| {
         if Some(line) == include || meta.min_epoch >= upto {
-            continue;
+            return;
         }
         by_epoch.entry(meta.min_epoch).or_default().push(line);
-    }
+    });
     let mut stages: Vec<Vec<LineAddr>> = by_epoch.into_values().collect();
     if let Some(line) = include {
         stages.push(vec![line]);

@@ -31,6 +31,16 @@ pub struct LineMeta {
 pub trait L1View {
     /// Metadata of every line with `nvm_dirty` set.
     fn nvm_dirty_lines(&self) -> Vec<(LineAddr, LineMeta)>;
+    /// Visits every line with `nvm_dirty` set, in the same order
+    /// [`L1View::nvm_dirty_lines`] would report them, without
+    /// materializing a `Vec`. Engine planning uses this path; substrates
+    /// that index their dirty set (the simulator's L1) override it to
+    /// skip clean lines entirely.
+    fn for_each_nvm_dirty(&self, f: &mut dyn FnMut(LineAddr, LineMeta)) {
+        for (line, meta) in self.nvm_dirty_lines() {
+            f(line, meta);
+        }
+    }
     /// Metadata of one resident line (default if not resident).
     fn meta(&self, line: LineAddr) -> LineMeta;
     /// Overwrites one line's metadata.

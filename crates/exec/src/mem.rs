@@ -1,7 +1,39 @@
-//! Word-granular functional shared memory.
+//! Word-granular functional shared memory, stored in 4 KB pages.
+//!
+//! The scheduler reads and writes this memory on every replayed op, so
+//! the old one-`HashMap`-entry-per-word layout (SipHash + a heap node
+//! per word) dominated trace-generation time. Words now live in fixed
+//! 512-word pages found through an FxHash page directory: a read is one
+//! cheap hash plus an array index, and the common case of consecutive
+//! structure fields lands in the same page.
 
+use lrp_model::fxmap::FxHashMap;
 use lrp_model::{Addr, Trace};
-use std::collections::HashMap;
+
+/// Words per page (512 × 8 B = 4 KB).
+const PAGE_WORDS: usize = 512;
+
+#[derive(Debug, Clone)]
+struct Page {
+    words: [u64; PAGE_WORDS],
+    /// One bit per word: written at least once. Unwritten words must
+    /// keep reading as [`Trace::POISON`] — zero is a legal value.
+    written: [u64; PAGE_WORDS / 64],
+}
+
+impl Page {
+    fn new() -> Box<Page> {
+        Box::new(Page {
+            words: [0; PAGE_WORDS],
+            written: [0; PAGE_WORDS / 64],
+        })
+    }
+
+    #[inline]
+    fn is_written(&self, slot: usize) -> bool {
+        self.written[slot / 64] >> (slot % 64) & 1 == 1
+    }
+}
 
 /// The functional memory owned by the scheduler. Words that were never
 /// written read as [`Trace::POISON`], modelling the arbitrary contents of
@@ -9,7 +41,8 @@ use std::collections::HashMap;
 /// structurally reachable but never-persisted data).
 #[derive(Debug, Clone, Default)]
 pub struct SharedMem {
-    words: HashMap<Addr, u64>,
+    pages: FxHashMap<u64, Box<Page>>,
+    written: usize,
 }
 
 impl SharedMem {
@@ -20,21 +53,42 @@ impl SharedMem {
 
     /// A memory pre-loaded from an image.
     pub fn from_image(image: &[(Addr, u64)]) -> Self {
-        SharedMem {
-            words: image.iter().copied().collect(),
+        let mut m = SharedMem::new();
+        for &(a, x) in image {
+            m.write(a, x);
         }
+        m
+    }
+
+    #[inline]
+    fn split(addr: Addr) -> (u64, usize) {
+        let word = addr / 8;
+        (
+            word / PAGE_WORDS as u64,
+            (word % PAGE_WORDS as u64) as usize,
+        )
     }
 
     /// Reads the word at `addr`.
     pub fn read(&self, addr: Addr) -> u64 {
         debug_assert_eq!(addr % 8, 0, "unaligned word access at {addr:#x}");
-        self.words.get(&addr).copied().unwrap_or(Trace::POISON)
+        let (page, slot) = SharedMem::split(addr);
+        match self.pages.get(&page) {
+            Some(p) if p.is_written(slot) => p.words[slot],
+            _ => Trace::POISON,
+        }
     }
 
     /// Writes the word at `addr`.
     pub fn write(&mut self, addr: Addr, val: u64) {
         debug_assert_eq!(addr % 8, 0, "unaligned word access at {addr:#x}");
-        self.words.insert(addr, val);
+        let (page, slot) = SharedMem::split(addr);
+        let p = self.pages.entry(page).or_insert_with(Page::new);
+        if !p.is_written(slot) {
+            p.written[slot / 64] |= 1 << (slot % 64);
+            self.written += 1;
+        }
+        p.words[slot] = val;
     }
 
     /// Compare-and-swap; returns `(succeeded, observed_value)`.
@@ -50,19 +104,28 @@ impl SharedMem {
 
     /// Snapshot of all written words, sorted by address.
     pub fn snapshot(&self) -> Vec<(Addr, u64)> {
-        let mut v: Vec<(Addr, u64)> = self.words.iter().map(|(&a, &x)| (a, x)).collect();
-        v.sort_unstable_by_key(|&(a, _)| a);
+        let mut page_ids: Vec<u64> = self.pages.keys().copied().collect();
+        page_ids.sort_unstable();
+        let mut v = Vec::with_capacity(self.written);
+        for id in page_ids {
+            let p = &self.pages[&id];
+            for slot in 0..PAGE_WORDS {
+                if p.is_written(slot) {
+                    v.push(((id * PAGE_WORDS as u64 + slot as u64) * 8, p.words[slot]));
+                }
+            }
+        }
         v
     }
 
     /// Number of distinct words written.
     pub fn len(&self) -> usize {
-        self.words.len()
+        self.written
     }
 
     /// True if no word has been written.
     pub fn is_empty(&self) -> bool {
-        self.words.is_empty()
+        self.written == 0
     }
 }
 
@@ -84,6 +147,15 @@ mod tests {
     }
 
     #[test]
+    fn zero_writes_are_distinct_from_unwritten() {
+        let mut m = SharedMem::new();
+        m.write(0x10, 0);
+        assert_eq!(m.read(0x10), 0, "an explicit zero is not poison");
+        assert_eq!(m.read(0x18), Trace::POISON, "same page, unwritten slot");
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
     fn cas_success_and_failure() {
         let mut m = SharedMem::new();
         m.write(0x10, 1);
@@ -97,7 +169,21 @@ mod tests {
         let mut m = SharedMem::new();
         m.write(0x20, 2);
         m.write(0x10, 1);
-        assert_eq!(m.snapshot(), vec![(0x10, 1), (0x20, 2)]);
+        // Cross a page boundary so sorting covers the page directory.
+        m.write(PAGE_WORDS as u64 * 8 * 3 + 0x40, 3);
+        assert_eq!(
+            m.snapshot(),
+            vec![(0x10, 1), (0x20, 2), (PAGE_WORDS as u64 * 8 * 3 + 0x40, 3)]
+        );
+    }
+
+    #[test]
+    fn rewrite_does_not_double_count() {
+        let mut m = SharedMem::new();
+        m.write(0x10, 1);
+        m.write(0x10, 2);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.read(0x10), 2);
     }
 
     #[test]

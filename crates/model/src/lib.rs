@@ -41,6 +41,7 @@
 pub mod census;
 pub mod codec;
 pub mod event;
+pub mod fxmap;
 pub mod hb;
 pub mod litmus;
 pub mod spec;
@@ -48,4 +49,5 @@ pub mod types;
 
 pub use census::Census;
 pub use event::{Event, EventKind, OpKind, OpMarker, Trace};
+pub use fxmap::{FxHashMap, FxHashSet, FxHasher};
 pub use types::{line_of, Addr, Annot, EventId, LineAddr, ThreadId, LINE_BYTES, WORD_BYTES};

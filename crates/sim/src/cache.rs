@@ -1,5 +1,14 @@
 //! Set-associative L1 data cache array with per-line coherence state,
 //! persistency metadata, and covered-write tracking.
+//!
+//! The cache maintains an incremental index of its `nvm_dirty` lines —
+//! a per-set counter plus a set-level bitmap — so persist-engine scans
+//! visit only sets that actually hold dirty lines instead of walking
+//! all 64 sets × 8 ways per plan. The index is updated at the three
+//! places metadata can change (`set_line_meta`, `take_covered`,
+//! `remove`); the visit order (sets ascending, ways in residence
+//! order) is exactly the order a full `lines()` walk reports, which
+//! engine planning depends on for deterministic stage-0 ordering.
 
 use lrp_core::mech::{L1View, LineMeta};
 use lrp_model::{EventId, LineAddr};
@@ -23,6 +32,8 @@ pub struct L1Line {
     /// Coherence state.
     pub state: CohState,
     /// Persistency metadata (min-epoch, release bit, nvm-dirty).
+    /// Mutate only through [`L1Cache::set_line_meta`] (or the
+    /// [`L1ViewAdapter`]) — the dirty-set index tracks this field.
     pub meta: LineMeta,
     /// Write events buffered since the line was last flushed.
     pub covered: Vec<EventId>,
@@ -32,12 +43,31 @@ pub struct L1Line {
     pub lru: u64,
 }
 
+/// Marks an unoccupied way in the flat tag table. Line addresses come
+/// from `line_of` on real word addresses, which never reach the top of
+/// the u64 range.
+const EMPTY_TAG: LineAddr = LineAddr::MAX;
+
 /// A set-associative L1.
+///
+/// Lookups are served by a flat `sets * ways` tag table (one
+/// contiguous, mostly-host-cache-resident array) that mirrors the
+/// residence order of `sets`: `tags[s * ways + w] ==
+/// sets[s][w].line` for occupied ways, [`EMPTY_TAG`] past the end.
+/// The full `L1Line` structs are only touched once the way is known.
 #[derive(Debug)]
 pub struct L1Cache {
     sets: Vec<Vec<L1Line>>,
+    tags: Vec<LineAddr>,
     ways: usize,
+    /// `nsets - 1` when the set count is a power of two (the common
+    /// 64-set geometry), else `usize::MAX` to select the modulo path.
+    set_mask: usize,
     clock: u64,
+    /// Number of `nvm_dirty` lines per set.
+    dirty_in_set: Vec<u32>,
+    /// One bit per set: `dirty_in_set[s] > 0`.
+    dirty_set_bits: Vec<u64>,
 }
 
 impl L1Cache {
@@ -45,24 +75,76 @@ impl L1Cache {
     pub fn new(sets: usize, ways: usize) -> Self {
         L1Cache {
             sets: (0..sets).map(|_| Vec::new()).collect(),
+            tags: vec![EMPTY_TAG; sets * ways],
             ways,
+            set_mask: if sets.is_power_of_two() {
+                sets - 1
+            } else {
+                usize::MAX
+            },
             clock: 0,
+            dirty_in_set: vec![0; sets],
+            dirty_set_bits: vec![0; sets.div_ceil(64)],
         }
     }
 
     fn set_of(&self, line: LineAddr) -> usize {
-        (line as usize) % self.sets.len()
+        if self.set_mask != usize::MAX {
+            (line as usize) & self.set_mask
+        } else {
+            (line as usize) % self.sets.len()
+        }
+    }
+
+    #[inline]
+    fn way_of(&self, s: usize, line: LineAddr) -> Option<usize> {
+        let base = s * self.ways;
+        self.tags[base..base + self.ways]
+            .iter()
+            .position(|&t| t == line)
+    }
+
+    #[inline]
+    fn note_dirty_change(&mut self, s: usize, was: bool, now: bool) {
+        if was == now {
+            return;
+        }
+        if now {
+            self.dirty_in_set[s] += 1;
+            self.dirty_set_bits[s / 64] |= 1 << (s % 64);
+        } else {
+            self.dirty_in_set[s] -= 1;
+            if self.dirty_in_set[s] == 0 {
+                self.dirty_set_bits[s / 64] &= !(1 << (s % 64));
+            }
+        }
     }
 
     /// Immutable lookup.
     pub fn get(&self, line: LineAddr) -> Option<&L1Line> {
-        self.sets[self.set_of(line)].iter().find(|l| l.line == line)
+        let s = self.set_of(line);
+        self.way_of(s, line).map(|w| &self.sets[s][w])
     }
 
-    /// Mutable lookup.
+    /// Mutable lookup. Do not change `meta.nvm_dirty` through the
+    /// returned reference — use [`L1Cache::set_line_meta`], which keeps
+    /// the dirty-set index consistent.
     pub fn get_mut(&mut self, line: LineAddr) -> Option<&mut L1Line> {
         let s = self.set_of(line);
-        self.sets[s].iter_mut().find(|l| l.line == line)
+        self.way_of(s, line).map(|w| &mut self.sets[s][w])
+    }
+
+    /// Overwrites a resident line's persistency metadata, maintaining
+    /// the dirty-set index.
+    pub fn set_line_meta(&mut self, line: LineAddr, meta: LineMeta) {
+        let s = self.set_of(line);
+        let Some(w) = self.way_of(s, line) else {
+            return;
+        };
+        let l = &mut self.sets[s][w];
+        let was = l.meta.nvm_dirty;
+        l.meta = meta;
+        self.note_dirty_change(s, was, meta.nvm_dirty);
     }
 
     /// Touches the line for LRU.
@@ -74,9 +156,27 @@ impl L1Cache {
         }
     }
 
+    /// Read fast path: one tag scan that tests residency and refreshes
+    /// LRU in the same pass (equivalent to `get` + `touch` on a hit).
+    pub fn read_hit(&mut self, line: LineAddr) -> bool {
+        let s = self.set_of(line);
+        let Some(w) = self.way_of(s, line) else {
+            return false;
+        };
+        let l = &mut self.sets[s][w];
+        if matches!(l.state, CohState::S | CohState::E | CohState::M) {
+            self.clock += 1;
+            l.lru = self.clock;
+            true
+        } else {
+            false
+        }
+    }
+
     /// True if inserting `line` requires evicting a resident line.
     pub fn needs_victim(&self, line: LineAddr) -> bool {
-        self.get(line).is_none() && self.sets[self.set_of(line)].len() >= self.ways
+        let s = self.set_of(line);
+        self.way_of(s, line).is_none() && self.sets[s].len() >= self.ways
     }
 
     /// The LRU victim of `line`'s set (must be full).
@@ -91,17 +191,27 @@ impl L1Cache {
     /// Removes and returns a resident line.
     pub fn remove(&mut self, line: LineAddr) -> Option<L1Line> {
         let s = self.set_of(line);
-        let idx = self.sets[s].iter().position(|l| l.line == line)?;
-        Some(self.sets[s].swap_remove(idx))
+        let w = self.way_of(s, line)?;
+        let base = s * self.ways;
+        let last = self.sets[s].len() - 1;
+        self.tags[base + w] = self.tags[base + last];
+        self.tags[base + last] = EMPTY_TAG;
+        let l = self.sets[s].swap_remove(w);
+        if l.meta.nvm_dirty {
+            self.note_dirty_change(s, true, false);
+        }
+        Some(l)
     }
 
     /// Inserts a line (the caller has made room).
     pub fn insert(&mut self, line: LineAddr, state: CohState) {
         assert!(self.get(line).is_none(), "line {line:#x} already resident");
         let s = self.set_of(line);
-        assert!(self.sets[s].len() < self.ways, "no room in set");
+        let len = self.sets[s].len();
+        assert!(len < self.ways, "no room in set");
         self.clock += 1;
         let lru = self.clock;
+        self.tags[s * self.ways + len] = line;
         self.sets[s].push(L1Line {
             line,
             state,
@@ -116,10 +226,15 @@ impl L1Cache {
     /// `covered` and clears the persistency metadata (the data is on its
     /// way to NVM; later writes re-dirty the line with a fresh epoch).
     pub fn take_covered(&mut self, line: LineAddr) -> Vec<EventId> {
-        if let Some(l) = self.get_mut(line) {
+        let s = self.set_of(line);
+        if let Some(w) = self.way_of(s, line) {
+            let l = &mut self.sets[s][w];
+            let was = l.meta.nvm_dirty;
             l.meta.nvm_dirty = false;
             l.meta.release = false;
-            std::mem::take(&mut l.covered)
+            let covered = std::mem::take(&mut l.covered);
+            self.note_dirty_change(s, was, false);
+            covered
         } else {
             Vec::new()
         }
@@ -129,6 +244,23 @@ impl L1Cache {
     pub fn lines(&self) -> impl Iterator<Item = &L1Line> {
         self.sets.iter().flatten()
     }
+
+    /// Visits every `nvm_dirty` line in `lines()` order, touching only
+    /// sets the dirty index marks.
+    pub fn for_each_nvm_dirty(&self, f: &mut dyn FnMut(LineAddr, LineMeta)) {
+        for (w, &word) in self.dirty_set_bits.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let s = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                for l in &self.sets[s] {
+                    if l.meta.nvm_dirty {
+                        f(l.line, l.meta);
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// [`L1View`] adapter handed to persistency mechanisms.
@@ -136,11 +268,14 @@ pub struct L1ViewAdapter<'a>(pub &'a mut L1Cache);
 
 impl L1View for L1ViewAdapter<'_> {
     fn nvm_dirty_lines(&self) -> Vec<(LineAddr, LineMeta)> {
+        let mut v = Vec::new();
         self.0
-            .lines()
-            .filter(|l| l.meta.nvm_dirty)
-            .map(|l| (l.line, l.meta))
-            .collect()
+            .for_each_nvm_dirty(&mut |line, meta| v.push((line, meta)));
+        v
+    }
+
+    fn for_each_nvm_dirty(&self, f: &mut dyn FnMut(LineAddr, LineMeta)) {
+        self.0.for_each_nvm_dirty(f);
     }
 
     fn meta(&self, line: LineAddr) -> LineMeta {
@@ -148,15 +283,21 @@ impl L1View for L1ViewAdapter<'_> {
     }
 
     fn set_meta(&mut self, line: LineAddr, meta: LineMeta) {
-        if let Some(l) = self.0.get_mut(line) {
-            l.meta = meta;
-        }
+        self.0.set_line_meta(line, meta);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn dirty_meta() -> LineMeta {
+        LineMeta {
+            nvm_dirty: true,
+            release: false,
+            min_epoch: 0,
+        }
+    }
 
     #[test]
     fn insert_lookup_remove() {
@@ -184,12 +325,15 @@ mod tests {
     fn take_covered_clears_meta() {
         let mut c = L1Cache::new(1, 2);
         c.insert(8, CohState::M);
-        {
-            let l = c.get_mut(8).unwrap();
-            l.covered = vec![1, 2, 3];
-            l.meta.nvm_dirty = true;
-            l.meta.release = true;
-        }
+        c.get_mut(8).unwrap().covered = vec![1, 2, 3];
+        c.set_line_meta(
+            8,
+            LineMeta {
+                nvm_dirty: true,
+                release: true,
+                min_epoch: 0,
+            },
+        );
         assert_eq!(c.take_covered(8), vec![1, 2, 3]);
         let l = c.get(8).unwrap();
         assert!(!l.meta.nvm_dirty && !l.meta.release);
@@ -201,7 +345,7 @@ mod tests {
         let mut c = L1Cache::new(2, 2);
         c.insert(1, CohState::M);
         c.insert(2, CohState::M);
-        c.get_mut(1).unwrap().meta.nvm_dirty = true;
+        c.set_line_meta(1, dirty_meta());
         let mut view = L1ViewAdapter(&mut c);
         use lrp_core::mech::L1View as _;
         assert_eq!(view.nvm_dirty_lines().len(), 1);
@@ -220,5 +364,69 @@ mod tests {
         assert_eq!(c.victim_of(2), 0);
         assert!(c.needs_victim(3)); // set 1 full
         assert_eq!(c.victim_of(3), 1);
+    }
+
+    /// The dirty index must agree with a brute-force scan through every
+    /// metadata transition: set, clear via set_line_meta, take_covered,
+    /// and remove.
+    #[test]
+    fn dirty_index_tracks_every_transition() {
+        let mut c = L1Cache::new(4, 2);
+        let lines = [0u64, 1, 2, 5, 4];
+        for &l in &lines {
+            c.insert(l, CohState::M);
+        }
+        let brute = |c: &L1Cache| -> Vec<LineAddr> {
+            c.lines()
+                .filter(|l| l.meta.nvm_dirty)
+                .map(|l| l.line)
+                .collect()
+        };
+        let indexed = |c: &L1Cache| -> Vec<LineAddr> {
+            let mut v = Vec::new();
+            c.for_each_nvm_dirty(&mut |line, _| v.push(line));
+            v
+        };
+        assert_eq!(indexed(&c), Vec::<LineAddr>::new());
+        for &l in &lines {
+            c.set_line_meta(l, dirty_meta());
+            assert_eq!(indexed(&c), brute(&c));
+        }
+        c.set_line_meta(1, LineMeta::default());
+        assert_eq!(indexed(&c), brute(&c));
+        // Setting an already-dirty line dirty again must not double count.
+        c.set_line_meta(2, dirty_meta());
+        assert_eq!(indexed(&c), brute(&c));
+        c.take_covered(0);
+        assert_eq!(indexed(&c), brute(&c));
+        c.remove(5);
+        assert_eq!(indexed(&c), brute(&c));
+        c.take_covered(2);
+        c.take_covered(4);
+        assert_eq!(indexed(&c), Vec::<LineAddr>::new());
+        assert!(c.dirty_set_bits.iter().all(|&w| w == 0), "bitmap drained");
+    }
+
+    /// Visit order must match `lines()` order exactly — engine stage-0
+    /// ordering (and therefore NVM queueing and persist stamps) depends
+    /// on it.
+    #[test]
+    fn dirty_visit_order_matches_full_scan() {
+        let mut c = L1Cache::new(4, 4);
+        // Residence order inside a set changes via swap_remove; build a
+        // history with removals to exercise that.
+        for l in [0u64, 4, 8, 12, 1, 5, 9, 2, 3, 7] {
+            c.insert(l, CohState::M);
+            c.set_line_meta(l, dirty_meta());
+        }
+        c.remove(4); // swap_remove reorders set 0
+        let brute: Vec<LineAddr> = c
+            .lines()
+            .filter(|l| l.meta.nvm_dirty)
+            .map(|l| l.line)
+            .collect();
+        let mut indexed = Vec::new();
+        c.for_each_nvm_dirty(&mut |line, _| indexed.push(line));
+        assert_eq!(indexed, brute);
     }
 }

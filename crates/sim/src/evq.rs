@@ -1,0 +1,280 @@
+//! Calendar-wheel event queue for the discrete-event machine.
+//!
+//! The run loop used to pair a `BinaryHeap<Reverse<(time, seq, id)>>`
+//! with a `HashMap<id, Ev>` — every event paid a heap sift plus a hash
+//! insert and remove. The wheel stores payloads inline in time-indexed
+//! slots: a push is a `Vec` push into `slots[time % capacity]`, a pop
+//! scans an occupancy bitmap for the next non-empty slot.
+//!
+//! # Ordering invariant
+//!
+//! Pops are in ascending `(time, seq)` order, identical to the heap.
+//! The argument: every in-wheel entry satisfies
+//! `cur <= time < cur + capacity` (`cur` = time of the last pop), so a
+//! slot can only ever hold entries of **one** time value — two times
+//! sharing a slot would differ by a multiple of `capacity`, which the
+//! window forbids. Circular slot distance from `cur` therefore equals
+//! time distance, and a bitmap scan finds the minimum-time slot.
+//! Within a slot, entries are popped by minimum `seq` (migration from
+//! the overflow list can break insertion order, so order is selected,
+//! not assumed). Entries beyond the window — NVM completions behind a
+//! long queue — wait in an unordered overflow list and migrate into
+//! the wheel when the window reaches them.
+
+/// Slot count. Must be a power of two. Deliberately small: the slot
+/// array has to stay host-cache-resident, and nearly all traffic
+/// (core steps, L1/NoC hops, cached-NVM completions) lands within a
+/// couple hundred cycles. Longer delays — uncached NVM (350 cycles)
+/// plus queueing — take the overflow path, which costs a linear
+/// migration scan but is rare enough not to matter (sweeping 64–2048
+/// showed larger wheels lose more to cache misses than they save in
+/// overflow handling).
+const CAPACITY: usize = 256;
+
+/// A calendar-wheel priority queue of `(time, seq, payload)` entries,
+/// popped in ascending `(time, seq)` order.
+#[derive(Debug)]
+pub struct EventWheel<T> {
+    slots: Vec<Vec<(u64, u64, T)>>,
+    /// One bit per slot: slot non-empty.
+    occupied: [u64; CAPACITY / 64],
+    /// Entries with `time >= cur + CAPACITY`, unordered.
+    overflow: Vec<(u64, u64, T)>,
+    overflow_min: u64,
+    /// Time of the last pop; no live entry is earlier.
+    cur: u64,
+    len: usize,
+}
+
+impl<T> Default for EventWheel<T> {
+    fn default() -> Self {
+        EventWheel::new()
+    }
+}
+
+impl<T> EventWheel<T> {
+    /// An empty wheel starting at time 0.
+    pub fn new() -> Self {
+        EventWheel {
+            slots: (0..CAPACITY).map(|_| Vec::new()).collect(),
+            occupied: [0; CAPACITY / 64],
+            overflow: Vec::new(),
+            overflow_min: u64::MAX,
+            cur: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of queued entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Queues an entry. `time` must not precede the last popped time,
+    /// and `(time, seq)` pairs are assumed unique (the machine's global
+    /// schedule counter guarantees both).
+    pub fn push(&mut self, time: u64, seq: u64, payload: T) {
+        debug_assert!(time >= self.cur, "event scheduled in the past");
+        self.len += 1;
+        if time - self.cur < CAPACITY as u64 {
+            let s = time as usize % CAPACITY;
+            self.slots[s].push((time, seq, payload));
+            self.occupied[s / 64] |= 1 << (s % 64);
+        } else {
+            self.overflow.push((time, seq, payload));
+            self.overflow_min = self.overflow_min.min(time);
+        }
+    }
+
+    /// Index of the first occupied slot at or after circular position
+    /// `start` (wrapping), or `None` if the wheel part is empty.
+    fn next_occupied(&self, start: usize) -> Option<usize> {
+        let words = self.occupied.len();
+        let mut w = start / 64;
+        let mut mask = u64::MAX << (start % 64);
+        for _ in 0..=words {
+            let bits = self.occupied[w] & mask;
+            if bits != 0 {
+                return Some(w * 64 + bits.trailing_zeros() as usize);
+            }
+            w = (w + 1) % words;
+            mask = u64::MAX;
+        }
+        None
+    }
+
+    /// Moves every overflow entry now inside the window into the wheel.
+    fn migrate_overflow(&mut self) {
+        let mut min = u64::MAX;
+        let mut i = 0;
+        while i < self.overflow.len() {
+            let t = self.overflow[i].0;
+            if t - self.cur < CAPACITY as u64 {
+                let (time, seq, payload) = self.overflow.swap_remove(i);
+                let s = time as usize % CAPACITY;
+                self.slots[s].push((time, seq, payload));
+                self.occupied[s / 64] |= 1 << (s % 64);
+            } else {
+                min = min.min(t);
+                i += 1;
+            }
+        }
+        self.overflow_min = min;
+    }
+
+    /// Removes and returns the earliest `(time, seq, payload)` entry.
+    pub fn pop(&mut self) -> Option<(u64, u64, T)> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            let slot = self.next_occupied(self.cur as usize % CAPACITY);
+            if !self.overflow.is_empty() {
+                // All in-wheel entries share one time per slot; peek it.
+                match slot.map(|s| self.slots[s][0].0) {
+                    Some(t) if self.overflow_min <= t => {
+                        // The overflow holds the earliest entry — or one
+                        // that ties on time and must compete on seq.
+                        // Advance the window to it and migrate. (Safe:
+                        // nothing live is earlier than overflow_min <= t.)
+                        self.cur = self.overflow_min;
+                        self.migrate_overflow();
+                        continue;
+                    }
+                    Some(_) => {}
+                    None => {
+                        self.cur = self.overflow_min;
+                        self.migrate_overflow();
+                        continue;
+                    }
+                }
+            }
+            let Some(s) = slot else {
+                unreachable!("len > 0 but no entries found")
+            };
+            let entries = &mut self.slots[s];
+            let mut best = 0;
+            for i in 1..entries.len() {
+                if entries[i].1 < entries[best].1 {
+                    best = i;
+                }
+            }
+            let entry = entries.swap_remove(best);
+            if entries.is_empty() {
+                self.occupied[s / 64] &= !(1 << (s % 64));
+            }
+            self.cur = entry.0;
+            self.len -= 1;
+            return Some(entry);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift so the shuffle needs no external crate.
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut w = EventWheel::new();
+        w.push(5, 2, "b");
+        w.push(5, 1, "a");
+        w.push(3, 3, "c");
+        w.push(9, 0, "d");
+        let order: Vec<_> = std::iter::from_fn(|| w.pop()).collect();
+        assert_eq!(
+            order,
+            vec![(3, 3, "c"), (5, 1, "a"), (5, 2, "b"), (9, 0, "d")]
+        );
+    }
+
+    #[test]
+    fn far_events_overflow_and_come_back_ordered() {
+        let mut w = EventWheel::new();
+        w.push(0, 0, 0u64);
+        // Far beyond the window — multiple wrap distances.
+        for (i, t) in [CAPACITY as u64 * 3 + 5, CAPACITY as u64 + 1, 40_000]
+            .into_iter()
+            .enumerate()
+        {
+            w.push(t, i as u64 + 1, t);
+        }
+        assert_eq!(w.pop().unwrap().0, 0);
+        assert_eq!(w.pop().unwrap().0, CAPACITY as u64 + 1);
+        // Push near events after the window advanced.
+        w.push(CAPACITY as u64 + 2, 10, 999);
+        assert_eq!(w.pop().unwrap().2, 999);
+        assert_eq!(w.pop().unwrap().0, CAPACITY as u64 * 3 + 5);
+        assert_eq!(w.pop().unwrap().0, 40_000);
+        assert!(w.pop().is_none());
+    }
+
+    #[test]
+    fn matches_binary_heap_on_random_workload() {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut rng = 0x1234_5678_9abc_def0u64;
+        let mut wheel = EventWheel::new();
+        let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        let mut pending = 0usize;
+        for _ in 0..50_000 {
+            let r = xorshift(&mut rng);
+            let do_push = pending == 0 || !r.is_multiple_of(3);
+            if do_push {
+                // Mix of short delays, same-cycle events, and rare far
+                // NVM-queue completions.
+                let delay = match r % 10 {
+                    0 => 0,
+                    1..=6 => (r >> 8) % 64,
+                    7 | 8 => (r >> 8) % 400,
+                    _ => 1000 + (r >> 8) % 10_000,
+                };
+                seq += 1;
+                wheel.push(now + delay, seq, (now + delay, seq));
+                heap.push(Reverse((now + delay, seq)));
+                pending += 1;
+            } else {
+                let (t, s, payload) = wheel.pop().expect("wheel has entries");
+                let Reverse(expect) = heap.pop().expect("heap has entries");
+                assert_eq!((t, s), expect, "pop order diverged from heap");
+                assert_eq!(payload, expect, "payload follows its key");
+                now = t;
+                pending -= 1;
+            }
+        }
+        while let Some((t, s, _)) = wheel.pop() {
+            let Reverse(expect) = heap.pop().unwrap();
+            assert_eq!((t, s), expect);
+        }
+        assert!(heap.is_empty());
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn len_tracks_pushes_and_pops() {
+        let mut w = EventWheel::new();
+        assert!(w.is_empty());
+        w.push(1, 1, ());
+        w.push(CAPACITY as u64 * 2, 2, ());
+        assert_eq!(w.len(), 2);
+        w.pop();
+        assert_eq!(w.len(), 1);
+        w.pop();
+        assert!(w.is_empty());
+    }
+}

@@ -23,6 +23,7 @@
 
 pub mod cache;
 pub mod config;
+pub mod evq;
 pub mod machine;
 pub mod noc;
 pub mod report;

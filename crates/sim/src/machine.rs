@@ -27,13 +27,13 @@
 
 use crate::cache::{CohState, L1Cache, L1ViewAdapter};
 use crate::config::SimConfig;
+use crate::evq::EventWheel;
 use crate::stats::{FlushClass, StallCause, Stats};
 use lrp_core::mech::{EngineRun, PersistMech, StoreKind};
 use lrp_model::spec::PersistSchedule;
-use lrp_model::{Event, EventId, EventKind, LineAddr, Trace};
+use lrp_model::{Event, EventId, EventKind, FxHashMap, LineAddr, Trace};
 use lrp_obs::{EngineState, ObsReport, Recorder, RecorderConfig};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::VecDeque;
 
 // ---------------------------------------------------------------------
 // Messages and events
@@ -88,6 +88,30 @@ enum Ev {
     L1Msg(usize, LineAddr, Msg),
     DirMsg(LineAddr, Msg),
     NvmDone(usize, NvmReq),
+}
+
+/// Wheel-resident form of [`Ev`]: 16 bytes, `Copy`. The frequent
+/// core/store/job steps encode entirely inline; message payloads park
+/// in the machine's recycled [`MsgSlot`] pool and travel as a slot
+/// index, so every queue push/pop/compact moves a quarter of the bytes
+/// the full enum would.
+#[derive(Clone, Copy)]
+struct PackedEv {
+    /// [`Ev`] variant discriminant (0..=5, declaration order).
+    tag: u8,
+    /// Core / controller index for the variants that carry one.
+    unit: u8,
+    /// Pool slot for `L1Msg` / `DirMsg` / `NvmDone`, else unused.
+    slot: u32,
+    /// Line address for `L1Msg` / `DirMsg`, else unused.
+    line: LineAddr,
+}
+
+/// One parked message payload (see [`PackedEv::slot`]).
+enum MsgSlot {
+    Empty,
+    Msg(Msg),
+    Nvm(NvmReq),
 }
 
 #[derive(Debug, Clone)]
@@ -217,17 +241,75 @@ struct L1 {
     cache: L1Cache,
     mech: Box<dyn PersistMech>,
     seq: Sequencer,
-    evict_buf: HashMap<LineAddr, EvictEntry>,
+    /// Eviction buffer. A handful of entries at most (bounded by misses
+    /// with write-backs in flight), so a linear-scan `Vec` beats a hash
+    /// table.
+    evict_buf: Vec<(LineAddr, EvictEntry)>,
     deferred: Vec<(LineAddr, Msg)>,
-    /// Lines with engine flushes in flight (issue → ack). Mechanisms
-    /// that forbid epoch coalescing (BB) stall stores to such lines —
-    /// the residual conflict wait that proactive flushing leaves behind.
-    inflight: HashMap<LineAddr, u32>,
+    /// Lines with engine flushes in flight (issue → ack), with a count
+    /// each. Mechanisms that forbid epoch coalescing (BB) stall stores
+    /// to such lines — the residual conflict wait that proactive
+    /// flushing leaves behind. Bounded by `flush_mshrs`, linear scan.
+    inflight: Vec<(LineAddr, u32)>,
     /// Lines with a downgrade in progress (engine run before the
     /// response). New stores to such a line wait: the line is being
     /// handed to the requester and must not absorb writes the response
     /// would otherwise carry away unpersisted.
-    downgrading: std::collections::HashSet<LineAddr>,
+    downgrading: Vec<LineAddr>,
+}
+
+impl L1 {
+    fn evict_get(&self, line: LineAddr) -> Option<&EvictEntry> {
+        self.evict_buf
+            .iter()
+            .find(|(l, _)| *l == line)
+            .map(|(_, e)| e)
+    }
+
+    fn evict_get_mut(&mut self, line: LineAddr) -> Option<&mut EvictEntry> {
+        self.evict_buf
+            .iter_mut()
+            .find(|(l, _)| *l == line)
+            .map(|(_, e)| e)
+    }
+
+    fn evict_insert(&mut self, line: LineAddr, entry: EvictEntry) {
+        debug_assert!(self.evict_get(line).is_none(), "evict entry exists");
+        self.evict_buf.push((line, entry));
+    }
+
+    fn evict_remove(&mut self, line: LineAddr) {
+        if let Some(i) = self.evict_buf.iter().position(|(l, _)| *l == line) {
+            self.evict_buf.swap_remove(i);
+        }
+    }
+
+    fn inflight_contains(&self, line: LineAddr) -> bool {
+        self.inflight.iter().any(|(l, _)| *l == line)
+    }
+
+    fn inflight_inc(&mut self, line: LineAddr) {
+        if let Some((_, n)) = self.inflight.iter_mut().find(|(l, _)| *l == line) {
+            *n += 1;
+        } else {
+            self.inflight.push((line, 1));
+        }
+    }
+
+    /// Decrements the line's in-flight count; true when the line had an
+    /// entry that just drained to zero.
+    fn inflight_dec(&mut self, line: LineAddr) -> bool {
+        let Some(i) = self.inflight.iter().position(|(l, _)| *l == line) else {
+            return false;
+        };
+        self.inflight[i].1 -= 1;
+        if self.inflight[i].1 == 0 {
+            self.inflight.swap_remove(i);
+            true
+        } else {
+            false
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -332,20 +414,35 @@ pub struct Sim {
     cfg: SimConfig,
     now: u64,
     seq: u64,
-    evq: BinaryHeap<Reverse<(u64, u64, usize)>>,
-    ev_payload: HashMap<usize, Ev>,
-    ev_id: usize,
+    /// Calendar-wheel event queue with inline payloads — see
+    /// [`crate::evq`] for the ordering argument.
+    evq: EventWheel<PackedEv>,
+    /// Parked message payloads for queued [`PackedEv`]s, with a free
+    /// list so slots recycle instead of allocating.
+    msg_pool: Vec<MsgSlot>,
+    msg_free: Vec<u32>,
     cores: Vec<Core>,
     l1s: Vec<L1>,
-    dir: HashMap<LineAddr, DirLine>,
+    /// Directory lines, indexed densely; `dir_ids` interns line
+    /// addresses on first touch.
+    dir: Vec<DirLine>,
+    dir_ids: FxHashMap<LineAddr, u32>,
     nvms: Vec<Nvm>,
     performed: Vec<bool>,
-    rf_waiters: HashMap<EventId, Vec<usize>>,
-    stamps: Vec<Option<u64>>,
-    /// Point-to-point FIFO delivery: last arrival time per (src, dst)
-    /// tile pair, so protocol messages on one virtual channel never
-    /// reorder (grants cannot be overtaken by forwards).
-    chan_last: HashMap<(usize, usize), u64>,
+    /// Cores waiting on a reads-from producer, keyed by event id.
+    /// Sparse: only events actually waited on ever get an entry, so
+    /// construction does not scale with trace length.
+    rf_waiters: FxHashMap<EventId, Vec<usize>>,
+    /// Persist stamp per event, stored as `stamp + 1` (0 = never
+    /// persisted) so the table is plain zeroed memory: fresh pages are
+    /// not touched until a write actually persists.
+    stamps: Vec<u64>,
+    /// Point-to-point FIFO delivery: earliest next arrival per
+    /// (src, dst) tile pair (flat `src * ntiles + dst` table), so
+    /// protocol messages on one virtual channel never reorder (grants
+    /// cannot be overtaken by forwards). Zero = channel never used.
+    chan_next: Vec<u64>,
+    ntiles: usize,
     flush_seq: u64,
     persist_log: Vec<PersistRecord>,
     stats: Stats,
@@ -366,7 +463,13 @@ impl Sim {
             ncores <= cfg.mesh_dim * cfg.mesh_dim,
             "trace has more threads than the machine has cores"
         );
-        let mut per_core: Vec<Vec<Event>> = vec![Vec::new(); ncores];
+        // PackedEv carries core / NVM-controller indices in a byte.
+        assert!(ncores <= 256 && cfg.nvm_ctrls <= 256);
+        let mut counts = vec![0usize; ncores];
+        for e in &trace.events {
+            counts[e.tid as usize] += 1;
+        }
+        let mut per_core: Vec<Vec<Event>> = counts.iter().map(|&n| Vec::with_capacity(n)).collect();
         for e in &trace.events {
             per_core[e.tid as usize].push(*e);
         }
@@ -390,37 +493,32 @@ impl Sim {
                 cache: L1Cache::new(cfg.l1_sets(), cfg.l1_ways),
                 mech: cfg.build_mech(),
                 seq: Sequencer::default(),
-                evict_buf: HashMap::new(),
+                evict_buf: Vec::new(),
                 deferred: Vec::new(),
-                inflight: HashMap::new(),
-                downgrading: std::collections::HashSet::new(),
+                inflight: Vec::new(),
+                downgrading: Vec::new(),
             })
             .collect::<Vec<_>>();
-        // Lines of the initial durable image start both in NVM and in
-        // the LLC: the paper collects statistics only after the
-        // structure is populated and warm (§6.1), so the working set is
-        // LLC-resident at measurement start.
-        let mut dir: HashMap<LineAddr, DirLine> = HashMap::new();
-        for &(a, _) in &trace.initial_mem {
-            dir.entry(lrp_model::line_of(a)).or_default().in_llc = true;
-        }
         let nvms = (0..cfg.nvm_ctrls).map(|_| Nvm::default()).collect();
         let nevents = trace.events.len();
+        let ntiles = cfg.mesh_dim * cfg.mesh_dim;
         let mut sim = Sim {
             cfg,
             now: 0,
             seq: 0,
-            evq: BinaryHeap::new(),
-            ev_payload: HashMap::new(),
-            ev_id: 0,
+            evq: EventWheel::new(),
+            msg_pool: Vec::new(),
+            msg_free: Vec::new(),
             cores,
             l1s,
-            dir,
+            dir: Vec::new(),
+            dir_ids: FxHashMap::default(),
             nvms,
             performed: vec![false; nevents],
-            rf_waiters: HashMap::new(),
-            stamps: vec![None; nevents],
-            chan_last: HashMap::new(),
+            rf_waiters: FxHashMap::default(),
+            stamps: vec![0; nevents],
+            chan_next: vec![0; ntiles * ntiles],
+            ntiles,
             flush_seq: 0,
             persist_log: Vec::new(),
             stats: Stats::default(),
@@ -428,10 +526,29 @@ impl Sim {
             site_names: trace.site_names.clone(),
             event_sites: trace.event_sites.clone(),
         };
+        // Lines of the initial durable image start both in NVM and in
+        // the LLC: the paper collects statistics only after the
+        // structure is populated and warm (§6.1), so the working set is
+        // LLC-resident at measurement start.
+        for &(a, _) in &trace.initial_mem {
+            let di = sim.dir_id(lrp_model::line_of(a));
+            sim.dir[di].in_llc = true;
+        }
         for c in 0..ncores {
             sim.schedule(0, Ev::CoreStep(c));
         }
         sim
+    }
+
+    /// Dense directory index of a line, interned on first touch.
+    fn dir_id(&mut self, line: LineAddr) -> usize {
+        if let Some(&i) = self.dir_ids.get(&line) {
+            return i as usize;
+        }
+        let i = self.dir.len();
+        self.dir.push(DirLine::default());
+        self.dir_ids.insert(line, i as u32);
+        i
     }
 
     /// Attaches a recorder: the run produces an [`ObsReport`] and every
@@ -470,11 +587,77 @@ impl Sim {
     // -- infrastructure -------------------------------------------------
 
     fn schedule(&mut self, delay: u64, ev: Ev) {
-        let id = self.ev_id;
-        self.ev_id += 1;
-        self.ev_payload.insert(id, ev);
+        let p = match ev {
+            Ev::CoreStep(c) => PackedEv {
+                tag: 0,
+                unit: c as u8,
+                slot: 0,
+                line: 0,
+            },
+            Ev::StoreStep(c) => PackedEv {
+                tag: 1,
+                unit: c as u8,
+                slot: 0,
+                line: 0,
+            },
+            Ev::JobStep(c) => PackedEv {
+                tag: 2,
+                unit: c as u8,
+                slot: 0,
+                line: 0,
+            },
+            Ev::L1Msg(c, line, msg) => PackedEv {
+                tag: 3,
+                unit: c as u8,
+                slot: self.park(MsgSlot::Msg(msg)),
+                line,
+            },
+            Ev::DirMsg(line, msg) => PackedEv {
+                tag: 4,
+                unit: 0,
+                slot: self.park(MsgSlot::Msg(msg)),
+                line,
+            },
+            Ev::NvmDone(n, req) => PackedEv {
+                tag: 5,
+                unit: n as u8,
+                slot: self.park(MsgSlot::Nvm(req)),
+                line: 0,
+            },
+        };
         self.seq += 1;
-        self.evq.push(Reverse((self.now + delay, self.seq, id)));
+        self.evq.push(self.now + delay, self.seq, p);
+    }
+
+    fn park(&mut self, payload: MsgSlot) -> u32 {
+        if let Some(i) = self.msg_free.pop() {
+            self.msg_pool[i as usize] = payload;
+            i
+        } else {
+            self.msg_pool.push(payload);
+            (self.msg_pool.len() - 1) as u32
+        }
+    }
+
+    /// Rehydrates a popped [`PackedEv`], returning its parked payload
+    /// slot to the free list.
+    fn unpack(&mut self, p: PackedEv) -> Ev {
+        match p.tag {
+            0 => Ev::CoreStep(p.unit as usize),
+            1 => Ev::StoreStep(p.unit as usize),
+            2 => Ev::JobStep(p.unit as usize),
+            _ => {
+                let payload =
+                    std::mem::replace(&mut self.msg_pool[p.slot as usize], MsgSlot::Empty);
+                self.msg_free.push(p.slot);
+                match (p.tag, payload) {
+                    (3, MsgSlot::Msg(m)) => Ev::L1Msg(p.unit as usize, p.line, m),
+                    (4, MsgSlot::Msg(m)) => Ev::DirMsg(p.line, m),
+                    (5, MsgSlot::Nvm(r)) => Ev::NvmDone(p.unit as usize, r),
+                    _ => unreachable!("packed event desynced from payload pool"),
+                }
+            }
+        }
     }
 
     fn tile_of_core(&self, c: usize) -> usize {
@@ -509,9 +692,9 @@ impl Sim {
 
     /// FIFO arrival time on the (src, dst) channel.
     fn ordered_delay(&mut self, src: usize, dst: usize, lat: u64) -> u64 {
-        let arrival =
-            (self.now + lat).max(self.chan_last.get(&(src, dst)).map(|&t| t + 1).unwrap_or(0));
-        self.chan_last.insert((src, dst), arrival);
+        let chan = &mut self.chan_next[src * self.ntiles + dst];
+        let arrival = (self.now + lat).max(*chan);
+        *chan = arrival + 1;
         arrival - self.now
     }
 
@@ -533,14 +716,14 @@ impl Sim {
 
     /// Runs to completion and returns the results.
     pub fn run(mut self) -> RunResult {
-        while let Some(Reverse((t, _, id))) = self.evq.pop() {
+        while let Some((t, _, p)) = self.evq.pop() {
+            let ev = self.unpack(p);
             assert!(
                 t <= self.cfg.max_cycles,
                 "simulation exceeded max_cycles ({}): likely deadlock",
                 self.cfg.max_cycles
             );
             self.now = t;
-            let ev = self.ev_payload.remove(&id).expect("event payload");
             match ev {
                 Ev::CoreStep(c) => self.core_step(c),
                 Ev::StoreStep(c) => self.store_step(c),
@@ -577,9 +760,9 @@ impl Sim {
             "online op count drifted from the replayed trace"
         );
         let mut schedule = PersistSchedule::new(self.stamps.len());
-        for (i, s) in self.stamps.iter().enumerate() {
-            if let Some(v) = s {
-                schedule.set(i as EventId, *v);
+        for (i, &s) in self.stamps.iter().enumerate() {
+            if s != 0 {
+                schedule.set(i as EventId, s - 1);
             }
         }
         let end = self.now.max(self.stats.cycles);
@@ -685,18 +868,14 @@ impl Sim {
         if is_read {
             // A load to a line with one of our own stores still in
             // flight waits for the buffer to drain past it.
-            if self.cores[c].store_q.iter().any(|t| t.line == line) {
+            if !self.cores[c].store_q.is_empty()
+                && self.cores[c].store_q.iter().any(|t| t.line == line)
+            {
                 self.cores[c].state = CoreState::WaitLocalDrain;
                 self.begin_stall(c, StallCause::StoreDrain);
                 return;
             }
-            let hit = self.l1s[c]
-                .cache
-                .get(line)
-                .map(|l| matches!(l.state, CohState::S | CohState::E | CohState::M))
-                .unwrap_or(false);
-            if hit {
-                self.l1s[c].cache.touch(line);
+            if self.l1s[c].cache.read_hit(line) {
                 self.cores[c].pc += 1;
                 self.stats.ops += 1;
                 self.stats.load_hits += 1;
@@ -805,7 +984,7 @@ impl Sim {
         let parked = task.parked;
         // Residual intra-thread conflict (BB): a store to a line whose
         // older-epoch flush is still in flight waits for the ack.
-        if self.l1s[c].mech.forbids_epoch_coalescing() && self.l1s[c].inflight.contains_key(&line) {
+        if self.l1s[c].mech.forbids_epoch_coalescing() && self.l1s[c].inflight_contains(line) {
             if !parked {
                 self.cores[c].store_q.front_mut().unwrap().parked = true;
                 // The proactive flush this store now waits on became a
@@ -820,6 +999,7 @@ impl Sim {
         if self.l1s[c].downgrading.contains(&line) {
             return; // StoreStep is re-scheduled when the response is sent
         }
+
         let state = self.l1s[c].cache.get(line).map(|l| l.state);
         match state {
             Some(CohState::M) | Some(CohState::E) => {
@@ -936,11 +1116,8 @@ impl Sim {
             let covered = self.l1s[c].cache.take_covered(line);
             self.notify_flush_issued(c, line);
             if !covered.is_empty() {
-                *self.l1s[c].inflight.entry(line).or_insert(0) += 1;
+                self.l1s[c].inflight_inc(line);
             }
-            let run = EngineRun {
-                stages: vec![vec![line]],
-            };
             let site = covered
                 .first()
                 .map(|&e| self.site_of(e))
@@ -950,16 +1127,15 @@ impl Sim {
             self.note_mech_drain(c);
             self.enqueue_materialized(
                 c,
-                vec![VecDeque::from([vec![FlushDesc {
+                VecDeque::from([vec![FlushDesc {
                     line,
                     covered,
                     site,
-                }]])],
+                }]]),
                 FlushClass::Critical,
                 JobDone::RmwAck,
                 0,
             );
-            let _ = run;
         } else {
             self.finish_store_task(c);
         }
@@ -1008,7 +1184,7 @@ impl Sim {
                 if !covered.is_empty() {
                     // The line is considered "being flushed" from hand-off
                     // until the NVM ack (the residual-conflict window).
-                    *self.l1s[c].inflight.entry(line).or_insert(0) += 1;
+                    self.l1s[c].inflight_inc(line);
                     let site = covered
                         .first()
                         .map(|&e| self.site_of(e))
@@ -1024,18 +1200,17 @@ impl Sim {
                 stages.push_back(descs);
             }
         }
-        self.enqueue_materialized(c, vec![stages], class, done, scan);
+        self.enqueue_materialized(c, stages, class, done, scan);
     }
 
     fn enqueue_materialized(
         &mut self,
         c: usize,
-        stages_vec: Vec<VecDeque<Vec<FlushDesc>>>,
+        stages: VecDeque<Vec<FlushDesc>>,
         class: FlushClass,
         done: JobDone,
         scan: u64,
     ) {
-        let stages = stages_vec.into_iter().next().unwrap_or_default();
         let job = Job {
             stages,
             done,
@@ -1051,7 +1226,6 @@ impl Sim {
         if !self.l1s[c].seq.jobs.back().unwrap().stages.is_empty() {
             self.stats.engine_runs += 1;
         }
-        let _ = scan;
     }
 
     fn notify_flush_issued(&mut self, c: usize, line: LineAddr) {
@@ -1202,15 +1376,16 @@ impl Sim {
     fn nvm_done(&mut self, n: usize, req: NvmReq) {
         match req.origin {
             NvmOrigin::CoreFlush(c) => {
-                self.record_persist(req.line, &req.covered);
-                let lat = self.noc(self.tile_of_nvm(n), self.tile_of_core(c), false);
                 let line = req.line;
+                self.record_persist(line, req.covered);
+                let lat = self.noc(self.tile_of_nvm(n), self.tile_of_core(c), false);
                 self.schedule(lat, Ev::L1Msg(c, line, Msg::DirPersistDone));
             }
             NvmOrigin::DirPersist => {
-                self.record_persist(req.line, &req.covered);
-                let lat = self.noc(self.tile_of_nvm(n), self.tile_of_bank(req.line), false);
-                self.schedule(lat, Ev::DirMsg(req.line, Msg::DirPersistDone));
+                let line = req.line;
+                self.record_persist(line, req.covered);
+                let lat = self.noc(self.tile_of_nvm(n), self.tile_of_bank(line), false);
+                self.schedule(lat, Ev::DirMsg(line, Msg::DirPersistDone));
             }
             NvmOrigin::DirRead => {
                 let lat = self.noc(self.tile_of_nvm(n), self.tile_of_bank(req.line), true);
@@ -1219,26 +1394,26 @@ impl Sim {
         }
     }
 
-    fn record_persist(&mut self, line: LineAddr, covered: &[EventId]) {
+    fn record_persist(&mut self, line: LineAddr, covered: Vec<EventId>) {
         self.dbg(
             line,
             &format_args!("persist stamp={} covered={covered:?}", self.flush_seq),
         );
         let stamp = self.flush_seq;
         self.flush_seq += 1;
-        for &e in covered {
-            self.stamps[e as usize] = Some(stamp);
+        for &e in &covered {
+            self.stamps[e as usize] = stamp + 1;
+        }
+        let now = self.now;
+        if let Some(r) = self.recorder.as_mut() {
+            r.persisted(now, &covered);
         }
         self.persist_log.push(PersistRecord {
             stamp,
-            time: self.now,
+            time: now,
             line,
-            covered: covered.to_vec(),
+            covered,
         });
-        let now = self.now;
-        if let Some(r) = self.recorder.as_mut() {
-            r.persisted(now, covered);
-        }
     }
 
     // -- L1 message handling ----------------------------------------------
@@ -1256,7 +1431,7 @@ impl Sim {
                 self.send_dir(line, Msg::InvAck, from, false);
             }
             Msg::PutAck => {
-                self.l1s[c].evict_buf.remove(&line);
+                self.l1s[c].evict_remove(line);
             }
             Msg::DirPersistDone => {
                 // A flush ack for this core's sequencer.
@@ -1264,22 +1439,19 @@ impl Sim {
                 if let Some(r) = self.recorder.as_mut() {
                     r.flush_ack(now, c as u32, line);
                 }
-                if let Some(n) = self.l1s[c].inflight.get_mut(&line) {
-                    *n -= 1;
-                    if *n == 0 {
-                        self.l1s[c].inflight.remove(&line);
-                        // A store or a forward may be parked on this line.
-                        self.schedule(0, Ev::StoreStep(c));
-                        let parked: Vec<(LineAddr, Msg)> = {
-                            let d = &mut self.l1s[c].deferred;
-                            let (hit, rest): (Vec<_>, Vec<_>) =
-                                std::mem::take(d).into_iter().partition(|(l, _)| *l == line);
-                            *d = rest;
-                            hit
-                        };
-                        for (l, m) in parked {
-                            self.l1_msg(c, l, m);
-                        }
+                if self.l1s[c].inflight_dec(line) {
+                    // The line fully drained; a store or a forward may be
+                    // parked on it.
+                    self.schedule(0, Ev::StoreStep(c));
+                    let parked: Vec<(LineAddr, Msg)> = {
+                        let d = &mut self.l1s[c].deferred;
+                        let (hit, rest): (Vec<_>, Vec<_>) =
+                            std::mem::take(d).into_iter().partition(|(l, _)| *l == line);
+                        *d = rest;
+                        hit
+                    };
+                    for (l, m) in parked {
+                        self.l1_msg(c, l, m);
                     }
                 }
                 let seq = &mut self.l1s[c].seq;
@@ -1302,7 +1474,7 @@ impl Sim {
         }
         if self.l1s[c].cache.needs_victim(line) {
             let victim = self.l1s[c].cache.victim_of(line);
-            let act = {
+            let mut act = {
                 let l1 = &mut self.l1s[c];
                 let mut view = L1ViewAdapter(&mut l1.cache);
                 l1.mech.on_evict(&mut view, victim)
@@ -1313,7 +1485,7 @@ impl Sim {
                 // through the local sequencer (counts toward pending).
                 self.enqueue_run(
                     c,
-                    act.background.clone(),
+                    std::mem::take(&mut act.background),
                     FlushClass::Background,
                     JobDone::None,
                     0,
@@ -1328,7 +1500,7 @@ impl Sim {
             self.notify_flush_issued(c, victim);
             let written = dirty || !covered.is_empty();
             self.stats.evictions += u64::from(written);
-            self.l1s[c].evict_buf.insert(
+            self.l1s[c].evict_insert(
                 victim,
                 EvictEntry {
                     covered,
@@ -1352,7 +1524,7 @@ impl Sim {
                 return; // waiters complete when the job finishes
             }
             if silent {
-                self.l1s[c].evict_buf.remove(&victim);
+                self.l1s[c].evict_remove(victim);
             } else {
                 self.send_putm(c, victim);
             }
@@ -1363,7 +1535,7 @@ impl Sim {
     }
 
     fn send_putm(&mut self, c: usize, victim: LineAddr) {
-        let Some(entry) = self.l1s[c].evict_buf.get_mut(&victim) else {
+        let Some(entry) = self.l1s[c].evict_get_mut(victim) else {
             return;
         };
         if entry.sent {
@@ -1415,7 +1587,7 @@ impl Sim {
     fn l1_fwd(&mut self, c: usize, line: LineAddr, requester: usize, is_gets: bool) {
         // Evicted (or silently dropped) line: stale response; the
         // directory pairs it with the PutM or falls back to the LLC.
-        if let Some(entry) = self.l1s[c].evict_buf.get(&line) {
+        if let Some(entry) = self.l1s[c].evict_get(line) {
             let putm_coming = entry.sent || entry.dirty || !entry.covered.is_empty();
             let resp = DownRespData {
                 covered: Vec::new(),
@@ -1432,7 +1604,7 @@ impl Sim {
         // A flush of this very line is still in flight: the response
         // (which implies durability to the requester) must wait for the
         // ack. Park the forward; it is re-served when the ack arrives.
-        if self.l1s[c].inflight.contains_key(&line) {
+        if self.l1s[c].inflight_contains(line) {
             let msg = if is_gets {
                 Msg::FwdGetS { requester }
             } else {
@@ -1484,7 +1656,7 @@ impl Sim {
             }
         }
         let was_release = meta.release && meta.nvm_dirty;
-        let act = {
+        let mut act = {
             let l1 = &mut self.l1s[c];
             let mut view = L1ViewAdapter(&mut l1.cache);
             l1.mech.on_downgrade(&mut view, line)
@@ -1493,7 +1665,7 @@ impl Sim {
         if !act.background.is_empty() {
             self.enqueue_run(
                 c,
-                act.background.clone(),
+                std::mem::take(&mut act.background),
                 FlushClass::Background,
                 JobDone::None,
                 0,
@@ -1503,7 +1675,7 @@ impl Sim {
             let persist = act.persist_at_dir;
             self.finish_downgrade_with(c, line, is_gets, persist, was_release);
         } else {
-            self.l1s[c].downgrading.insert(line);
+            self.l1s[c].downgrading.push(line);
             let scan = self.l1s[c].mech.scan_cycles();
             self.enqueue_run(
                 c,
@@ -1533,7 +1705,10 @@ impl Sim {
         persist_at_dir: bool,
         was_release: bool,
     ) {
-        self.l1s[c].downgrading.remove(&line);
+        let dg = &mut self.l1s[c].downgrading;
+        if let Some(i) = dg.iter().position(|&l| l == line) {
+            dg.swap_remove(i);
+        }
         self.schedule(0, Ev::StoreStep(c));
         let covered = self.l1s[c].cache.take_covered(line);
         if was_release {
@@ -1587,10 +1762,8 @@ impl Sim {
 
     fn dir_msg(&mut self, line: LineAddr, msg: Msg) {
         self.dbg(line, &format_args!("dir <- {msg:?}"));
-        let entry = self.dir.entry(line).or_insert_with(|| DirLine {
-            in_llc: false,
-            ..DirLine::default()
-        });
+        let di = self.dir_id(line);
+        let entry = &mut self.dir[di];
         let busy = entry.busy.is_some();
         match (&msg, busy) {
             (Msg::GetS { .. } | Msg::GetM { .. }, true) => {
@@ -1609,9 +1782,10 @@ impl Sim {
     }
 
     fn dir_pump(&mut self, line: LineAddr) {
-        let Some(entry) = self.dir.get_mut(&line) else {
+        let Some(&di) = self.dir_ids.get(&line) else {
             return;
         };
+        let entry = &mut self.dir[di as usize];
         if entry.busy.is_some() {
             return;
         }
@@ -1629,7 +1803,8 @@ impl Sim {
     }
 
     fn dir_fetch_or(&mut self, line: LineAddr, requester: usize, is_getm: bool) -> bool {
-        let entry = self.dir.get_mut(&line).unwrap();
+        let di = self.dir_id(line);
+        let entry = &mut self.dir[di];
         if entry.in_llc {
             return false;
         }
@@ -1656,26 +1831,26 @@ impl Sim {
     }
 
     fn dir_gets(&mut self, line: LineAddr, core: usize) {
-        let state = self.dir.get(&line).unwrap().state.clone();
-        match state {
+        let di = self.dir_id(line);
+        if let DirState::Shared(s) = &mut self.dir[di].state {
+            if !s.contains(&core) {
+                s.push(core);
+            }
+            self.grant(line, core, CohState::S);
+            self.dir_pump(line);
+            return;
+        }
+        match self.dir[di].state {
             DirState::Uncached => {
                 if self.dir_fetch_or(line, core, false) {
                     return;
                 }
-                self.dir.get_mut(&line).unwrap().state = DirState::Owned(core);
+                self.dir[di].state = DirState::Owned(core);
                 self.grant(line, core, CohState::E);
                 self.dir_pump(line);
             }
-            DirState::Shared(mut s) => {
-                if !s.contains(&core) {
-                    s.push(core);
-                }
-                self.dir.get_mut(&line).unwrap().state = DirState::Shared(s);
-                self.grant(line, core, CohState::S);
-                self.dir_pump(line);
-            }
             DirState::Owned(o) => {
-                self.dir.get_mut(&line).unwrap().busy = Some(Trans {
+                self.dir[di].busy = Some(Trans {
                     requester: core,
                     is_getm: false,
                     phase: TransPhase::AwaitDownResp,
@@ -1685,29 +1860,30 @@ impl Sim {
                 let from = self.tile_of_bank(line);
                 self.send_l1(o, line, Msg::FwdGetS { requester: core }, from, false);
             }
+            DirState::Shared(_) => unreachable!("handled above"),
         }
     }
 
     fn dir_getm(&mut self, line: LineAddr, core: usize) {
-        let state = self.dir.get(&line).unwrap().state.clone();
-        match state {
+        let di = self.dir_id(line);
+        match &self.dir[di].state {
             DirState::Uncached => {
                 if self.dir_fetch_or(line, core, true) {
                     return;
                 }
-                self.dir.get_mut(&line).unwrap().state = DirState::Owned(core);
+                self.dir[di].state = DirState::Owned(core);
                 self.grant(line, core, CohState::M);
                 self.dir_pump(line);
             }
             DirState::Shared(s) => {
                 let others: Vec<usize> = s.iter().copied().filter(|&x| x != core).collect();
                 if others.is_empty() {
-                    self.dir.get_mut(&line).unwrap().state = DirState::Owned(core);
+                    self.dir[di].state = DirState::Owned(core);
                     self.grant(line, core, CohState::M);
                     self.dir_pump(line);
                 } else {
                     let n = others.len();
-                    self.dir.get_mut(&line).unwrap().busy = Some(Trans {
+                    self.dir[di].busy = Some(Trans {
                         requester: core,
                         is_getm: true,
                         phase: TransPhase::AwaitInvAcks(n),
@@ -1720,14 +1896,14 @@ impl Sim {
                     }
                 }
             }
-            DirState::Owned(o) if o == core => {
+            DirState::Owned(o) if *o == core => {
                 // The owner lost the line silently and re-requested; treat
                 // as a fresh grant.
                 self.grant(line, core, CohState::M);
                 self.dir_pump(line);
             }
-            DirState::Owned(o) => {
-                self.dir.get_mut(&line).unwrap().busy = Some(Trans {
+            &DirState::Owned(o) => {
+                self.dir[di].busy = Some(Trans {
                     requester: core,
                     is_getm: true,
                     phase: TransPhase::AwaitDownResp,
@@ -1741,7 +1917,8 @@ impl Sim {
     }
 
     fn dir_invack(&mut self, line: LineAddr) {
-        let entry = self.dir.get_mut(&line).unwrap();
+        let di = self.dir_id(line);
+        let entry = &mut self.dir[di];
         let Some(t) = entry.busy.as_mut() else {
             return;
         };
@@ -1758,7 +1935,8 @@ impl Sim {
     }
 
     fn dir_fetch_done(&mut self, line: LineAddr) {
-        let entry = self.dir.get_mut(&line).unwrap();
+        let di = self.dir_id(line);
+        let entry = &mut self.dir[di];
         entry.in_llc = true;
         let t = entry.busy.take().expect("fetch transaction");
         entry.state = DirState::Owned(t.requester);
@@ -1771,7 +1949,8 @@ impl Sim {
         let Msg::DownResp(resp) = msg else {
             unreachable!()
         };
-        let entry = self.dir.get_mut(&line).unwrap();
+        let di = self.dir_id(line);
+        let entry = &mut self.dir[di];
         let Some(t) = entry.busy.as_mut() else {
             // A response for a transaction completed via a stashed PutM.
             return;
@@ -1810,7 +1989,8 @@ impl Sim {
         else {
             unreachable!()
         };
-        let entry = self.dir.get_mut(&line).unwrap();
+        let di = self.dir_id(line);
+        let entry = &mut self.dir[di];
         let is_owner = entry.state == DirState::Owned(core);
         let Some(t) = entry.busy.as_mut() else {
             unreachable!()
@@ -1859,7 +2039,8 @@ impl Sim {
                 r.audit.dir_writeback(carries, persist);
             }
         }
-        let entry = self.dir.get_mut(&line).unwrap();
+        let di = self.dir_id(line);
+        let entry = &mut self.dir[di];
         if dirty || !covered.is_empty() {
             entry.in_llc = true;
         }
@@ -1882,7 +2063,7 @@ impl Sim {
                 },
             );
             // Stash completion context in the transaction.
-            let entry = self.dir.get_mut(&line).unwrap();
+            let entry = &mut self.dir[di];
             let t = entry.busy.as_mut().unwrap();
             t.is_getm = is_getm;
             t.requester = req;
@@ -1925,14 +2106,17 @@ impl Sim {
     }
 
     fn dir_persist_done(&mut self, line: LineAddr) {
-        let entry = self.dir.get_mut(&line).unwrap();
+        let di = self.dir_id(line);
+        let entry = &mut self.dir[di];
         let Some(t) = entry.busy.as_mut() else {
             return;
         };
         match t.phase {
             TransPhase::AwaitPersist => {
                 let (req, is_getm) = (t.requester, t.is_getm);
-                let kept = entry.state.clone();
+                // Both branches below overwrite `state`; take it rather
+                // than clone the sharer list.
+                let kept = std::mem::replace(&mut entry.state, DirState::Uncached);
                 entry.busy = None;
                 if is_getm {
                     entry.state = DirState::Owned(req);
@@ -1974,7 +2158,8 @@ impl Sim {
         else {
             unreachable!()
         };
-        if self.dir.get_mut(&line).unwrap().state != DirState::Owned(core) {
+        let di = self.dir_id(line);
+        if self.dir[di].state != DirState::Owned(core) {
             // Late PutM after the line moved on; data is superseded.
             let from = self.tile_of_bank(line);
             self.send_l1(core, line, Msg::PutAck, from, false);
@@ -1987,7 +2172,7 @@ impl Sim {
                 r.audit.dir_writeback(carries, persist);
             }
         }
-        let entry = self.dir.get_mut(&line).unwrap();
+        let entry = &mut self.dir[di];
         if dirty || !covered.is_empty() {
             entry.in_llc = true;
         }

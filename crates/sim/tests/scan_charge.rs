@@ -1,0 +1,53 @@
+//! Regression test for persist-engine scan charging (§5.2.2).
+//!
+//! A sync-triggered engine run (I2 downgrade) pays the mechanism's L1
+//! scan latency once, before its first flush stage, on the critical
+//! path of the acquiring reader. The sequencer tracks this with the
+//! job's `scan_charged` flag; this test pins the end-to-end effect so
+//! the charge can neither be lost nor applied per-stage.
+
+use lrp_model::litmus::LitmusBuilder;
+use lrp_model::Trace;
+use lrp_sim::{Mechanism, Sim, SimConfig};
+
+/// Message-passing: one plain write and one release on thread 0, one
+/// acquire on thread 1. Under LRP the acquire's downgrade plans exactly
+/// one engine run (flush the written line, then the release).
+fn mp_trace() -> Trace {
+    let mut b = LitmusBuilder::new(2);
+    b.write(0, 0x100, 1);
+    b.write_rel(0, 0x180, 1);
+    b.read_acq(1, 0x180);
+    b.build()
+}
+
+fn cycles_with_scan(scan: u64) -> u64 {
+    let mut cfg = SimConfig::new(Mechanism::Lrp);
+    cfg.lrp.scan_cycles = scan;
+    Sim::new(cfg, &mp_trace()).run().stats.cycles
+}
+
+#[test]
+fn downgrade_scan_latency_charged_exactly_once() {
+    let base = cycles_with_scan(0);
+    for s in [16, 64, 256] {
+        let got = cycles_with_scan(s);
+        assert_eq!(
+            got,
+            base + s,
+            "scan={s}: expected exactly one scan charge on the critical path"
+        );
+    }
+}
+
+#[test]
+fn scan_does_not_perturb_persist_order() {
+    let trace = mp_trace();
+    let mut cfg = SimConfig::new(Mechanism::Lrp);
+    cfg.lrp.scan_cycles = 0;
+    let fast = Sim::new(cfg.clone(), &trace).run();
+    cfg.lrp.scan_cycles = 128;
+    let slow = Sim::new(cfg, &trace).run();
+    let stamps = |r: &lrp_sim::RunResult| (0..3).map(|e| r.schedule.stamp(e)).collect::<Vec<_>>();
+    assert_eq!(stamps(&fast), stamps(&slow), "scan latency changed stamps");
+}

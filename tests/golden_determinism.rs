@@ -1,0 +1,138 @@
+//! Golden determinism suite — the hot-path refactor's safety net.
+//!
+//! Every cell of (five LFDs) × {nop, sb, bb, lrp} replays a seeded
+//! workload through the full timing simulator and renders a canonical
+//! snapshot of everything the machine produces: `Stats` (stable field
+//! order), the per-event persist-stamp vector, and the complete
+//! `persist_log` in completion order. The snapshots are committed as
+//! fixtures under `tests/golden/` and must match **byte-for-byte**, so
+//! any change to event ordering, coherence timing, or persist planning
+//! is caught immediately.
+//!
+//! To regenerate after a *deliberate* behavior change:
+//!
+//! ```sh
+//! GOLDEN_UPDATE=1 cargo test --test golden_determinism
+//! ```
+
+use lrp_repro::lfds::{Structure, WorkloadSpec};
+use lrp_repro::sim::{Mechanism, Sim, SimConfig};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Workload shape shared by every golden cell: small enough that the
+/// fixtures stay reviewable, large enough to exercise evictions,
+/// downgrades, RET churn, and multi-stage engine runs.
+fn golden_trace(structure: Structure) -> lrp_repro::model::Trace {
+    WorkloadSpec::new(structure)
+        .initial_size(24)
+        .threads(3)
+        .ops_per_thread(12)
+        .seed(7)
+        .build_trace()
+}
+
+/// Canonical snapshot text for one (structure, mechanism) cell.
+fn render(structure: Structure, mech: Mechanism) -> String {
+    let trace = golden_trace(structure);
+    let r = Sim::new(SimConfig::new(mech), &trace).run();
+    let s = &r.stats;
+    let mut out = String::new();
+    writeln!(out, "golden {}/{}", structure.name(), mech.name()).unwrap();
+    writeln!(
+        out,
+        "stats cycles={} ops={} load_hits={} load_misses={} stores={} \
+         downgrades={} evictions={} covered_writes={} noc_messages={} \
+         nvm_requests={} engine_runs={}",
+        s.cycles,
+        s.ops,
+        s.load_hits,
+        s.load_misses,
+        s.stores,
+        s.downgrades,
+        s.evictions,
+        s.covered_writes,
+        s.noc_messages,
+        s.nvm_requests,
+        s.engine_runs
+    )
+    .unwrap();
+    for (class, n) in s.flushes_by_class() {
+        writeln!(out, "flushes {}={}", class.name(), n).unwrap();
+    }
+    for (cause, n) in s.stalls_by_cause() {
+        writeln!(out, "stalls {}={}", cause.name(), n).unwrap();
+    }
+    let mut stamps = String::new();
+    for ev in 0..trace.events.len() {
+        if let Some(st) = r.schedule.stamp(ev as u32) {
+            write!(stamps, " {ev}:{st}").unwrap();
+        }
+    }
+    writeln!(out, "stamps{stamps}").unwrap();
+    for p in &r.persist_log {
+        let mut cov = String::new();
+        for &e in &p.covered {
+            write!(cov, " {e}").unwrap();
+        }
+        writeln!(
+            out,
+            "persist stamp={} time={} line={:#x} covered={}",
+            p.stamp,
+            p.time,
+            p.line,
+            cov.trim_start()
+        )
+        .unwrap();
+    }
+    out
+}
+
+fn fixture_path(structure: Structure, mech: Mechanism) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{}_{}.txt", structure.name(), mech.name()))
+}
+
+#[test]
+fn golden_fixtures_match_byte_for_byte() {
+    let update = std::env::var_os("GOLDEN_UPDATE").is_some();
+    let mut failures = Vec::new();
+    for structure in Structure::ALL {
+        for mech in Mechanism::ALL {
+            let got = render(structure, mech);
+            let path = fixture_path(structure, mech);
+            if update {
+                std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+                std::fs::write(&path, &got).unwrap();
+                continue;
+            }
+            let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                panic!(
+                    "missing fixture {} ({e}); run with GOLDEN_UPDATE=1 to create",
+                    path.display()
+                )
+            });
+            if got != want {
+                failures.push(format!(
+                    "{}/{}: snapshot diverged from {} (set GOLDEN_UPDATE=1 only for deliberate behavior changes)",
+                    structure.name(),
+                    mech.name(),
+                    path.display()
+                ));
+            }
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+/// The same cell rendered twice in-process is bit-identical: the
+/// simulator has no hidden global state or iteration-order dependence.
+#[test]
+fn golden_rendering_is_deterministic_in_process() {
+    for structure in [Structure::Queue, Structure::HashMap] {
+        let a = render(structure, Mechanism::Lrp);
+        let b = render(structure, Mechanism::Lrp);
+        assert_eq!(a, b, "{} lrp rendering not deterministic", structure.name());
+    }
+}
