@@ -163,6 +163,35 @@ fn lrp_load_help_documents_every_flag() {
 }
 
 #[test]
+fn lrp_check_help_documents_every_flag() {
+    assert_documents(
+        env!("CARGO_BIN_EXE_lrp-check"),
+        &[
+            "structures",
+            "mechs",
+            "threads",
+            "ops",
+            "size",
+            "seed",
+            "seeds",
+            "max-states",
+            "mutate-reorder",
+            "json-out",
+            "cx-out",
+        ],
+    );
+}
+
+#[test]
+fn lrp_check_documents_the_violation_exit_code() {
+    let help = help_output(env!("CARGO_BIN_EXE_lrp-check"));
+    assert!(
+        help.contains("3  violation found"),
+        "lrp-check --help documents exit 3:\n{help}"
+    );
+}
+
+#[test]
 fn serve_binaries_document_the_durability_exit_code() {
     for bin in [
         env!("CARGO_BIN_EXE_lrp-serve"),
@@ -202,6 +231,7 @@ fn unknown_flags_exit_2_with_usage() {
         env!("CARGO_BIN_EXE_lrp-serve"),
         env!("CARGO_BIN_EXE_lrp-load"),
         env!("CARGO_BIN_EXE_lrp-bench"),
+        env!("CARGO_BIN_EXE_lrp-check"),
     ] {
         let out = Command::new(bin)
             .args(["run", "--no-such-flag"])

@@ -1,0 +1,98 @@
+//! Persist-ordering disciplines: the crash-cut vocabulary shared by the
+//! mechanisms and the model checker (`lrp-check`).
+//!
+//! Each persistency mechanism promises a partial order in which its
+//! writes reach NVM. A *crash cut* — the set of writes durable at a
+//! crash — is **admissible** for a mechanism iff it is downward closed
+//! under that order (and, always, per-location prefix-closed: a cache
+//! line holds one value, so a location's durable value is some prefix of
+//! its coherence-ordered write sequence).
+//!
+//! The four disciplines, weakest to strongest:
+//!
+//! * [`Unconstrained`](PersistDiscipline::Unconstrained) — NOP: lines
+//!   reach NVM only on incidental evictions, in no promised order. Any
+//!   per-location prefix combination is admissible, and durable
+//!   linearizability is **not** guaranteed.
+//! * [`ReleaseOrder`](PersistDiscipline::ReleaseOrder) — LRP (§4.1's
+//!   expanded RP rules): persists follow the release/acquire one-sided
+//!   barriers, same-address program order, and synchronizes-with edges —
+//!   exactly [`lrp_model::hb::HbClosure::compute_persist`].
+//! * [`EpochOrder`](PersistDiscipline::EpochOrder) — BB: release order
+//!   plus intra-thread epoch barriers (every write of an earlier
+//!   release-delimited segment persists no later than any later write).
+//! * [`StoreOrder`](PersistDiscipline::StoreOrder) — SB/ARP/DPO-style
+//!   designs: release order plus full per-thread store order (each
+//!   thread's writes persist in program order).
+
+/// The persist-ordering promise of a mechanism, as used for crash-cut
+/// admissibility checking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PersistDiscipline {
+    /// No ordering promise (NOP).
+    Unconstrained,
+    /// Per-thread store order plus release order (SB, ARP, DPO).
+    StoreOrder,
+    /// Release-delimited epoch order plus release order (BB).
+    EpochOrder,
+    /// The expanded RP rules of §4.1 (LRP).
+    ReleaseOrder,
+}
+
+impl PersistDiscipline {
+    /// All disciplines, weakest ordering first.
+    pub const ALL: [PersistDiscipline; 4] = [
+        PersistDiscipline::Unconstrained,
+        PersistDiscipline::StoreOrder,
+        PersistDiscipline::EpochOrder,
+        PersistDiscipline::ReleaseOrder,
+    ];
+
+    /// Stable name for reports and flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            PersistDiscipline::Unconstrained => "unconstrained",
+            PersistDiscipline::StoreOrder => "store-order",
+            PersistDiscipline::EpochOrder => "epoch-order",
+            PersistDiscipline::ReleaseOrder => "release-order",
+        }
+    }
+
+    /// Whether admissible cuts of this discipline are guaranteed to be
+    /// durably linearizable for the paper's log-free structures. NOP
+    /// promises nothing: the checker *reports* its violations instead of
+    /// failing on them.
+    pub fn guarantees_dl(self) -> bool {
+        !matches!(self, PersistDiscipline::Unconstrained)
+    }
+}
+
+impl std::fmt::Display for PersistDiscipline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable_and_distinct() {
+        let mut names: Vec<&str> = PersistDiscipline::ALL.iter().map(|d| d.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn only_unconstrained_waives_dl() {
+        for d in PersistDiscipline::ALL {
+            assert_eq!(
+                d.guarantees_dl(),
+                d != PersistDiscipline::Unconstrained,
+                "{d}"
+            );
+        }
+    }
+}

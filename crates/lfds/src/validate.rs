@@ -88,7 +88,7 @@ impl std::fmt::Display for ValidationError {
 impl std::error::Error for ValidationError {}
 
 /// The abstract contents recovered from a valid image.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Recovered {
     /// Set/map structures: the present (unmarked, non-sentinel) keys.
     Set(BTreeSet<u64>),
@@ -102,6 +102,18 @@ impl Recovered {
         match self {
             Recovered::Set(s) => s,
             Recovered::Queue(_) => panic!("queue state has no key set"),
+        }
+    }
+
+    /// Deterministic one-line rendering for reports and
+    /// counterexamples: `set{k1, k2, ...}` or `queue[v1, v2, ...]`.
+    pub fn render(&self) -> String {
+        fn join(it: impl Iterator<Item = u64>) -> String {
+            it.map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+        }
+        match self {
+            Recovered::Set(s) => format!("set{{{}}}", join(s.iter().copied())),
+            Recovered::Queue(v) => format!("queue[{}]", join(v.iter().copied())),
         }
     }
 }

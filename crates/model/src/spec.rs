@@ -423,6 +423,20 @@ pub fn check_epoch_full_barrier(
     }
 }
 
+/// Checks stamp monotonicity along explicit persist-order `edges`:
+/// returns the first `(first, second)` pair with `stamp(first) >
+/// stamp(second)` (unpersisted = +∞) — i.e. `second` became durable
+/// while `first`, which the order requires to persist no later, had
+/// not. `None` means every edge is respected.
+pub fn check_stamp_edges(
+    sched: &PersistSchedule,
+    edges: impl IntoIterator<Item = (EventId, EventId)>,
+) -> Option<(EventId, EventId)> {
+    edges
+        .into_iter()
+        .find(|&(a, b)| ext(sched.stamp(a)) > ext(sched.stamp(b)))
+}
+
 /// A consistent-cut violation: `present` is durable while its
 /// happens-before predecessor `missing` is not.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

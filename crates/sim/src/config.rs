@@ -49,6 +49,26 @@ impl Mechanism {
     pub fn from_name(name: &str) -> Option<Mechanism> {
         Mechanism::EXTENDED.into_iter().find(|m| m.name() == name)
     }
+
+    /// The persist-ordering discipline this mechanism promises, i.e. the
+    /// partial order its crash cuts must be downward closed under. This
+    /// is what `lrp-check` verifies the recorded schedules against.
+    pub fn discipline(self) -> lrp_core::PersistDiscipline {
+        use lrp_core::PersistDiscipline as D;
+        match self {
+            // NOP persists only on incidental evictions — no promise.
+            Mechanism::Nop => D::Unconstrained,
+            // Barriers around every release order whole epochs, not the
+            // stores inside one: SB flushes the epoch as a blocking
+            // batch, BB tracks it lazily — the same promise, differing
+            // only in when the pipeline stalls.
+            Mechanism::Sb | Mechanism::Bb => D::EpochOrder,
+            // The persist buffer drains each thread's stores in order.
+            Mechanism::Dpo => D::StoreOrder,
+            // LRP enforces exactly the expanded RP rules of §4.1.
+            Mechanism::Lrp => D::ReleaseOrder,
+        }
+    }
 }
 
 impl std::str::FromStr for Mechanism {

@@ -6,6 +6,7 @@
 //! architecture overview and DESIGN.md for the per-experiment index.
 
 pub use lrp_baselines as baselines;
+pub use lrp_check as check;
 pub use lrp_core as core;
 pub use lrp_exec as exec;
 pub use lrp_lfds as lfds;
