@@ -10,12 +10,16 @@
 //! timing simulator and reports per-cell host throughput (simulated
 //! cycles/sec, harness ops/sec, allocations/op); `gate` compares two
 //! `BENCH_host.json` reports and fails (exit 1) when any cell's
-//! ops/sec regressed by more than the allowed factor.
+//! ops/sec regressed by more than the allowed factor. `serve` boots an
+//! in-process `lrp-serve` and measures end-to-end service throughput,
+//! durable-ack latency, shed rate, tracing overhead, and crash-recovery
+//! time (`BENCH_serve.json`); `serve-gate` compares two of those.
 
 use lrp_bench::alloc_count::CountingAlloc;
 use lrp_bench::cli::Cli;
 use lrp_bench::host::{self, HostSpec};
 use lrp_bench::profile::render_gate;
+use lrp_bench::serve_bench::{self, ServeBenchSpec};
 use lrp_lfds::Structure;
 use lrp_obs::Json;
 use lrp_sim::{Mechanism, NvmMode};
@@ -30,6 +34,10 @@ const USAGE: &str = "usage:\n  \
     [--mode cached|uncached] [--threads N] [--ops N] [--size N]\n                 \
     [--seed N] [--samples N] [--json-out FILE]\n  \
     lrp-bench gate --baseline FILE --current FILE\n                 \
+    [--max-regression F] [--json-out FILE]\n  \
+    lrp-bench serve [--shards N] [--conns N] [--requests N] [--window N]\n                 \
+    [--key-range N] [--read-pct N] [--seed N] [--json-out FILE]\n  \
+    lrp-bench serve-gate --baseline FILE --current FILE\n                 \
     [--max-regression F] [--json-out FILE]\n\n\
     defaults:\n  \
     host runs the full matrix: all five structures x nop,sb,bb,lrp\n                 \
@@ -38,11 +46,16 @@ const USAGE: &str = "usage:\n  \
     --structures LIST  comma-separated subset (linkedlist,hashmap,bstree,\n                     \
     skiplist,queue)\n  \
     --mechs LIST       comma-separated subset (nop,sb,bb,lrp)\n  \
-    --json-out FILE    write the report (host) or verdict (gate) as JSON\n  \
+    --json-out FILE    write the report (host/serve) or verdict (gates)\n  \
     --max-regression F gate: fail a cell when current ops/sec falls below\n                     \
-    baseline/F (default 2.0 -- generous, CI runners are noisy)\n\n\
+    baseline/F (default 2.0; serve-gate default 3.0 --\n                     \
+    loopback service numbers are noisier than sim replays)\n  \
+    serve runs four cells against an in-process server: uniform, zipfian,\n  \
+    zipfian with span tracing (tracing overhead), zipfian with a mid-run\n  \
+    crash-restart (client-observed recovery time)\n                 \
+    (--shards 2 --conns 4 --requests 1200 --window 16)\n\n\
     exit codes:\n  \
-    0  success (gate: no cell regressed beyond the allowed factor)\n  \
+    0  success (gates: no cell regressed beyond the allowed factor)\n  \
     1  gate regression detected, or a file read/write/parse error\n  \
     2  usage error (unknown flag or command, missing or invalid value)";
 
@@ -57,9 +70,15 @@ fn main() {
     let size: Option<usize> = cli.opt_parse("size");
     let seed: Option<u64> = cli.opt_parse("seed");
     let samples: Option<usize> = cli.opt_parse("samples");
+    let shards: Option<usize> = cli.opt_parse("shards");
+    let conns: Option<usize> = cli.opt_parse("conns");
+    let requests: Option<u64> = cli.opt_parse("requests");
+    let window: Option<usize> = cli.opt_parse("window");
+    let key_range: Option<u64> = cli.opt_parse("key-range");
+    let read_pct: Option<u8> = cli.opt_parse("read-pct");
     let baseline: Option<String> = cli.opt("baseline");
     let current: Option<String> = cli.opt("current");
-    let max_regression: f64 = cli.opt_parse("max-regression").unwrap_or(2.0);
+    let max_regression: Option<f64> = cli.opt_parse("max-regression");
     let json_out: Option<String> = cli.opt("json-out");
     let pos = cli.positionals(1, 1);
 
@@ -109,6 +128,7 @@ fn main() {
             }
         }
         "gate" => {
+            let max_regression = max_regression.unwrap_or(2.0);
             let (Some(base_path), Some(cur_path)) = (&baseline, &current) else {
                 cli.fail("gate needs --baseline and --current")
             };
@@ -121,6 +141,74 @@ fn main() {
             if let Some(out) = &json_out {
                 write_out(out, &host::gate_json(&verdict, max_regression).to_pretty());
                 eprintln!("wrote gate verdict to {out}");
+            }
+            print!("{}", render_gate(&verdict));
+            if !verdict.pass() {
+                std::process::exit(1);
+            }
+        }
+        "serve" => {
+            let mut spec = ServeBenchSpec::smoke();
+            if let Some(v) = shards {
+                spec.shards = v.max(1);
+            }
+            if let Some(v) = conns {
+                spec.conns = v.max(1);
+            }
+            if let Some(v) = requests {
+                spec.requests = v;
+            }
+            if let Some(v) = window {
+                spec.window = v.max(1);
+            }
+            if let Some(v) = key_range {
+                spec.key_range = v.max(1);
+            }
+            if let Some(v) = read_pct {
+                if v > 100 {
+                    cli.fail("--read-pct must be in [0, 100]");
+                }
+                spec.read_pct = v;
+            }
+            if let Some(v) = seed {
+                spec.seed = v;
+            }
+            let report = serve_bench::run_serve_bench(&spec, |cell| {
+                eprintln!(
+                    "  {:<16} {:>10.0} ops/s (shed {:.4})",
+                    cell.name,
+                    cell.ops_per_sec(),
+                    cell.shed_rate()
+                );
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("serve bench failed: {e}");
+                std::process::exit(1);
+            });
+            print!("{}", serve_bench::render_report(&report));
+            if let Some(out) = &json_out {
+                write_out(out, &serve_bench::report_json(&report).to_pretty());
+                eprintln!("wrote serve report to {out}");
+            }
+        }
+        "serve-gate" => {
+            let max_regression = max_regression.unwrap_or(3.0);
+            let (Some(base_path), Some(cur_path)) = (&baseline, &current) else {
+                cli.fail("serve-gate needs --baseline and --current")
+            };
+            let base = load_json(base_path);
+            let cur = load_json(cur_path);
+            let verdict =
+                serve_bench::gate_serve(&base, &cur, max_regression).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                });
+            if let Some(out) = &json_out {
+                write_out(
+                    out,
+                    &serve_bench::gate_json(&verdict, max_regression).to_pretty(),
+                );
+                eprintln!("wrote serve-gate verdict to {out}");
             }
             print!("{}", render_gate(&verdict));
             if !verdict.pass() {

@@ -17,23 +17,30 @@
 
 use lrp_bench::cli::Cli;
 use lrp_lfds::KeyDist;
-use lrp_serve::{run_load, Bind, LoadSpec};
+use lrp_serve::{probe, run_load, Bind, LoadSpec};
 
 const USAGE: &str = "usage:\n  \
     lrp-load (--addr HOST:PORT | --uds PATH)\n           \
     [--conns N] [--requests N] [--window N]\n           \
     [--dist uniform|zipfian] [--theta F] [--key-range N]\n           \
-    [--read-pct N] [--qps N] [--seed N]\n           \
+    [--read-pct N] [--qps N] [--seed N] [--shed-retries N]\n           \
     [--crash-at N] [--crash-shard N]\n           \
-    [--no-verify] [--shutdown] [--json-out FILE]\n\n\
+    [--no-verify] [--shutdown] [--json-out FILE]\n  \
+    lrp-load (--addr HOST:PORT | --uds PATH) --probe stats|metrics|ping\n\n\
     defaults:\n  \
     --conns 4      --requests 2000   --window 16   --dist uniform\n  \
     --theta 0.99   --key-range 256   --read-pct 20 --seed 1\n  \
     --qps 0        closed loop (as fast as the window allows)\n  \
+    --shed-retries N  re-send a shed request up to N times, honoring the\n                 \
+    server's retry-after hint before each re-send\n                 \
+    (default 1; 0 gives up immediately)\n  \
     --crash-at N   inject a Crash admin request for --crash-shard\n                 \
     (default shard 0) after N data requests; off by default\n  \
     --no-verify    skip the read-back verification phase\n  \
-    --shutdown     send Shutdown when done (stops lrp-serve)\n\n\
+    --shutdown     send Shutdown when done (stops lrp-serve)\n  \
+    --probe WHAT   no load: send one admin request (stats = lifetime\n                 \
+    counters, metrics = live telemetry snapshot, ping) and\n                 \
+    print the reply JSON to stdout\n\n\
     exit codes:\n  \
     0  load completed, durability contract held\n  \
     1  I/O error (dial or transport failure, json-out write)\n  \
@@ -54,11 +61,13 @@ fn main() {
     let read_pct = cli.opt_parse("read-pct").unwrap_or(20u8);
     let qps = cli.opt_parse("qps").unwrap_or(0u64);
     let seed = cli.opt_parse("seed").unwrap_or(1u64);
+    let shed_retries = cli.opt_parse("shed-retries").unwrap_or(1u32);
     let crash_at: Option<u64> = cli.opt_parse("crash-at");
     let crash_shard = cli.opt_parse("crash-shard").unwrap_or(0u32);
     let no_verify = cli.flag("no-verify");
     let shutdown = cli.flag("shutdown");
     let json_out: Option<String> = cli.opt("json-out");
+    let probe_what: Option<String> = cli.opt("probe");
     cli.positionals(0, 0);
 
     let target = match (addr, uds) {
@@ -84,6 +93,22 @@ fn main() {
         cli.fail("--conns must be at least 1");
     }
 
+    if let Some(what) = &probe_what {
+        if !matches!(what.as_str(), "stats" | "metrics" | "ping") {
+            cli.fail(format!("unknown probe {what:?} (want stats|metrics|ping)"));
+        }
+        match probe(&target, what) {
+            Ok(json) => {
+                println!("{json}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("probe failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     let mut spec = LoadSpec::new(target);
     spec.conns = conns;
     spec.requests = requests;
@@ -93,6 +118,7 @@ fn main() {
     spec.read_pct = read_pct;
     spec.target_qps = qps;
     spec.seed = seed;
+    spec.shed_retries = shed_retries;
     spec.crash_at = crash_at;
     spec.crash_shard = crash_shard;
     spec.verify = !no_verify;

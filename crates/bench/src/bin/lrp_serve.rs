@@ -25,7 +25,8 @@ const USAGE: &str = "usage:\n  \
     [--key-range N] [--seed N] [--audit-samples N]\n            \
     [--batch-max N] [--batch-wait-ms N] [--queue-depth N]\n            \
     [--metrics-every-ms N] [--metrics-out FILE] [--port-file FILE]\n            \
-    [--record]\n\n\
+    [--trace-out FILE] [--span-cap N]\n            \
+    [--flight-dir DIR] [--flight-cap N] [--record]\n\n\
     defaults:\n  \
     --bind 127.0.0.1:0   (ephemeral port; the bound address goes to\n                        \
     stderr and, with --port-file, to that file)\n  \
@@ -33,6 +34,13 @@ const USAGE: &str = "usage:\n  \
     --sim-threads 2  --size 64   --key-range 256   --seed 1\n  \
     --audit-samples 8  --batch-max 16  --batch-wait-ms 5\n  \
     --queue-depth 64   --metrics-every-ms 250\n  \
+    --trace-out FILE   enable request-span tracing and write the retained\n                     \
+    spans as a Chrome trace-event document at shutdown\n                     \
+    (load into chrome://tracing or Perfetto)\n  \
+    --span-cap N       spans retained per shard, drop-oldest (default 65536)\n  \
+    --flight-dir DIR   dump each shard's flight-recorder ring as JSONL\n                     \
+    into DIR on every crash-restart\n  \
+    --flight-cap N     flight-recorder events per shard (default 256)\n  \
     --record       attach the event recorder (summaries only)\n\n\
     the server runs until a client sends Shutdown (lrp-load --shutdown)\n\n\
     exit codes:\n  \
@@ -61,6 +69,10 @@ fn main() {
     let metrics_every_ms = cli.opt_parse("metrics-every-ms").unwrap_or(250u64);
     let metrics_out: Option<String> = cli.opt("metrics-out");
     let port_file: Option<String> = cli.opt("port-file");
+    let trace_out: Option<String> = cli.opt("trace-out");
+    let span_cap = cli.opt_parse("span-cap").unwrap_or(65536usize);
+    let flight_dir: Option<String> = cli.opt("flight-dir");
+    let flight_cap = cli.opt_parse("flight-cap").unwrap_or(256usize);
     let record = cli.flag("record");
     cli.positionals(0, 0);
 
@@ -107,6 +119,11 @@ fn main() {
     cfg.batch_wait_ms = batch_wait_ms;
     cfg.queue_depth = queue_depth;
     cfg.metrics_every_ms = metrics_every_ms;
+    // Tracing is opt-in: spans are only retained when a trace sink is
+    // named, so the default serving path stays recording-free.
+    cfg.spans = trace_out.as_ref().map(|_| span_cap);
+    cfg.flight = flight_cap;
+    cfg.flight_dir = flight_dir.map(Into::into);
 
     let server = Server::start(cfg).unwrap_or_else(|e| {
         eprintln!("cannot start server: {e}");
@@ -134,6 +151,17 @@ fn main() {
             std::process::exit(1);
         });
         eprintln!("wrote shard metrics to {path}");
+    }
+    if let Some(path) = &trace_out {
+        std::fs::write(path, report.chrome_trace().to_compact()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "wrote {} span(s) to {path} ({} dropped)",
+            report.spans().len(),
+            report.span_dropped()
+        );
     }
     let lost = report.lost_acked();
     let failures = report.recovery_failures();

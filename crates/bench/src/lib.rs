@@ -21,5 +21,6 @@ pub mod experiments;
 pub mod host;
 pub mod microbench;
 pub mod profile;
+pub mod serve_bench;
 
 pub use experiments::{EvalParams, EvalScale};

@@ -106,8 +106,25 @@ fn lrp_bench_help_documents_every_flag() {
             "baseline",
             "current",
             "max-regression",
+            "shards",
+            "conns",
+            "requests",
+            "window",
+            "key-range",
+            "read-pct",
         ],
     );
+}
+
+#[test]
+fn lrp_bench_help_documents_the_serve_commands() {
+    let help = help_output(env!("CARGO_BIN_EXE_lrp-bench"));
+    for cmd in ["serve", "serve-gate"] {
+        assert!(
+            help.contains(&format!("lrp-bench {cmd}")),
+            "lrp-bench --help mentions the {cmd} command:\n{help}"
+        );
+    }
 }
 
 #[test]
@@ -132,6 +149,10 @@ fn lrp_serve_help_documents_every_flag() {
             "metrics-every-ms",
             "metrics-out",
             "port-file",
+            "trace-out",
+            "span-cap",
+            "flight-dir",
+            "flight-cap",
             "record",
         ],
     );
@@ -153,11 +174,13 @@ fn lrp_load_help_documents_every_flag() {
             "read-pct",
             "qps",
             "seed",
+            "shed-retries",
             "crash-at",
             "crash-shard",
             "no-verify",
             "shutdown",
             "json-out",
+            "probe",
         ],
     );
 }

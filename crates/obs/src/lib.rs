@@ -31,6 +31,12 @@
 //!   (`structure/operation[/phase]`), with a space-saving top-K sketch
 //!   of per-cache-line heavy hitters. Computed online like the
 //!   histograms, so ring-buffer drops never skew attribution.
+//! * **Request spans** ([`span`]) — a zero-dep span tracer for the
+//!   serving layer: span id + parent id + typed phase
+//!   (wire→queue→batch→execute→persist→ack), collected in a bounded
+//!   drop-oldest [`span::SpanLog`], exported as Chrome async events
+//!   nesting under per-shard tracks, and audited for well-formedness by
+//!   [`span::audit_chains`].
 //! * **Exporters** ([`chrome`], [`metrics`]) — Chrome trace-event JSON
 //!   (loadable in Perfetto / `about://tracing`) and a JSONL metrics
 //!   stream sharing the campaign aggregator's `Stats` serialization.
@@ -50,6 +56,7 @@ pub mod json;
 pub mod metrics;
 pub mod recorder;
 pub mod series;
+pub mod span;
 pub mod stats;
 
 pub use audit::{AuditCounter, InvariantAudit};
@@ -59,4 +66,5 @@ pub use hist::Hist;
 pub use json::Json;
 pub use recorder::{ObsReport, Recorder, RecorderConfig};
 pub use series::{GaugeSample, GaugeSeries, IntervalSample, GAUGE_COUNTERS};
+pub use span::{audit_chains, chrome_trace, ChainAudit, Span, SpanId, SpanLog, SpanPhase};
 pub use stats::{FlushClass, StallCause, Stats};

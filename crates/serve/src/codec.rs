@@ -65,6 +65,15 @@ pub enum Request {
         /// Client-assigned id echoed in the reply.
         id: u64,
     },
+    /// Live telemetry snapshot as a JSON string reply: per-shard
+    /// throughput, queue depth, shed count, durable-ack latency
+    /// histograms, and telemetry drop counters. Unlike
+    /// [`Request::Stats`] (lifetime counters only), this is the
+    /// machine-readable scrape endpoint for `lrp-load --probe` and CI.
+    Metrics {
+        /// Client-assigned id echoed in the reply.
+        id: u64,
+    },
 }
 
 /// A server → client message.
@@ -235,6 +244,7 @@ const OP_PING: u8 = 0x04;
 const OP_STATS: u8 = 0x05;
 const OP_CRASH: u8 = 0x06;
 const OP_SHUTDOWN: u8 = 0x07;
+const OP_METRICS: u8 = 0x08;
 
 const OP_VALUE: u8 = 0x81;
 const OP_DONE: u8 = 0x82;
@@ -281,6 +291,10 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out.push(OP_SHUTDOWN);
             out.extend_from_slice(&id.to_le_bytes());
         }
+        Request::Metrics { id } => {
+            out.push(OP_METRICS);
+            out.extend_from_slice(&id.to_le_bytes());
+        }
     }
     out
 }
@@ -301,6 +315,7 @@ pub fn decode_request(buf: &[u8]) -> Result<Request, WireError> {
             shard: r.u32()?,
         }),
         OP_SHUTDOWN => Ok(Request::Shutdown { id }),
+        OP_METRICS => Ok(Request::Metrics { id }),
         other => Err(WireError::BadOpcode(other)),
     }
 }
@@ -431,7 +446,8 @@ pub fn request_id(req: &Request) -> u64 {
         | Request::Ping { id }
         | Request::Stats { id }
         | Request::Crash { id, .. }
-        | Request::Shutdown { id } => *id,
+        | Request::Shutdown { id }
+        | Request::Metrics { id } => *id,
     }
 }
 

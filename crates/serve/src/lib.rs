@@ -37,12 +37,14 @@
 //! [`PersistSchedule`]: lrp_model::spec::PersistSchedule
 
 pub mod codec;
+pub mod flight;
 pub mod load;
 pub mod metrics;
 pub mod server;
 pub mod shard;
 
 pub use codec::{Request, Response, WireError, MAX_FRAME};
-pub use load::{run_load, Client, LoadSpec, LoadSummary};
+pub use flight::{FlightEvent, FlightRecorder};
+pub use load::{probe, run_load, Client, LoadSpec, LoadSummary};
 pub use server::{route, Bind, Server, ServerConfig, ServerReport};
-pub use shard::{CrashOutcome, KvOp, KvResult, Shard, ShardConfig, ShardCounters};
+pub use shard::{BatchBreakdown, CrashOutcome, KvOp, KvResult, Shard, ShardConfig, ShardCounters};

@@ -135,6 +135,10 @@ pub struct LoadSpec {
     pub target_qps: u64,
     /// Master seed for key draws and op mix.
     pub seed: u64,
+    /// Retries per request after an `Overloaded` reply, each honoring
+    /// the server's retry-after hint before resending (0 = give up
+    /// immediately, the pre-backoff behaviour).
+    pub shed_retries: u32,
     /// Inject a `Crash` once this many durable acks have arrived.
     pub crash_at: Option<u64>,
     /// Which shard the injected crash kills.
@@ -159,6 +163,7 @@ impl LoadSpec {
             read_pct: 20,
             target_qps: 0,
             seed: 1,
+            shed_retries: 1,
             crash_at: None,
             crash_shard: 0,
             verify: true,
@@ -195,6 +200,13 @@ pub struct LoadSummary {
     pub nondurable: u64,
     /// `Overloaded` replies (admission control shed).
     pub shed: u64,
+    /// Requests re-sent after an `Overloaded` reply (each waited out
+    /// the server's retry-after hint first).
+    pub retried: u64,
+    /// Retry-after hints honored (a backoff actually slept).
+    pub backoffs: u64,
+    /// Cumulative retry-after hint milliseconds honored.
+    pub backoff_ms: u64,
     /// `Crashed` replies (in flight during a shard crash).
     pub crashed: u64,
     /// `Error` replies or transport failures.
@@ -209,6 +221,13 @@ pub struct LoadSummary {
     pub lat_p50_us: u64,
     /// Tail latency (µs).
     pub lat_p99_us: u64,
+    /// Median latency of durably-acked replies only (µs).
+    pub dur_lat_p50_us: u64,
+    /// Tail latency of durably-acked replies only (µs).
+    pub dur_lat_p99_us: u64,
+    /// Round-trip time of the injected crash admin request — the
+    /// client-observed crash-restart recovery time (ms).
+    pub crash_recovery_ms: Option<u64>,
     /// Keys read back in the verification phase.
     pub verify_checked: u64,
     /// Keys skipped because their history ends in an uncertain event.
@@ -248,6 +267,9 @@ impl LoadSummary {
             ("acked_durable", Json::U64(self.acked_durable)),
             ("nondurable", Json::U64(self.nondurable)),
             ("shed", Json::U64(self.shed)),
+            ("retried", Json::U64(self.retried)),
+            ("backoffs", Json::U64(self.backoffs)),
+            ("backoff_ms", Json::U64(self.backoff_ms)),
             ("crashed", Json::U64(self.crashed)),
             ("errors", Json::U64(self.errors)),
             ("elapsed_ms", Json::U64(self.elapsed_ms)),
@@ -255,6 +277,15 @@ impl LoadSummary {
             ("lat_mean_us", Json::F64(self.lat_mean_us)),
             ("lat_p50_us", Json::U64(self.lat_p50_us)),
             ("lat_p99_us", Json::U64(self.lat_p99_us)),
+            ("dur_lat_p50_us", Json::U64(self.dur_lat_p50_us)),
+            ("dur_lat_p99_us", Json::U64(self.dur_lat_p99_us)),
+            (
+                "crash_recovery_ms",
+                match self.crash_recovery_ms {
+                    Some(ms) => Json::U64(ms),
+                    None => Json::Null,
+                },
+            ),
             (
                 "shed_rate",
                 Json::F64(if self.sent == 0 {
@@ -294,12 +325,41 @@ struct LoadShared {
     durable_acks: AtomicU64,
     crash_sent: AtomicBool,
     crash_report: Mutex<Option<String>>,
+    /// Crash admin round-trip, ms (0 = no crash injected/answered).
+    crash_recovery_ms: AtomicU64,
     next_id: AtomicU64,
 }
 
 struct ConnTally {
     summary: LoadSummary,
     hist: Hist,
+    dur_hist: Hist,
+}
+
+/// One-shot admin probe: dials, sends a single `Stats`, `Metrics`, or
+/// `Ping` request, and returns the reply document (compact JSON). The
+/// scrape path `lrp-load --probe` and CI use against a live server.
+pub fn probe(target: &Bind, what: &str) -> io::Result<String> {
+    let mut c = Client::dial(target)?;
+    let req = match what {
+        "stats" => Request::Stats { id: 1 },
+        "metrics" => Request::Metrics { id: 1 },
+        "ping" => Request::Ping { id: 1 },
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("unknown probe {other:?} (want stats|metrics|ping)"),
+            ))
+        }
+    };
+    match c.call(&req)? {
+        Response::Report { json, .. } => Ok(json),
+        Response::Pong { .. } => Ok(r#"{"record":"pong"}"#.into()),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unexpected probe reply {other:?}"),
+        )),
+    }
 }
 
 /// Runs the load phase, the optional crash injection, the optional
@@ -316,6 +376,7 @@ pub fn run_load(spec: &LoadSpec) -> io::Result<LoadSummary> {
         durable_acks: AtomicU64::new(0),
         crash_sent: AtomicBool::new(false),
         crash_report: Mutex::new(None),
+        crash_recovery_ms: AtomicU64::new(0),
         next_id: AtomicU64::new(1),
     });
 
@@ -341,6 +402,7 @@ pub fn run_load(spec: &LoadSpec) -> io::Result<LoadSummary> {
 
     let mut total = LoadSummary::default();
     let mut hist = Hist::new();
+    let mut dur_hist = Hist::new();
     for h in handles {
         let t = h.join().expect("load worker panicked");
         total.sent += t.summary.sent;
@@ -351,16 +413,28 @@ pub fn run_load(spec: &LoadSpec) -> io::Result<LoadSummary> {
         total.acked_durable += t.summary.acked_durable;
         total.nondurable += t.summary.nondurable;
         total.shed += t.summary.shed;
+        total.retried += t.summary.retried;
+        total.backoffs += t.summary.backoffs;
+        total.backoff_ms += t.summary.backoff_ms;
         total.crashed += t.summary.crashed;
         total.errors += t.summary.errors;
         hist.merge(&t.hist);
+        dur_hist.merge(&t.dur_hist);
     }
     total.elapsed_ms = (started.elapsed().as_millis() as u64).max(1);
     total.throughput_rps = total.completed as f64 * 1000.0 / total.elapsed_ms as f64;
     if !hist.is_empty() {
         total.lat_mean_us = hist.mean();
-        total.lat_p50_us = hist.percentile(50.0);
-        total.lat_p99_us = hist.percentile(99.0);
+        total.lat_p50_us = hist.percentile(0.5);
+        total.lat_p99_us = hist.percentile(0.99);
+    }
+    if !dur_hist.is_empty() {
+        total.dur_lat_p50_us = dur_hist.percentile(0.5);
+        total.dur_lat_p99_us = dur_hist.percentile(0.99);
+    }
+    let recovery = shared.crash_recovery_ms.load(Ordering::Relaxed);
+    if recovery > 0 {
+        total.crash_recovery_ms = Some(recovery);
     }
     total.crash_report = shared.crash_report.lock().unwrap().clone();
     if let Some(json) = &total.crash_report {
@@ -394,6 +468,7 @@ fn conn_worker(conn_idx: usize, quota: u64, shared: &Arc<LoadShared>) -> ConnTal
     let mut tally = ConnTally {
         summary: LoadSummary::default(),
         hist: Hist::new(),
+        dur_hist: Hist::new(),
     };
     let mut client = match Client::dial(&shared.spec.target) {
         Ok(c) => c,
@@ -409,8 +484,12 @@ fn conn_worker(conn_idx: usize, quota: u64, shared: &Arc<LoadShared>) -> ConnTal
             .wrapping_add(conn_idx as u64 + 1),
     );
     let sampler = spec.key_dist.sampler(spec.key_range);
-    // In-flight request id → (send time, op kind 0/1/2, key).
-    let mut outstanding: HashMap<u64, (Instant, u8, u64)> = HashMap::new();
+    // In-flight request id → (send time, op kind 0/1/2, key, attempts).
+    let mut outstanding: HashMap<u64, (Instant, u8, u64, u32)> = HashMap::new();
+    // Shed requests awaiting re-send: (kind, key, attempts so far).
+    let mut retryq: std::collections::VecDeque<(u8, u64, u32)> = std::collections::VecDeque::new();
+    // Earliest instant a retry may be sent (the honored retry-after hint).
+    let mut backoff_until: Option<Instant> = None;
     // Open-loop pacing.
     let pace = if spec.target_qps > 0 {
         Some(Duration::from_nanos(
@@ -421,10 +500,30 @@ fn conn_worker(conn_idx: usize, quota: u64, shared: &Arc<LoadShared>) -> ConnTal
     };
     let mut next_send = Instant::now();
 
-    let mut sent = 0u64;
-    while sent < quota || !outstanding.is_empty() {
+    // `drawn` counts fresh quota draws; retries ride on top of the quota.
+    let mut drawn = 0u64;
+    while drawn < quota || !outstanding.is_empty() || !retryq.is_empty() {
         let window_full = outstanding.len() >= spec.window;
-        if sent < quota && !window_full {
+        let backoff_over = backoff_until.is_none_or(|t| Instant::now() >= t);
+        if !retryq.is_empty() && backoff_over && !window_full {
+            // Re-send a shed request (its hint has been waited out).
+            let (kind, key, attempts) = retryq.pop_front().unwrap();
+            let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+            let req = match kind {
+                0 => Request::Get { id, key },
+                1 => Request::Put { id, key },
+                _ => Request::Del { id, key },
+            };
+            if client.send(&req).is_err() {
+                tally.summary.errors += 1;
+                break;
+            }
+            outstanding.insert(id, (Instant::now(), kind, key, attempts));
+            tally.summary.sent += 1;
+            tally.summary.retried += 1;
+            continue;
+        }
+        if drawn < quota && !window_full {
             if let Some(gap) = pace {
                 let now = Instant::now();
                 if now < next_send {
@@ -450,10 +549,22 @@ fn conn_worker(conn_idx: usize, quota: u64, shared: &Arc<LoadShared>) -> ConnTal
                 tally.summary.errors += 1;
                 break;
             }
-            outstanding.insert(id, (Instant::now(), kind, key));
+            outstanding.insert(id, (Instant::now(), kind, key, 0));
             tally.summary.sent += 1;
-            sent += 1;
+            drawn += 1;
             maybe_inject_crash(conn_idx, shared, &mut client, &mut outstanding);
+            continue;
+        }
+        if outstanding.is_empty() {
+            // Only retries left and their backoff hasn't elapsed: sleep
+            // to the deadline instead of spinning.
+            if let Some(t) = backoff_until {
+                let now = Instant::now();
+                if t > now {
+                    std::thread::sleep(t - now);
+                }
+            }
+            backoff_until = None;
             continue;
         }
         // Window full or quota reached: reap one reply.
@@ -464,7 +575,14 @@ fn conn_worker(conn_idx: usize, quota: u64, shared: &Arc<LoadShared>) -> ConnTal
                 break;
             }
         };
-        absorb_reply(&resp, shared, &mut outstanding, &mut tally);
+        absorb_reply(
+            &resp,
+            shared,
+            &mut outstanding,
+            &mut retryq,
+            &mut backoff_until,
+            &mut tally,
+        );
     }
     tally
 }
@@ -475,7 +593,7 @@ fn maybe_inject_crash(
     conn_idx: usize,
     shared: &Arc<LoadShared>,
     client: &mut Client,
-    outstanding: &mut HashMap<u64, (Instant, u8, u64)>,
+    outstanding: &mut HashMap<u64, (Instant, u8, u64, u32)>,
 ) {
     let Some(at) = shared.spec.crash_at else {
         return;
@@ -495,29 +613,31 @@ fn maybe_inject_crash(
         .is_ok()
     {
         // Track as in-flight admin: kind 3 is "crash".
-        outstanding.insert(id, (Instant::now(), 3, 0));
+        outstanding.insert(id, (Instant::now(), 3, 0, 0));
     }
 }
 
 fn absorb_reply(
     resp: &Response,
     shared: &Arc<LoadShared>,
-    outstanding: &mut HashMap<u64, (Instant, u8, u64)>,
+    outstanding: &mut HashMap<u64, (Instant, u8, u64, u32)>,
+    retryq: &mut std::collections::VecDeque<(u8, u64, u32)>,
+    backoff_until: &mut Option<Instant>,
     tally: &mut ConnTally,
 ) {
     let id = response_id(resp);
-    let Some((sent_at, kind, key)) = outstanding.remove(&id) else {
+    let Some((sent_at, kind, key, attempts)) = outstanding.remove(&id) else {
         return; // unsolicited (e.g. Error{id:0}); ignore
     };
-    tally
-        .hist
-        .record((sent_at.elapsed().as_micros() as u64).max(1));
+    let lat_us = (sent_at.elapsed().as_micros() as u64).max(1);
+    tally.hist.record(lat_us);
     tally.summary.completed += 1;
     let mutation = kind == 1 || kind == 2;
     match resp {
         Response::Value { durable, .. } => {
             if *durable {
                 tally.summary.acked_durable += 1;
+                tally.dur_hist.record(lat_us);
                 shared.durable_acks.fetch_add(1, Ordering::Relaxed);
             } else {
                 tally.summary.nondurable += 1;
@@ -531,6 +651,7 @@ fn absorb_reply(
         } => {
             if *durable {
                 tally.summary.acked_durable += 1;
+                tally.dur_hist.record(lat_us);
                 shared.durable_acks.fetch_add(1, Ordering::Relaxed);
             } else {
                 tally.summary.nondurable += 1;
@@ -549,8 +670,21 @@ fn absorb_reply(
                 }
             }
         }
-        Response::Overloaded { .. } => {
+        Response::Overloaded { retry_after_ms, .. } => {
             tally.summary.shed += 1;
+            if kind <= 2 && attempts < shared.spec.shed_retries {
+                // Honor the server's hint: queue the re-send and push the
+                // backoff deadline out to cover it.
+                retryq.push_back((kind, key, attempts + 1));
+                let hint = (*retry_after_ms as u64).min(250);
+                tally.summary.backoffs += 1;
+                tally.summary.backoff_ms += hint;
+                let until = Instant::now() + Duration::from_millis(hint);
+                *backoff_until = Some(match *backoff_until {
+                    Some(t) if t > until => t,
+                    _ => until,
+                });
+            }
         }
         Response::Crashed { batch, .. } => {
             tally.summary.crashed += 1;
@@ -567,6 +701,11 @@ fn absorb_reply(
         Response::Report { json, .. } => {
             if kind == 3 {
                 *shared.crash_report.lock().unwrap() = Some(json.clone());
+                // Crash admin round-trip = client-observed restart time.
+                shared.crash_recovery_ms.store(
+                    (sent_at.elapsed().as_millis() as u64).max(1),
+                    Ordering::Relaxed,
+                );
             }
         }
         Response::Error { .. } => {

@@ -65,6 +65,71 @@ pub fn counters_json(c: &ShardCounters) -> Json {
         ("crashes", Json::U64(c.crashes)),
         ("recovery_failures", Json::U64(c.recovery_failures)),
         ("lost_acked", Json::U64(c.lost_acked)),
+        ("obs_dropped", Json::U64(c.obs_dropped)),
+    ])
+}
+
+/// Live telemetry counts for one shard inside the `serve-metrics`
+/// snapshot (the `Metrics` admin reply).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardTelemetry {
+    /// Request spans currently retained in the shard's span log.
+    pub spans: u64,
+    /// Spans evicted or refused by the bounded span log.
+    pub span_dropped: u64,
+    /// Flight-recorder events currently retained.
+    pub flight_events: u64,
+    /// Flight-recorder events evicted by the bounded ring.
+    pub flight_dropped: u64,
+}
+
+/// One shard's entry in the `serve-metrics` snapshot.
+#[allow(clippy::too_many_arguments)]
+pub fn metrics_shard_json(
+    shard: usize,
+    counters: &ShardCounters,
+    committed: u64,
+    queue_depth: u64,
+    gauge_totals: &[u64; 4],
+    throughput_rps: f64,
+    ack_latency: &Hist,
+    durable_ack_latency: &Hist,
+    telem: &ShardTelemetry,
+) -> Json {
+    let mut totals = Vec::with_capacity(GAUGE_SLOT_NAMES.len());
+    for (i, name) in GAUGE_SLOT_NAMES.iter().enumerate() {
+        totals.push((*name, Json::U64(gauge_totals[i])));
+    }
+    Json::obj([
+        ("shard", Json::U64(shard as u64)),
+        ("queue_depth", Json::U64(queue_depth)),
+        ("counters", counters_json(counters)),
+        ("committed_keys", Json::U64(committed)),
+        ("totals", Json::obj(totals)),
+        ("throughput_rps", Json::F64(throughput_rps)),
+        ("ack_latency_us", hist_json(ack_latency)),
+        ("durable_ack_latency_us", hist_json(durable_ack_latency)),
+        (
+            "telemetry",
+            Json::obj([
+                ("spans", Json::U64(telem.spans)),
+                ("span_dropped", Json::U64(telem.span_dropped)),
+                ("flight_events", Json::U64(telem.flight_events)),
+                ("flight_dropped", Json::U64(telem.flight_dropped)),
+            ]),
+        ),
+    ])
+}
+
+/// The `serve-metrics` snapshot document: the machine-readable scrape
+/// reply to the `Metrics` admin request.
+pub fn metrics_snapshot_json(uptime_ms: u64, shards: Vec<Json>, totals: Json) -> Json {
+    Json::obj([
+        ("record", Json::Str("serve-metrics".into())),
+        ("version", Json::U64(METRICS_VERSION)),
+        ("uptime_ms", Json::U64(uptime_ms)),
+        ("shards", Json::Arr(shards)),
+        ("totals", totals),
     ])
 }
 

@@ -14,11 +14,14 @@
 //! the same connection.
 
 use crate::codec::{decode_request, encode_response, read_frame, write_frame, Request, Response};
+use crate::flight::{FlightEvent, FlightRecorder};
 use crate::metrics::{
-    counters_json, crash_json, header_json, interval_json, shard_json, SLOT_BATCHES,
-    SLOT_COMPLETED, SLOT_ENQUEUED, SLOT_SHED,
+    counters_json, crash_json, header_json, interval_json, metrics_shard_json,
+    metrics_snapshot_json, shard_json, ShardTelemetry, SLOT_BATCHES, SLOT_COMPLETED, SLOT_ENQUEUED,
+    SLOT_SHED,
 };
 use crate::shard::{KvOp, Shard, ShardConfig, ShardCounters};
+use lrp_obs::span::{Span, SpanLog, SpanPhase};
 use lrp_obs::{GaugeSample, GaugeSeries, Hist, Json, Stats};
 use std::collections::VecDeque;
 use std::io;
@@ -54,6 +57,16 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Width of the `serve-interval` metrics windows (milliseconds).
     pub metrics_every_ms: u64,
+    /// Request-span tracing: `Some(cap)` retains up to `cap` spans per
+    /// shard in a drop-oldest log (exported as a Chrome trace through
+    /// [`ServerReport::chrome_trace`]); `None` disables tracing.
+    pub spans: Option<usize>,
+    /// Flight-recorder ring capacity per shard (events; `0` disables
+    /// retention but still counts drops).
+    pub flight: usize,
+    /// Directory flight-recorder rings are dumped to (JSONL, one file
+    /// per shard, appended per crash) when a shard crash-restarts.
+    pub flight_dir: Option<std::path::PathBuf>,
 }
 
 impl ServerConfig {
@@ -68,6 +81,9 @@ impl ServerConfig {
             batch_wait_ms: 5,
             queue_depth: 64,
             metrics_every_ms: 250,
+            spans: None,
+            flight: 256,
+            flight_dir: None,
         }
     }
 }
@@ -168,9 +184,37 @@ impl Replier {
 
 // -- shared state -----------------------------------------------------
 
+/// Per-request telemetry carried with the op through the queue. The
+/// timestamps (µs since server start) are always stamped — the ack
+/// latency histograms need them — while `root` is non-zero only when
+/// span tracing is on.
+#[derive(Clone, Copy, Default)]
+struct SpanCtx {
+    /// Root span id (0 = tracing off).
+    root: u64,
+    /// Frame received.
+    t0_us: u64,
+    /// Request decoded and routed.
+    t1_us: u64,
+    /// Admitted to the shard queue.
+    t_enq_us: u64,
+    /// Queue depth observed at admission.
+    depth: u32,
+    /// Payload bytes.
+    bytes: u32,
+}
+
 enum Work {
-    Op { op: KvOp, id: u64, reply: Replier },
-    Crash { id: u64, reply: Replier },
+    Op {
+        op: KvOp,
+        id: u64,
+        reply: Replier,
+        ctx: SpanCtx,
+    },
+    Crash {
+        id: u64,
+        reply: Replier,
+    },
 }
 
 struct ShardQueue {
@@ -178,12 +222,18 @@ struct ShardQueue {
     cv: Condvar,
 }
 
-/// Snapshot a reader can serve in a `Stats` reply without touching the
-/// worker-owned shard.
-#[derive(Clone, Copy, Default)]
+/// Snapshot a reader can serve in a `Stats`/`Metrics` reply without
+/// touching the worker-owned shard.
+#[derive(Clone, Default)]
 struct Snapshot {
     counters: ShardCounters,
     committed: u64,
+    /// Wire-to-ack latency of every worker-answered request (µs).
+    ack_hist: Hist,
+    /// Wire-to-ack latency of durably-acked requests only (µs).
+    dur_ack_hist: Hist,
+    flight_events: u64,
+    flight_dropped: u64,
 }
 
 struct Shared {
@@ -193,6 +243,8 @@ struct Shared {
     snapshots: Vec<Mutex<Snapshot>>,
     /// Milliseconds the shard's most recent batch took (retry hints).
     batch_ms: Vec<AtomicU64>,
+    /// Per-shard span logs; `None` = tracing off.
+    spans: Option<Vec<Mutex<SpanLog>>>,
     shutdown: AtomicBool,
     epoch: Instant,
     /// The live dial target for self-pokes (set after bind).
@@ -202,6 +254,10 @@ struct Shared {
 impl Shared {
     fn now_ms(&self) -> u64 {
         self.epoch.elapsed().as_millis() as u64
+    }
+
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
     }
 
     fn wake_all(&self) {
@@ -243,6 +299,8 @@ pub struct ServerReport {
     interval_lines: Vec<Json>,
     lost_acked: u64,
     recovery_failures: u64,
+    spans: Vec<Span>,
+    span_dropped: u64,
 }
 
 impl ServerReport {
@@ -256,6 +314,24 @@ impl ServerReport {
     /// not validate.
     pub fn recovery_failures(&self) -> u64 {
         self.recovery_failures
+    }
+
+    /// Every request span retained at shutdown (empty when tracing was
+    /// off). Feed to [`lrp_obs::span::audit_chains`] or
+    /// [`ServerReport::chrome_trace`].
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Spans evicted from the bounded per-shard logs during the run.
+    pub fn span_dropped(&self) -> u64 {
+        self.span_dropped
+    }
+
+    /// The retained spans as a Chrome trace-event document (per-shard
+    /// process tracks, async begin/end pairs per request).
+    pub fn chrome_trace(&self) -> Json {
+        lrp_obs::span::chrome_trace(&self.spans)
     }
 
     /// The full metrics stream (`serve-header`, `serve-shard`,
@@ -314,6 +390,9 @@ impl Server {
                 .map(|_| Mutex::new(Snapshot::default()))
                 .collect(),
             batch_ms: (0..shards).map(|_| AtomicU64::new(1)).collect(),
+            spans: cfg
+                .spans
+                .map(|cap| (0..shards).map(|_| Mutex::new(SpanLog::new(cap))).collect()),
             shutdown: AtomicBool::new(false),
             epoch: Instant::now(),
             poke_addr: Mutex::new(addr),
@@ -405,12 +484,27 @@ impl Server {
                 interval_lines.push(interval_json(i, s));
             }
         }
+        let (spans, span_dropped) = match &self.shared.spans {
+            Some(logs) => {
+                let mut all = Vec::new();
+                let mut dropped = 0;
+                for log in logs {
+                    let mut log = log.lock().unwrap();
+                    dropped += log.dropped();
+                    all.extend(log.drain());
+                }
+                (all, dropped)
+            }
+            None => (Vec::new(), 0),
+        };
         ServerReport {
             header,
             shard_lines,
             interval_lines,
             lost_acked,
             recovery_failures,
+            spans,
+            span_dropped,
         }
     }
 }
@@ -450,6 +544,7 @@ fn reader_loop(mut conn: Conn, reply: Replier, shared: &Arc<Shared>) {
             Ok(Some(p)) => p,
             Ok(None) | Err(_) => return,
         };
+        let t0_us = shared.now_us();
         let req = match decode_request(&payload) {
             Ok(r) => r,
             Err(e) => {
@@ -467,7 +562,7 @@ fn reader_loop(mut conn: Conn, reply: Replier, shared: &Arc<Shared>) {
             Request::Stats { id } => {
                 let mut shards = Vec::with_capacity(shared.cfg.shards);
                 for (i, snap) in shared.snapshots.iter().enumerate() {
-                    let s = *snap.lock().unwrap();
+                    let s = snap.lock().unwrap().clone();
                     shards.push(Json::obj([
                         ("shard", Json::U64(i as u64)),
                         ("counters", counters_json(&s.counters)),
@@ -482,6 +577,12 @@ fn reader_loop(mut conn: Conn, reply: Replier, shared: &Arc<Shared>) {
                 reply.send(&Response::Report {
                     id,
                     json: doc.to_compact(),
+                });
+            }
+            Request::Metrics { id } => {
+                reply.send(&Response::Report {
+                    id,
+                    json: metrics_reply(shared).to_compact(),
                 });
             }
             Request::Shutdown { id } => {
@@ -516,6 +617,18 @@ fn reader_loop(mut conn: Conn, reply: Replier, shared: &Arc<Shared>) {
                     _ => KvOp::Del(key),
                 };
                 let shard = route(key, shared.cfg.shards);
+                let root = match &shared.spans {
+                    Some(logs) => logs[shard].lock().unwrap().alloc(),
+                    None => 0,
+                };
+                let ctx = SpanCtx {
+                    root,
+                    t0_us,
+                    t1_us: shared.now_us(),
+                    t_enq_us: 0,
+                    depth: 0,
+                    bytes: payload.len() as u32,
+                };
                 let admitted = enqueue(
                     shared,
                     shard,
@@ -523,6 +636,7 @@ fn reader_loop(mut conn: Conn, reply: Replier, shared: &Arc<Shared>) {
                         op,
                         id,
                         reply: reply.clone(),
+                        ctx,
                     },
                     false,
                 );
@@ -530,26 +644,186 @@ fn reader_loop(mut conn: Conn, reply: Replier, shared: &Arc<Shared>) {
                     let qlen = shared.queues[shard].q.lock().unwrap().len();
                     let per_batch = shared.batch_ms[shard].load(Ordering::Relaxed).max(1);
                     let backlog_batches = (qlen / shared.cfg.batch_max.max(1)) as u64 + 1;
+                    let t_a0 = shared.now_us();
                     reply.send(&Response::Overloaded {
                         id,
                         retry_after_ms: (backlog_batches * per_batch).min(u32::MAX as u64) as u32,
                         queue_depth: qlen as u32,
                     });
+                    if let Some(logs) = &shared.spans {
+                        let times = ShedTimes {
+                            op,
+                            id,
+                            depth: qlen as u32,
+                            t_a0,
+                            t_a1: shared.now_us(),
+                        };
+                        record_shed_chain(
+                            &mut logs[shard].lock().unwrap(),
+                            &ctx,
+                            shard as u32,
+                            times,
+                        );
+                    }
                 }
             }
         }
     }
 }
 
+/// The wire op kind a span records (0 get, 1 put, 2 del).
+fn op_code(op: KvOp) -> u8 {
+    match op {
+        KvOp::Get(_) => 0,
+        KvOp::Put(_) => 1,
+        KvOp::Del(_) => 2,
+    }
+}
+
+struct ShedTimes {
+    op: KvOp,
+    id: u64,
+    depth: u32,
+    t_a0: u64,
+    t_a1: u64,
+}
+
+/// Records the span chain of a load-shed request: admission rejected
+/// it, so the chain is root + wire + queue(shed) + non-durable ack.
+fn record_shed_chain(log: &mut SpanLog, ctx: &SpanCtx, track: u32, t: ShedTimes) {
+    log.record(Span {
+        id: ctx.root,
+        parent: 0,
+        req: t.id,
+        track,
+        start_us: ctx.t0_us,
+        end_us: t.t_a1,
+        phase: SpanPhase::Request { op: op_code(t.op) },
+    });
+    log.record(Span {
+        id: 0,
+        parent: ctx.root,
+        req: t.id,
+        track,
+        start_us: ctx.t0_us,
+        end_us: ctx.t1_us,
+        phase: SpanPhase::Wire { bytes: ctx.bytes },
+    });
+    log.record(Span {
+        id: 0,
+        parent: ctx.root,
+        req: t.id,
+        track,
+        start_us: ctx.t1_us,
+        end_us: t.t_a0,
+        phase: SpanPhase::Queue {
+            depth: t.depth,
+            shed: true,
+        },
+    });
+    log.record(Span {
+        id: 0,
+        parent: ctx.root,
+        req: t.id,
+        track,
+        start_us: t.t_a0,
+        end_us: t.t_a1,
+        phase: SpanPhase::Ack {
+            durable: false,
+            persist_stamp: 0,
+            crashed: false,
+        },
+    });
+}
+
+/// The live `serve-metrics` snapshot (the `Metrics` admin reply).
+fn metrics_reply(shared: &Arc<Shared>) -> Json {
+    let uptime_ms = shared.now_ms();
+    let mut shard_docs = Vec::with_capacity(shared.cfg.shards);
+    let mut total_requests = 0u64;
+    let mut total_shed = 0u64;
+    let mut total_durable = 0u64;
+    let mut total_obs_dropped = 0u64;
+    let mut total_span_dropped = 0u64;
+    let mut total_flight_dropped = 0u64;
+    for i in 0..shared.cfg.shards {
+        let snap = shared.snapshots[i].lock().unwrap().clone();
+        let queue_depth = shared.queues[i].q.lock().unwrap().len() as u64;
+        let totals = {
+            let g = shared.gauges[i].lock().unwrap();
+            [
+                g.total(SLOT_ENQUEUED),
+                g.total(SLOT_SHED),
+                g.total(SLOT_COMPLETED),
+                g.total(SLOT_BATCHES),
+            ]
+        };
+        let (spans, span_dropped) = match &shared.spans {
+            Some(logs) => {
+                let log = logs[i].lock().unwrap();
+                (log.len() as u64, log.dropped())
+            }
+            None => (0, 0),
+        };
+        let telem = ShardTelemetry {
+            spans,
+            span_dropped,
+            flight_events: snap.flight_events,
+            flight_dropped: snap.flight_dropped,
+        };
+        let rps = if uptime_ms > 0 {
+            snap.counters.requests as f64 * 1000.0 / uptime_ms as f64
+        } else {
+            0.0
+        };
+        total_requests += snap.counters.requests;
+        total_shed += totals[SLOT_SHED];
+        total_durable += snap.counters.acked_durable;
+        total_obs_dropped += snap.counters.obs_dropped;
+        total_span_dropped += span_dropped;
+        total_flight_dropped += snap.flight_dropped;
+        shard_docs.push(metrics_shard_json(
+            i,
+            &snap.counters,
+            snap.committed,
+            queue_depth,
+            &totals,
+            rps,
+            &snap.ack_hist,
+            &snap.dur_ack_hist,
+            &telem,
+        ));
+    }
+    let throughput = if uptime_ms > 0 {
+        total_requests as f64 * 1000.0 / uptime_ms as f64
+    } else {
+        0.0
+    };
+    let totals = Json::obj([
+        ("requests", Json::U64(total_requests)),
+        ("shed", Json::U64(total_shed)),
+        ("acked_durable", Json::U64(total_durable)),
+        ("throughput_rps", Json::F64(throughput)),
+        ("obs_dropped", Json::U64(total_obs_dropped)),
+        ("span_dropped", Json::U64(total_span_dropped)),
+        ("flight_dropped", Json::U64(total_flight_dropped)),
+    ]);
+    metrics_snapshot_json(uptime_ms, shard_docs, totals)
+}
+
 /// Admits `work` to shard `i`'s queue. Returns false (and bumps the
 /// shed counter) when admission control rejects it.
-fn enqueue(shared: &Arc<Shared>, i: usize, work: Work, admit_always: bool) -> bool {
+fn enqueue(shared: &Arc<Shared>, i: usize, mut work: Work, admit_always: bool) -> bool {
     let now = shared.now_ms();
     let mut q = shared.queues[i].q.lock().unwrap();
     if !admit_always && q.len() >= shared.cfg.queue_depth {
         drop(q);
         shared.gauges[i].lock().unwrap().bump(now, SLOT_SHED, 1);
         return false;
+    }
+    if let Work::Op { ctx, .. } = &mut work {
+        ctx.t_enq_us = shared.now_us();
+        ctx.depth = q.len() as u32;
     }
     q.push_back(work);
     let depth = q.len() as u64;
@@ -567,10 +841,14 @@ fn worker_loop(i: usize, shared: &Arc<Shared>) -> ShardFinal {
         .seed
         .wrapping_add((i as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03));
     let mut shard = Shard::new(cfg);
-    publish(shared, i, &shard);
+    let mut flight = FlightRecorder::new(shared.cfg.flight);
+    let mut ack_hist = Hist::new();
+    let mut dur_ack_hist = Hist::new();
+    let track = i as u32;
+    publish(shared, i, &shard, &ack_hist, &dur_ack_hist, &flight);
 
     loop {
-        let batch = collect_batch(shared, i);
+        let (batch, t_open_us, t_close_us) = collect_batch(shared, i);
         if batch.is_empty() {
             if shared.shutdown.load(Ordering::SeqCst)
                 && shared.queues[i].q.lock().unwrap().is_empty()
@@ -581,21 +859,88 @@ fn worker_loop(i: usize, shared: &Arc<Shared>) -> ShardFinal {
         }
         let started = Instant::now();
         let mut answered = 0u64;
-        let mut pending: Vec<(KvOp, u64, Replier)> = Vec::new();
+        let mut new_spans: Vec<Span> = Vec::new();
+        let mut pending: Vec<(KvOp, u64, Replier, SpanCtx)> = Vec::new();
         for work in batch {
             match work {
-                Work::Op { op, id, reply } => pending.push((op, id, reply)),
+                Work::Op { op, id, reply, ctx } => pending.push((op, id, reply, ctx)),
                 Work::Crash { id, reply } => {
                     // Everything already drained for this batch is "in
                     // flight" at the crash: unacked, answered `Crashed`.
-                    let ops: Vec<KvOp> = pending.iter().map(|(op, _, _)| *op).collect();
+                    let ops: Vec<KvOp> = pending.iter().map(|(op, _, _, _)| *op).collect();
                     let outcome = shard.crash(&ops);
-                    for (_, rid, r) in pending.drain(..) {
+                    flight.push(FlightEvent::Crash {
+                        t_ms: shared.now_ms(),
+                        batch: outcome.batch,
+                        crash_stamp: outcome.crash_stamp.unwrap_or(0),
+                        recovered: outcome.consistent,
+                        lost: outcome.lost_acked.len() as u32,
+                        inflight: pending
+                            .iter()
+                            .map(|(op, rid, _, _)| (*rid, op_code(*op), op.key()))
+                            .collect(),
+                    });
+                    if let Some(dir) = &shared.cfg.flight_dir {
+                        let _ = flight.dump(dir, i, shard.counters().crashes);
+                    }
+                    for (op, rid, r, ctx) in pending.drain(..) {
+                        let t_a0 = shared.now_us();
                         r.send(&Response::Crashed {
                             id: rid,
                             shard: i as u32,
                             batch: outcome.batch,
                         });
+                        let t_a1 = shared.now_us();
+                        ack_hist.record(t_a1.saturating_sub(ctx.t0_us));
+                        if ctx.root != 0 {
+                            // In-flight chain: wire + queue, then an
+                            // unacked `Crashed` terminator (no batch/
+                            // execute/persist — the batch never
+                            // committed for this op).
+                            new_spans.push(Span {
+                                id: ctx.root,
+                                parent: 0,
+                                req: rid,
+                                track,
+                                start_us: ctx.t0_us,
+                                end_us: t_a1,
+                                phase: SpanPhase::Request { op: op_code(op) },
+                            });
+                            new_spans.push(Span {
+                                id: 0,
+                                parent: ctx.root,
+                                req: rid,
+                                track,
+                                start_us: ctx.t0_us,
+                                end_us: ctx.t1_us,
+                                phase: SpanPhase::Wire { bytes: ctx.bytes },
+                            });
+                            new_spans.push(Span {
+                                id: 0,
+                                parent: ctx.root,
+                                req: rid,
+                                track,
+                                start_us: ctx.t_enq_us,
+                                end_us: t_close_us.max(ctx.t_enq_us),
+                                phase: SpanPhase::Queue {
+                                    depth: ctx.depth,
+                                    shed: false,
+                                },
+                            });
+                            new_spans.push(Span {
+                                id: 0,
+                                parent: ctx.root,
+                                req: rid,
+                                track,
+                                start_us: t_a0,
+                                end_us: t_a1,
+                                phase: SpanPhase::Ack {
+                                    durable: false,
+                                    persist_stamp: 0,
+                                    crashed: true,
+                                },
+                            });
+                        }
                         answered += 1;
                     }
                     reply.send(&Response::Report {
@@ -607,9 +952,24 @@ fn worker_loop(i: usize, shared: &Arc<Shared>) -> ShardFinal {
             }
         }
         if !pending.is_empty() {
-            let ops: Vec<KvOp> = pending.iter().map(|(op, _, _)| *op).collect();
+            let ops: Vec<KvOp> = pending.iter().map(|(op, _, _, _)| *op).collect();
+            flight.push(FlightEvent::BatchStart {
+                t_ms: shared.now_ms(),
+                batch: shard.batches(),
+                size: ops.len() as u32,
+            });
+            let ex0_us = shared.now_us();
             let results = shard.execute(&ops);
-            for ((op, id, reply), res) in pending.into_iter().zip(results) {
+            let ex1_us = shared.now_us();
+            let breakdown = shard.last_breakdown();
+            // Split the execute window at the simulator/stamping
+            // boundary the shard measured.
+            let exec_end_us = (ex0_us + breakdown.sim_us).min(ex1_us);
+            let batch_no = results.first().map(|r| r.batch).unwrap_or(0);
+            let size = ops.len() as u32;
+            let mut durable_n = 0u32;
+            let mut nondurable_n = 0u32;
+            for ((op, id, reply, ctx), res) in pending.into_iter().zip(results) {
                 let resp = match op {
                     KvOp::Get(_) => Response::Value {
                         id,
@@ -627,13 +987,128 @@ fn worker_loop(i: usize, shared: &Arc<Shared>) -> ShardFinal {
                         persist_cycles: res.persist_cycles,
                     },
                 };
+                let t_a0 = shared.now_us();
                 reply.send(&resp);
+                let t_a1 = shared.now_us();
                 answered += 1;
+                let lat = t_a1.saturating_sub(ctx.t0_us);
+                ack_hist.record(lat);
+                if res.durable {
+                    dur_ack_hist.record(lat);
+                    durable_n += 1;
+                } else {
+                    nondurable_n += 1;
+                }
+                flight.push(FlightEvent::Request {
+                    t_ms: shared.now_ms(),
+                    batch: res.batch,
+                    id,
+                    kind: op_code(op),
+                    key: op.key(),
+                    durable: res.durable,
+                    stamp: res.persist_cycles,
+                });
+                if ctx.root != 0 {
+                    // The full wire→queue→batch→execute→persist→ack
+                    // chain; the ack carries the persist stamp that
+                    // justified a durable reply.
+                    new_spans.push(Span {
+                        id: ctx.root,
+                        parent: 0,
+                        req: id,
+                        track,
+                        start_us: ctx.t0_us,
+                        end_us: t_a1,
+                        phase: SpanPhase::Request { op: op_code(op) },
+                    });
+                    new_spans.push(Span {
+                        id: 0,
+                        parent: ctx.root,
+                        req: id,
+                        track,
+                        start_us: ctx.t0_us,
+                        end_us: ctx.t1_us,
+                        phase: SpanPhase::Wire { bytes: ctx.bytes },
+                    });
+                    new_spans.push(Span {
+                        id: 0,
+                        parent: ctx.root,
+                        req: id,
+                        track,
+                        start_us: ctx.t_enq_us,
+                        end_us: t_close_us.max(ctx.t_enq_us),
+                        phase: SpanPhase::Queue {
+                            depth: ctx.depth,
+                            shed: false,
+                        },
+                    });
+                    new_spans.push(Span {
+                        id: 0,
+                        parent: ctx.root,
+                        req: id,
+                        track,
+                        start_us: t_open_us.max(ctx.t_enq_us),
+                        end_us: t_close_us.max(ctx.t_enq_us),
+                        phase: SpanPhase::Batch {
+                            batch: res.batch,
+                            size,
+                        },
+                    });
+                    new_spans.push(Span {
+                        id: 0,
+                        parent: ctx.root,
+                        req: id,
+                        track,
+                        start_us: ex0_us,
+                        end_us: exec_end_us,
+                        phase: SpanPhase::Execute { batch: res.batch },
+                    });
+                    new_spans.push(Span {
+                        id: 0,
+                        parent: ctx.root,
+                        req: id,
+                        track,
+                        start_us: exec_end_us,
+                        end_us: ex1_us,
+                        phase: SpanPhase::Persist {
+                            batch: res.batch,
+                            final_stamp: breakdown.final_stamp,
+                        },
+                    });
+                    new_spans.push(Span {
+                        id: 0,
+                        parent: ctx.root,
+                        req: id,
+                        track,
+                        start_us: t_a0,
+                        end_us: t_a1,
+                        phase: SpanPhase::Ack {
+                            durable: res.durable,
+                            persist_stamp: res.persist_cycles,
+                            crashed: false,
+                        },
+                    });
+                }
+            }
+            flight.push(FlightEvent::Persist {
+                t_ms: shared.now_ms(),
+                batch: batch_no,
+                final_stamp: breakdown.final_stamp,
+                durable: durable_n,
+                nondurable: nondurable_n,
+            });
+        }
+        if !new_spans.is_empty() {
+            if let Some(logs) = &shared.spans {
+                let mut log = logs[i].lock().unwrap();
+                for s in new_spans {
+                    log.record(s);
+                }
             }
         }
         let elapsed = (started.elapsed().as_millis() as u64).max(1);
         shared.batch_ms[i].store(elapsed, Ordering::Relaxed);
-        publish(shared, i, &shard);
+        publish(shared, i, &shard, &ack_hist, &dur_ack_hist, &flight);
         let now = shared.now_ms();
         let depth = shared.queues[i].q.lock().unwrap().len() as u64;
         let mut g = shared.gauges[i].lock().unwrap();
@@ -654,25 +1129,37 @@ fn worker_loop(i: usize, shared: &Arc<Shared>) -> ShardFinal {
     }
 }
 
-fn publish(shared: &Arc<Shared>, i: usize, shard: &Shard) {
+fn publish(
+    shared: &Arc<Shared>,
+    i: usize,
+    shard: &Shard,
+    ack_hist: &Hist,
+    dur_ack_hist: &Hist,
+    flight: &FlightRecorder,
+) {
     *shared.snapshots[i].lock().unwrap() = Snapshot {
         counters: shard.counters(),
         committed: shard.committed().len() as u64,
+        ack_hist: ack_hist.clone(),
+        dur_ack_hist: dur_ack_hist.clone(),
+        flight_events: flight.len() as u64,
+        flight_dropped: flight.dropped(),
     };
 }
 
 /// Blocks until work is available, then closes the batch by size or
-/// deadline. Returns an empty batch only on shutdown (once the queue is
-/// drained).
-fn collect_batch(shared: &Arc<Shared>, i: usize) -> Vec<Work> {
+/// deadline. Returns the batch plus its open/close times (µs since
+/// server start; both 0 for the empty shutdown batch).
+fn collect_batch(shared: &Arc<Shared>, i: usize) -> (Vec<Work>, u64, u64) {
     let sq = &shared.queues[i];
     let mut q = sq.q.lock().unwrap();
     while q.is_empty() && !shared.shutdown.load(Ordering::SeqCst) {
         q = sq.cv.wait(q).unwrap();
     }
     if q.is_empty() {
-        return Vec::new();
+        return (Vec::new(), 0, 0);
     }
+    let t_open_us = shared.now_us();
     let deadline = Instant::now() + Duration::from_millis(shared.cfg.batch_wait_ms);
     while q.len() < shared.cfg.batch_max && !shared.shutdown.load(Ordering::SeqCst) {
         let remaining = deadline.saturating_duration_since(Instant::now());
@@ -686,5 +1173,6 @@ fn collect_batch(shared: &Arc<Shared>, i: usize) -> Vec<Work> {
         }
     }
     let take = q.len().min(shared.cfg.batch_max);
-    q.drain(..take).collect()
+    let batch: Vec<Work> = q.drain(..take).collect();
+    (batch, t_open_us, shared.now_us())
 }

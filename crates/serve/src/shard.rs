@@ -187,6 +187,25 @@ pub struct ShardCounters {
     pub recovery_failures: u64,
     /// Total durably-acked keys lost across all restarts (must stay 0).
     pub lost_acked: u64,
+    /// Obs ring-buffer events dropped across all batches (recorder
+    /// attached with a ring smaller than the event volume). Non-zero
+    /// means the event trace is truncated; histograms and audits are
+    /// computed online and stay exact.
+    pub obs_dropped: u64,
+}
+
+/// Host wall-clock breakdown of the last committed batch, used by the
+/// serving layer to split the simulated-execution span from the
+/// persist-stamping/commit span.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchBreakdown {
+    /// Microseconds inside the timing simulator run.
+    pub sim_us: u64,
+    /// Microseconds spent stamping persist times, computing durable
+    /// acks, and committing the recovered image.
+    pub persist_us: u64,
+    /// Final persist stamp of the batch (0 = nothing persisted).
+    pub final_stamp: u64,
 }
 
 /// One shard: durable contents + batch executor + crash-restart.
@@ -200,12 +219,15 @@ pub struct Shard {
     /// Merged observability histograms (flush-to-ack,
     /// release-to-persist, RET residency) when a recorder is attached.
     pub hists: [Hist; 3],
+    last_breakdown: BatchBreakdown,
 }
 
 struct BatchRun {
     trace: Trace,
     sched: PersistSchedule,
     results: Vec<KvResult>,
+    sim_us: u64,
+    stamp_us: u64,
 }
 
 impl Shard {
@@ -220,6 +242,7 @@ impl Shard {
             counters: ShardCounters::default(),
             stats: Stats::default(),
             hists: [Hist::new(), Hist::new(), Hist::new()],
+            last_breakdown: BatchBreakdown::default(),
         }
     }
 
@@ -238,11 +261,17 @@ impl Shard {
         self.batches
     }
 
+    /// Wall-clock breakdown of the most recent committed batch.
+    pub fn last_breakdown(&self) -> BatchBreakdown {
+        self.last_breakdown
+    }
+
     fn absorb_obs(&mut self, obs: Option<&ObsReport>) {
         if let Some(report) = obs {
             for (i, (_, h)) in lrp_obs::metrics::hist_rows(report).iter().enumerate() {
                 self.hists[i].merge(h);
             }
+            self.counters.obs_dropped += report.dropped;
         }
     }
 
@@ -260,7 +289,10 @@ impl Shard {
         if let Some(rc) = &self.cfg.recorder {
             sim = sim.with_recorder(rc.clone());
         }
+        let t_sim = std::time::Instant::now();
         let run = sim.run();
+        let sim_us = t_sim.elapsed().as_micros() as u64;
+        let t_stamp = std::time::Instant::now();
         self.stats.merge(&run.stats);
         self.absorb_obs(run.obs.as_ref());
 
@@ -345,6 +377,8 @@ impl Shard {
             trace,
             sched: run.schedule,
             results,
+            sim_us,
+            stamp_us: t_stamp.elapsed().as_micros() as u64,
         }
     }
 
@@ -354,6 +388,7 @@ impl Shard {
             return Vec::new();
         }
         let mut run = self.run_batch(ops);
+        let t_commit = std::time::Instant::now();
 
         // Commit: the durable contents are whatever null recovery gets
         // back from the image at the final persist stamp.
@@ -386,6 +421,11 @@ impl Shard {
                 self.counters.nondurable += 1;
             }
         }
+        self.last_breakdown = BatchBreakdown {
+            sim_us: run.sim_us,
+            persist_us: run.stamp_us + t_commit.elapsed().as_micros() as u64,
+            final_stamp: last.unwrap_or(0),
+        };
         run.results
     }
 

@@ -20,6 +20,7 @@ fn all_requests() -> Vec<Request> {
         Request::Stats { id: 5 },
         Request::Crash { id: 6, shard: 3 },
         Request::Shutdown { id: u64::MAX },
+        Request::Metrics { id: 8 },
     ]
 }
 
@@ -157,7 +158,7 @@ fn oversized_length_prefix_is_rejected_without_allocating() {
 
 #[test]
 fn unknown_opcodes_are_rejected_on_both_sides() {
-    for op in [0x00u8, 0x08, 0x40, 0x7f, 0x89, 0xff] {
+    for op in [0x00u8, 0x09, 0x40, 0x7f, 0x89, 0xff] {
         let mut payload = vec![op];
         payload.extend_from_slice(&7u64.to_le_bytes());
         payload.extend_from_slice(&9u64.to_le_bytes());
@@ -165,7 +166,7 @@ fn unknown_opcodes_are_rejected_on_both_sides() {
         let resp = decode_response(&payload);
         assert!(
             matches!(req, Err(WireError::BadOpcode(o)) if o == op)
-                || (req.is_ok() && (0x01..=0x07).contains(&op)),
+                || (req.is_ok() && (0x01..=0x08).contains(&op)),
             "request opcode {op:#04x}: {req:?}"
         );
         assert!(
