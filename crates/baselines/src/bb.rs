@@ -86,6 +86,11 @@ impl PersistMech for BufferedBarrier {
         "bb"
     }
 
+    // A release's pre-issue wait is the buffered epoch draining.
+    fn crit_drain_kind(&self) -> lrp_obs::CritSegKind {
+        lrp_obs::CritSegKind::BarrierDrain
+    }
+
     fn on_store(&mut self, l1: &mut dyn L1View, line: LineAddr, kind: StoreKind) -> StoreAction {
         let mut act = StoreAction::default();
         let meta = l1.meta(line);

@@ -33,6 +33,11 @@ impl PersistMech for StrictBarrier {
         "sb"
     }
 
+    // A release's pre-issue wait is the barrier draining the epoch.
+    fn crit_drain_kind(&self) -> lrp_obs::CritSegKind {
+        lrp_obs::CritSegKind::BarrierDrain
+    }
+
     fn on_store(&mut self, l1: &mut dyn L1View, _line: LineAddr, kind: StoreKind) -> StoreAction {
         let mut act = StoreAction::default();
         if kind.is_release() {

@@ -4,6 +4,7 @@
 //! lrp-bench host --smoke --json-out BENCH_host.json
 //! lrp-bench gate --baseline baselines/BENCH_host.json \
 //!                --current BENCH_host.json --max-regression 2.0
+//! lrp-bench critpath-overhead --smoke
 //! ```
 //!
 //! `host` replays a (structure × mechanism) matrix through the full
@@ -14,6 +15,10 @@
 //! in-process `lrp-serve` and measures end-to-end service throughput,
 //! durable-ack latency, shed rate, tracing overhead, and crash-recovery
 //! time (`BENCH_serve.json`); `serve-gate` compares two of those.
+//! `critpath-overhead` replays the matrix bare and with the
+//! critical-path recorder and fails (exit 1) if tracing moved
+//! simulated ops/cycle beyond the budget (default 2%; the recorder is
+//! timing-invisible, so the expected delta is zero).
 
 use lrp_bench::alloc_count::CountingAlloc;
 use lrp_bench::cli::Cli;
@@ -38,7 +43,10 @@ const USAGE: &str = "usage:\n  \
     lrp-bench serve [--shards N] [--conns N] [--requests N] [--window N]\n                 \
     [--key-range N] [--read-pct N] [--seed N] [--json-out FILE]\n  \
     lrp-bench serve-gate --baseline FILE --current FILE\n                 \
-    [--max-regression F] [--json-out FILE]\n\n\
+    [--max-regression F] [--json-out FILE]\n  \
+    lrp-bench critpath-overhead [--smoke] [--structures a,b,..]\n                 \
+    [--mechs a,b,..] [--mode M] [--threads N] [--ops N] [--size N]\n                 \
+    [--seed N] [--samples N] [--max-overhead F] [--json-out FILE]\n\n\
     defaults:\n  \
     host runs the full matrix: all five structures x nop,sb,bb,lrp\n                 \
     (--threads 4 --ops 64 --size 128 --seed 1 --samples 5)\n  \
@@ -53,9 +61,12 @@ const USAGE: &str = "usage:\n  \
     serve runs four cells against an in-process server: uniform, zipfian,\n  \
     zipfian with span tracing (tracing overhead), zipfian with a mid-run\n  \
     crash-restart (client-observed recovery time)\n                 \
-    (--shards 2 --conns 4 --requests 1200 --window 16)\n\n\
+    (--shards 2 --conns 4 --requests 1200 --window 16)\n  \
+    --max-overhead F   critpath-overhead: allowed fractional ops/cycle\n                     \
+    delta from tracing (default 0.02)\n\n\
     exit codes:\n  \
-    0  success (gates: no cell regressed beyond the allowed factor)\n  \
+    0  success (gates: no cell regressed beyond the allowed factor,\n     \
+    critpath-overhead: tracing stayed within the budget)\n  \
     1  gate regression detected, or a file read/write/parse error\n  \
     2  usage error (unknown flag or command, missing or invalid value)";
 
@@ -79,40 +90,46 @@ fn main() {
     let baseline: Option<String> = cli.opt("baseline");
     let current: Option<String> = cli.opt("current");
     let max_regression: Option<f64> = cli.opt_parse("max-regression");
+    let max_overhead: f64 = cli.opt_parse("max-overhead").unwrap_or(0.02);
     let json_out: Option<String> = cli.opt("json-out");
     let pos = cli.positionals(1, 1);
 
+    let host_spec = move || {
+        let mut spec = if smoke {
+            HostSpec::smoke()
+        } else {
+            HostSpec::quick()
+        };
+        if let Some(v) = structures {
+            spec.structures = v;
+        }
+        if let Some(v) = mechs {
+            spec.mechanisms = v;
+        }
+        if let Some(v) = mode {
+            spec.mode = v;
+        }
+        if let Some(v) = threads {
+            spec.threads = v;
+        }
+        if let Some(v) = ops {
+            spec.ops_per_thread = v;
+        }
+        if let Some(v) = size {
+            spec.initial_size = v;
+        }
+        if let Some(v) = seed {
+            spec.seed = v;
+        }
+        if let Some(v) = samples {
+            spec.samples = v;
+        }
+        spec
+    };
+
     match pos[0].as_str() {
         "host" => {
-            let mut spec = if smoke {
-                HostSpec::smoke()
-            } else {
-                HostSpec::quick()
-            };
-            if let Some(v) = structures {
-                spec.structures = v;
-            }
-            if let Some(v) = mechs {
-                spec.mechanisms = v;
-            }
-            if let Some(v) = mode {
-                spec.mode = v;
-            }
-            if let Some(v) = threads {
-                spec.threads = v;
-            }
-            if let Some(v) = ops {
-                spec.ops_per_thread = v;
-            }
-            if let Some(v) = size {
-                spec.initial_size = v;
-            }
-            if let Some(v) = seed {
-                spec.seed = v;
-            }
-            if let Some(v) = samples {
-                spec.samples = v;
-            }
+            let spec = host_spec();
             let report = host::run_host(&spec, |cell| {
                 eprintln!(
                     "  {:<24} {:>10.3} ms  ({:.0} ops/s)",
@@ -211,6 +228,33 @@ fn main() {
                 eprintln!("wrote serve-gate verdict to {out}");
             }
             print!("{}", render_gate(&verdict));
+            if !verdict.pass() {
+                std::process::exit(1);
+            }
+        }
+        "critpath-overhead" => {
+            let spec = host_spec();
+            let cells = host::run_overhead(&spec, |cell| {
+                eprintln!(
+                    "  {:<24} wall {:>8.3} -> {:>8.3} ms ({:+.1}%)",
+                    cell.key(),
+                    cell.wall_ms_off,
+                    cell.wall_ms_on,
+                    cell.wall_overhead_frac() * 100.0
+                );
+            });
+            let verdict = host::gate_overhead(&cells, max_overhead).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            });
+            if let Some(out) = &json_out {
+                write_out(
+                    out,
+                    &host::overhead_json(&cells, &verdict, max_overhead).to_pretty(),
+                );
+                eprintln!("wrote overhead report to {out}");
+            }
+            print!("{}", host::render_overhead(&cells, &verdict, max_overhead));
             if !verdict.pass() {
                 std::process::exit(1);
             }

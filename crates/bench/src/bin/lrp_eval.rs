@@ -30,12 +30,13 @@ const USAGE: &str = "usage:\n  \
     --quick              4 threads, 12 ops/thread, small structures\n  \
     --trace-out FILE     write a Chrome trace-event JSON timeline\n  \
     --metrics-out FILE   write JSONL metrics (stats, histograms, blame, audit)\n  \
-    --sample-every N     record time-series samples every N cycles (0 = off)\n\n\
+    --sample-every N     record time-series samples every N cycles (0 = off)\n  \
+    --no-critpath        disable durability critical-path tracing\n\n\
     exit codes:\n  \
     0  success\n  \
     1  output file write error\n  \
     2  usage error (unknown flag or command, missing or invalid value)\n  \
-    3  invariant audit violations observed (I1-I4)";
+    3  invariant audit violations observed (I1-I4, critpath C1-C2)";
 
 fn main() {
     let mut cli = Cli::from_env(USAGE);
@@ -54,6 +55,7 @@ fn main() {
         params.seed = seed;
     }
     let structure: Option<Structure> = cli.opt_parse("structure");
+    let no_critpath = cli.flag("no-critpath");
     if let Some(structure) = structure {
         let mech: Mechanism = cli.opt_parse("mech").unwrap_or(Mechanism::Lrp);
         let mode: NvmMode = cli.opt_parse("mode").unwrap_or(NvmMode::Cached);
@@ -69,6 +71,7 @@ fn main() {
             trace_out,
             metrics_out,
             sample_every,
+            !no_critpath,
         );
         return;
     }
@@ -117,6 +120,7 @@ fn main() {
 
 /// Runs one structure×mechanism simulation with the observability
 /// recorder attached and writes the requested exports.
+#[allow(clippy::too_many_arguments)]
 fn run_one(
     params: &EvalParams,
     structure: Structure,
@@ -125,11 +129,13 @@ fn run_one(
     trace_out: Option<String>,
     metrics_out: Option<String>,
     sample_every: u64,
+    critpath: bool,
 ) {
     let trace = params.trace(structure, params.threads);
     let cfg = SimConfig::new(mech).nvm_mode(mode);
     let rec = RecorderConfig {
         sample_every,
+        critpath,
         ..RecorderConfig::default()
     };
     let r = Sim::new(cfg, &trace).with_recorder(rec).run();
@@ -144,12 +150,9 @@ fn run_one(
         obs.events.len(),
         obs.dropped
     );
-    if obs.dropped > 0 {
-        eprintln!(
-            "WARNING: event ring dropped {} events (oldest first); exported timelines are \
-             truncated, but histograms, blame, and audit counters remain exact",
-            obs.dropped
-        );
+    let deduped = metrics::warn_ring_drops("event", obs.dropped);
+    if deduped > 0 {
+        eprintln!("  ({deduped} further drop warnings deduplicated)");
     }
     println!("sample intervals       {:>12}", obs.intervals.len());
     println!("ret high water         {:>12}", obs.ret_high_water);
@@ -175,6 +178,36 @@ fn run_one(
             name, c.checks, c.violations
         );
     }
+    let mut crit_violations = 0;
+    if let Some(crit) = &obs.crit {
+        println!("-- durability critical path --");
+        println!(
+            "  paths traced         {:>12} ({} cycles, longest {})",
+            crit.paths(),
+            crit.total_cycles(),
+            crit.max_path
+        );
+        let shares = crit.shares();
+        for kind in lrp_obs::CritSegKind::ALL {
+            let k = kind.idx();
+            if crit.seg_counts[k] > 0 {
+                println!(
+                    "  {:<20} n={:<6} cycles={:<10} share={:.1}%",
+                    kind.name(),
+                    crit.seg_counts[k],
+                    crit.seg_cycles[k],
+                    shares[k] * 100.0
+                );
+            }
+        }
+        for (name, c) in crit.audit.rows() {
+            println!(
+                "  {:<20} checks={:<8} violations={}",
+                name, c.checks, c.violations
+            );
+        }
+        crit_violations = crit.audit.total_violations();
+    }
     if let Some(path) = trace_out {
         write_or_die(&path, &chrome::export(obs));
         eprintln!("wrote Chrome trace to {path}");
@@ -183,10 +216,12 @@ fn run_one(
         write_or_die(&path, &metrics::export_jsonl(obs, &r.stats));
         eprintln!("wrote JSONL metrics to {path}");
     }
-    if obs.audit.total_violations() > 0 {
+    if obs.audit.total_violations() + crit_violations > 0 {
         eprintln!(
-            "WARNING: {} invariant violations observed",
-            obs.audit.total_violations()
+            "WARNING: {} invariant violations observed ({} I1-I4, {} critpath C1-C2)",
+            obs.audit.total_violations() + crit_violations,
+            obs.audit.total_violations(),
+            crit_violations
         );
         std::process::exit(3);
     }

@@ -3,6 +3,8 @@
 //! ```text
 //! lrp-profile run  --structure queue --mech lrp --ret-capacity 4
 //! lrp-profile diff --structure queue --a lrp --b bb
+//! lrp-profile critpath --structure queue --mech lrp
+//! lrp-profile critpath-diff --structure queue --a lrp --b bb
 //! lrp-profile gate --baseline baselines/BENCH_baseline.json \
 //!                  --current BENCH_campaign.json --ops-only
 //! ```
@@ -11,8 +13,12 @@
 //! per-`(site, cause)` tables; `--folded-out` additionally writes
 //! folded stacks (`site;kind;cause cycles`) for flame-graph tools.
 //! `diff` profiles the same workload under two mechanisms and ranks
-//! the attribution deltas. `gate` compares two `BENCH_campaign.json`
-//! summaries and fails (exit 1) on out-of-tolerance regressions.
+//! the attribution deltas. `critpath` traces the durability critical
+//! path and prints the per-segment latency breakdown (`--folded-out`
+//! writes folded chain shapes); `critpath-diff` compares two
+//! mechanisms' segment shares. `gate` compares two
+//! `BENCH_campaign.json` summaries and fails (exit 1) on
+//! out-of-tolerance regressions.
 
 use lrp_bench::cli::Cli;
 use lrp_bench::profile::{self, GateTolerances, ProfileSpec};
@@ -27,6 +33,12 @@ const USAGE: &str = "usage:\n  \
     lrp-profile diff --structure <name> [--a MECH] [--b MECH]\n                   \
     [--mode M] [--threads N] [--ops N] [--size N] [--seed N]\n                   \
     [--ret-capacity N] [--top N]\n  \
+    lrp-profile critpath --structure <name> [--mech M] [--mode M]\n                   \
+    [--threads N] [--ops N] [--size N] [--seed N]\n                   \
+    [--ret-capacity N] [--top N] [--folded-out FILE]\n  \
+    lrp-profile critpath-diff --structure <name> [--a MECH] [--b MECH]\n                   \
+    [--mode M] [--threads N] [--ops N] [--size N] [--seed N]\n                   \
+    [--ret-capacity N]\n  \
     lrp-profile gate --baseline FILE --current FILE [--tol-ops F]\n                   \
     [--tol-stall F] [--tol-latency F] [--ops-only] [--json-out FILE]\n\n\
     defaults:\n  \
@@ -40,7 +52,8 @@ const USAGE: &str = "usage:\n  \
     exit codes:\n  \
     0  success (gate: every check within tolerance)\n  \
     1  gate regression detected, or a file read/write/parse error\n  \
-    2  usage error (unknown flag or command, missing or invalid value)";
+    2  usage error (unknown flag or command, missing or invalid value)\n  \
+    3  critpath conservation violation (C1/C2 audit failed)";
 
 fn main() {
     let mut cli = Cli::from_env(USAGE);
@@ -102,6 +115,35 @@ fn main() {
             let spec_b = spec_for(&b, &cli);
             let (_, _, rows) = profile::run_diff(&spec_a, &spec_b);
             print!("{}", profile::render_diff(&spec_a, &spec_b, &rows, top));
+        }
+        "critpath" => {
+            let spec = spec_for(&mech, &cli);
+            let run = profile::run(&spec);
+            print!("{}", profile::render_critpath(&spec, &run, top));
+            if let Some(out) = &folded_out {
+                write_out(out, &run.crit.folded_stacks());
+                eprintln!("wrote folded chains to {out}");
+            }
+            if run.crit.audit.total_violations() > 0 {
+                eprintln!(
+                    "critpath conservation violated: {} of {} checks",
+                    run.crit.audit.total_violations(),
+                    run.crit.audit.total_checks()
+                );
+                std::process::exit(3);
+            }
+        }
+        "critpath-diff" => {
+            let spec_a = spec_for(&a, &cli);
+            let spec_b = spec_for(&b, &cli);
+            let (run_a, run_b) = (profile::run(&spec_a), profile::run(&spec_b));
+            let rows = profile::crit_diff(&run_a.crit, &run_b.crit);
+            print!("{}", profile::render_crit_diff(&spec_a, &spec_b, &rows));
+            let bad = run_a.crit.audit.total_violations() + run_b.crit.audit.total_violations();
+            if bad > 0 {
+                eprintln!("critpath conservation violated: {bad} check(s)");
+                std::process::exit(3);
+            }
         }
         "gate" => {
             let (Some(base_path), Some(cur_path)) = (&baseline, &current) else {

@@ -26,14 +26,15 @@ const USAGE: &str = "usage:\n  \
     lrp-trace info <FILE>\n  \
     lrp-trace check <FILE>\n  \
     lrp-trace report <FILE> [mech] [--trace-out FILE] [--metrics-out FILE] \
-    [--sample-every N]\n\n\
+    [--sample-every N] [--no-critpath]\n\n\
     defaults:\n  \
     --size 64   --threads 4   --ops 25   --seed 1\n  \
     --out FILE           write the generated trace there instead of stdout\n  \
     report mech          lrp (one of nop|sb|bb|lrp|dpo)\n  \
     --trace-out FILE     write a Chrome trace-event JSON timeline\n  \
     --metrics-out FILE   write JSONL metrics (stats, histograms, blame, audit)\n  \
-    --sample-every N     record time-series samples every N cycles (0 = off)\n\n\
+    --sample-every N     record time-series samples every N cycles (0 = off)\n  \
+    --no-critpath        disable durability critical-path tracing\n\n\
     exit codes:\n  \
     0  success\n  \
     1  file read/write/parse error\n  \
@@ -62,6 +63,7 @@ fn main() {
         trace_out: cli.opt("trace-out"),
         metrics_out: cli.opt("metrics-out"),
         sample_every: cli.opt_parse("sample-every").unwrap_or(0),
+        critpath: !cli.flag("no-critpath"),
     };
     let pos = cli.positionals(1, 3);
     match pos[0].as_str() {
@@ -145,6 +147,7 @@ struct ObsOut {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     sample_every: u64,
+    critpath: bool,
 }
 
 impl ObsOut {
@@ -162,6 +165,7 @@ fn report(cli: &Cli, path: &str, mech: &str, obs: &ObsOut) {
     if obs.wanted() {
         sim = sim.with_recorder(RecorderConfig {
             sample_every: obs.sample_every,
+            critpath: obs.critpath,
             ..RecorderConfig::default()
         });
     }
@@ -171,11 +175,14 @@ fn report(cli: &Cli, path: &str, mech: &str, obs: &ObsOut) {
         lrp_sim::report::render(&format!("{path} under {mech}"), &r)
     );
     if let Some(rep) = r.obs.as_ref() {
-        if rep.dropped > 0 {
-            eprintln!(
-                "WARNING: event ring dropped {} events (oldest first); exported timelines \
-                 are truncated, but histograms, blame, and audit counters remain exact",
-                rep.dropped
+        lrp_obs::metrics::warn_ring_drops("event", rep.dropped);
+        if let Some(crit) = &rep.crit {
+            println!(
+                "critical path: {} paths, {} cycles, longest {} ({} conservation violations)",
+                crit.paths(),
+                crit.total_cycles(),
+                crit.max_path,
+                crit.audit.total_violations()
             );
         }
         if let Some(out) = &obs.trace_out {
@@ -186,10 +193,14 @@ fn report(cli: &Cli, path: &str, mech: &str, obs: &ObsOut) {
             write_out(out, &lrp_obs::metrics::export_jsonl(rep, &r.stats));
             eprintln!("wrote JSONL metrics to {out}");
         }
-        if rep.audit.total_violations() > 0 {
+        if rep.audit.total_violations()
+            + rep.crit.as_ref().map_or(0, |c| c.audit.total_violations())
+            > 0
+        {
             eprintln!(
                 "WARNING: {} invariant violations observed",
                 rep.audit.total_violations()
+                    + rep.crit.as_ref().map_or(0, |c| c.audit.total_violations())
             );
         }
     }

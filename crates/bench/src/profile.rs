@@ -17,7 +17,7 @@
 use crate::experiments::EvalParams;
 use lrp_lfds::{Structure, WorkloadSpec};
 use lrp_obs::blame::{diff, BlameDelta};
-use lrp_obs::{BlameTable, Json, RecorderConfig, Stats};
+use lrp_obs::{BlameTable, CritSegKind, CritSummary, Json, RecorderConfig, Stats};
 use lrp_sim::{Mechanism, NvmMode, Sim, SimConfig};
 use std::collections::BTreeMap;
 
@@ -83,6 +83,9 @@ pub struct ProfileRun {
     /// exact regardless of event-ring state; the only bounded part is
     /// the per-line sketch, whose eviction count [`render_run`] prints.
     pub blame: BlameTable,
+    /// Durability critical-path digest (per-segment cycles, folded
+    /// chains, C1/C2 conservation counters).
+    pub crit: CritSummary,
 }
 
 /// Replays `spec` with blame attribution and returns the profile.
@@ -105,7 +108,154 @@ pub fn run(spec: &ProfileSpec) -> ProfileRun {
     ProfileRun {
         stats: result.stats,
         blame: obs.blame,
+        crit: obs.crit.unwrap_or_default(),
     }
+}
+
+/// Renders one run's critical-path attribution: the per-segment table
+/// (*which causal wait* the release-to-persist cycles were spent on),
+/// the folded chain shapes, and the C1/C2 conservation verdict.
+pub fn render_critpath(spec: &ProfileSpec, run: &ProfileRun, top: usize) -> String {
+    let c = &run.crit;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "critical path {}: {} persists traced, {} cycles release-to-persist \
+         (p50 {}, p99 {}, max {})\n",
+        spec.id(),
+        c.paths(),
+        c.total_cycles(),
+        c.path.percentile(0.5),
+        c.path.percentile(0.99),
+        c.max_path,
+    ));
+    out.push_str(&format!(
+        "\nsegments by kind:\n{:<16} {:>8} {:>12} {:>7} {:>8} {:>8} {:>8}\n",
+        "segment", "count", "cycles", "share", "p50", "p99", "max"
+    ));
+    let shares = c.shares();
+    let mut rows: Vec<usize> = (0..CritSegKind::ALL.len()).collect();
+    rows.sort_by(|&a, &b| {
+        c.seg_cycles[b]
+            .cmp(&c.seg_cycles[a])
+            .then(CritSegKind::ALL[a].name().cmp(CritSegKind::ALL[b].name()))
+    });
+    for k in rows {
+        if c.seg_counts[k] == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "{:<16} {:>8} {:>12} {:>6.1}% {:>8} {:>8} {:>8}\n",
+            CritSegKind::ALL[k].name(),
+            c.seg_counts[k],
+            c.seg_cycles[k],
+            shares[k] * 100.0,
+            c.seg_hist[k].percentile(0.5),
+            c.seg_hist[k].percentile(0.99),
+            c.seg_hist[k].max(),
+        ));
+    }
+    out.push_str(&format!(
+        "\nfolded chains (top {top} by cycles{}):\n",
+        if c.folded_dropped > 0 {
+            format!("; {} chains dropped past the shape cap", c.folded_dropped)
+        } else {
+            String::new()
+        }
+    ));
+    for line in c.folded_stacks().lines().take(top) {
+        out.push_str(&format!("  {line}\n"));
+    }
+    let (c1, c2) = (c.audit.c1, c.audit.c2);
+    out.push_str(&format!(
+        "\nconservation: c1 {}/{} (segments sum to measured latency), \
+         c2 {}/{} (longest path within wall time)\n",
+        c1.checks - c1.violations,
+        c1.checks,
+        c2.checks - c2.violations,
+        c2.checks,
+    ));
+    if c.audit.total_violations() > 0 {
+        out.push_str(&format!(
+            "CONSERVATION VIOLATIONS: {}\n",
+            c.audit.total_violations()
+        ));
+    }
+    out
+}
+
+/// One segment kind's side-by-side comparison in a critical-path diff.
+#[derive(Debug, Clone)]
+pub struct CritDeltaRow {
+    /// The segment kind compared.
+    pub kind: CritSegKind,
+    /// Cycles charged to the kind in A.
+    pub a_cycles: u64,
+    /// Cycles charged to the kind in B.
+    pub b_cycles: u64,
+    /// The kind's share of A's critical-path cycles.
+    pub a_share: f64,
+    /// The kind's share of B's critical-path cycles.
+    pub b_share: f64,
+}
+
+impl CritDeltaRow {
+    /// Share shift in percentage points (A − B).
+    pub fn share_delta(&self) -> f64 {
+        self.a_share - self.b_share
+    }
+}
+
+/// Compares two critical-path digests kind-by-kind, largest absolute
+/// share shift first — the edge-level LRP-vs-baseline view.
+pub fn crit_diff(a: &CritSummary, b: &CritSummary) -> Vec<CritDeltaRow> {
+    let (sa, sb) = (a.shares(), b.shares());
+    let mut rows: Vec<CritDeltaRow> = CritSegKind::ALL
+        .iter()
+        .map(|&kind| {
+            let k = kind.idx();
+            CritDeltaRow {
+                kind,
+                a_cycles: a.seg_cycles[k],
+                b_cycles: b.seg_cycles[k],
+                a_share: sa[k],
+                b_share: sb[k],
+            }
+        })
+        .collect();
+    rows.sort_by(|x, y| {
+        y.share_delta()
+            .abs()
+            .partial_cmp(&x.share_delta().abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(x.kind.name().cmp(y.kind.name()))
+    });
+    rows
+}
+
+/// Renders a differential critical-path profile.
+pub fn render_crit_diff(a: &ProfileSpec, b: &ProfileSpec, rows: &[CritDeltaRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "differential critical path: A = {} vs B = {} (share in percentage points)\n",
+        a.id(),
+        b.id()
+    ));
+    out.push_str(&format!(
+        "{:<16} {:>12} {:>8} {:>12} {:>8} {:>8}\n",
+        "segment", "A cycles", "A share", "B cycles", "B share", "delta"
+    ));
+    for r in rows.iter().filter(|r| r.a_cycles > 0 || r.b_cycles > 0) {
+        out.push_str(&format!(
+            "{:<16} {:>12} {:>7.1}% {:>12} {:>7.1}% {:>+7.1}pp\n",
+            r.kind.name(),
+            r.a_cycles,
+            r.a_share * 100.0,
+            r.b_cycles,
+            r.b_share * 100.0,
+            r.share_delta() * 100.0,
+        ));
+    }
+    out
 }
 
 /// Renders one run's blame tables: exact `(site, cause)` totals plus
@@ -671,5 +821,45 @@ mod tests {
         let plain = Sim::new(cfg.clone(), &trace).run();
         let profiled = run(&spec);
         assert_eq!(plain.stats, profiled.stats);
+    }
+
+    #[test]
+    fn critpath_render_reports_segments_and_clean_conservation() {
+        let spec = quick_spec(Structure::Queue, Mechanism::Lrp);
+        let r = run(&spec);
+        assert!(!r.crit.is_empty(), "LRP quick run must trace releases");
+        assert_eq!(r.crit.audit.total_violations(), 0);
+        let rendered = render_critpath(&spec, &r, 10);
+        assert!(rendered.contains("nvm_queue"), "{rendered}");
+        assert!(rendered.contains("conservation"), "{rendered}");
+        assert!(!rendered.contains("CONSERVATION VIOLATIONS"), "{rendered}");
+    }
+
+    #[test]
+    fn critpath_diff_orders_by_share_shift_and_shows_mechanism_signatures() {
+        let a = quick_spec(Structure::Queue, Mechanism::Lrp);
+        let b = quick_spec(Structure::Queue, Mechanism::Bb);
+        let (ra, rb) = (run(&a), run(&b));
+        // BB drains the store buffer at every release boundary; LRP
+        // defers, so barrier_drain cycles belong to B only.
+        assert_eq!(
+            ra.crit.seg_cycles[CritSegKind::BarrierDrain.idx()],
+            0,
+            "LRP issues no full-barrier drains"
+        );
+        let rows = crit_diff(&ra.crit, &rb.crit);
+        assert_eq!(rows.len(), CritSegKind::ALL.len());
+        for pair in rows.windows(2) {
+            assert!(
+                pair[0].share_delta().abs() >= pair[1].share_delta().abs(),
+                "rows sorted by |share shift|"
+            );
+        }
+        let rendered = render_crit_diff(&a, &b, &rows);
+        assert!(
+            rendered.contains("differential critical path"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("nvm_queue"), "{rendered}");
     }
 }

@@ -38,6 +38,7 @@ fn lrp_eval_help_documents_every_flag() {
             "trace-out",
             "metrics-out",
             "sample-every",
+            "no-critpath",
         ],
     );
 }
@@ -56,6 +57,7 @@ fn lrp_trace_help_documents_every_flag() {
             "trace-out",
             "metrics-out",
             "sample-every",
+            "no-critpath",
         ],
     );
 }
@@ -112,6 +114,7 @@ fn lrp_bench_help_documents_every_flag() {
             "window",
             "key-range",
             "read-pct",
+            "max-overhead",
         ],
     );
 }
@@ -119,12 +122,27 @@ fn lrp_bench_help_documents_every_flag() {
 #[test]
 fn lrp_bench_help_documents_the_serve_commands() {
     let help = help_output(env!("CARGO_BIN_EXE_lrp-bench"));
-    for cmd in ["serve", "serve-gate"] {
+    for cmd in ["serve", "serve-gate", "critpath-overhead"] {
         assert!(
             help.contains(&format!("lrp-bench {cmd}")),
             "lrp-bench --help mentions the {cmd} command:\n{help}"
         );
     }
+}
+
+#[test]
+fn lrp_profile_help_documents_the_critpath_commands() {
+    let help = help_output(env!("CARGO_BIN_EXE_lrp-profile"));
+    for cmd in ["critpath", "critpath-diff"] {
+        assert!(
+            help.contains(&format!("lrp-profile {cmd}")),
+            "lrp-profile --help mentions the {cmd} command:\n{help}"
+        );
+    }
+    assert!(
+        help.contains("3  critpath conservation violation"),
+        "lrp-profile --help documents exit 3:\n{help}"
+    );
 }
 
 #[test]

@@ -12,7 +12,7 @@
 use crate::isolation::{CellOutcome, CellRecord};
 use crate::matrix::MatrixSpec;
 use lrp_lfds::Structure;
-use lrp_obs::{BlameTable, Hist};
+use lrp_obs::{BlameTable, CritSummary, Hist};
 use lrp_sim::{Mechanism, NvmMode, Stats};
 use std::collections::HashMap;
 
@@ -81,6 +81,8 @@ pub struct MechSummary {
     pub ret_residency: Hist,
     /// All completed cells' blame tables merged.
     pub blame: BlameTable,
+    /// All completed cells' critical-path digests merged.
+    pub crit: CritSummary,
     /// Total I1–I4 audit violations (0 for a healthy mechanism).
     pub audit_violations: u64,
     /// Total RP violations (0 for a healthy mechanism).
@@ -248,6 +250,7 @@ fn summarize_mech(
         release_to_persist: Hist::new(),
         ret_residency: Hist::new(),
         blame: BlameTable::default(),
+        crit: CritSummary::default(),
         audit_violations: 0,
         rp_violations: 0,
         recovery_points: 0,
@@ -269,6 +272,7 @@ fn summarize_mech(
                 s.release_to_persist.merge(&result.release_to_persist);
                 s.ret_residency.merge(&result.ret_residency);
                 s.blame.merge(&result.blame);
+                s.crit.merge(&result.crit);
                 s.audit_violations += result.audit_violations;
                 s.rp_violations += result.rp_violations;
                 s.recovery_points += result.recovery_points;

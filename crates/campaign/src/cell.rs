@@ -5,7 +5,7 @@
 
 use crate::matrix::CellSpec;
 use lrp_lfds::WorkloadSpec;
-use lrp_obs::{BlameTable, Hist, RecorderConfig};
+use lrp_obs::{BlameTable, CritSummary, Hist, RecorderConfig};
 use lrp_recovery::{check_null_recovery, CrashPlan};
 use lrp_sim::{Mechanism, Sim, SimConfig, Stats};
 
@@ -42,6 +42,9 @@ pub struct CellResult {
     pub audit_checks: u64,
     /// I1–I4 audit observations where the invariant did not hold.
     pub audit_violations: u64,
+    /// Durability critical-path digest (per-segment cycles, folded
+    /// chains, C1/C2 conservation counters).
+    pub crit: CritSummary,
 }
 
 impl CellResult {
@@ -102,6 +105,7 @@ pub fn run_cell(spec: &CellSpec) -> CellResult {
         blame: obs.blame.clone(),
         audit_checks: obs.audit.total_checks(),
         audit_violations: obs.audit.total_violations(),
+        crit: obs.crit.clone().unwrap_or_default(),
         stats: run.stats,
         rp_checked,
         rp_violations,
@@ -125,6 +129,12 @@ mod tests {
             assert!(r.healthy(), "{}: {r:?}", spec.id());
             assert!(r.stats.cycles > 0);
             assert!(r.trace_events > 0);
+            // Critical-path conservation: one chain per traced release,
+            // segments summing to the measured latency, inside wall time.
+            assert_eq!(r.crit.audit.total_violations(), 0, "{}", spec.id());
+            assert_eq!(r.crit.path.count, r.release_to_persist.count);
+            assert_eq!(r.crit.path.sum, r.release_to_persist.sum);
+            assert!(r.crit.max_path <= r.stats.cycles);
             if spec.mechanism == Mechanism::Nop {
                 assert!(!r.rp_checked && !r.recovery_checked);
             } else {

@@ -24,8 +24,9 @@ use crate::matrix::{CellSpec, MatrixSpec};
 use crate::scheduler::{run_campaign, CampaignConfig};
 use lrp_lfds::Structure;
 use lrp_obs::blame::{blame_json, parse_blame};
+use lrp_obs::critpath::{crit_json, parse_crit};
 use lrp_obs::metrics::{hist_json, stats_json};
-use lrp_obs::{BlameTable, Hist};
+use lrp_obs::{BlameTable, CritSummary, Hist};
 use lrp_sim::{Mechanism, NvmMode, Stats};
 use std::io::{self, Write as _};
 use std::path::Path;
@@ -99,6 +100,7 @@ fn result_json(r: &CellResult) -> Json {
             ]),
         ),
         ("blame", blame_json(&r.blame)),
+        ("critpath", crit_json(&r.crit)),
         (
             "audit",
             Json::obj([
@@ -107,6 +109,15 @@ fn result_json(r: &CellResult) -> Json {
             ]),
         ),
     ])
+}
+
+/// Parses the `critpath` key; pre-critpath manifests lack it entirely,
+/// which parses as an empty digest.
+fn field_crit(doc: &Json) -> io::Result<CritSummary> {
+    match doc.get("critpath") {
+        Some(c) => parse_crit(c).map_err(bad_data),
+        None => Ok(CritSummary::default()),
+    }
 }
 
 /// Parses the `blame` key; pre-profiler manifests lack it entirely,
@@ -151,6 +162,7 @@ fn parse_result(doc: &Json) -> io::Result<CellResult> {
         release_to_persist: field_hist(doc, "release_to_persist")?,
         ret_residency: field_hist(doc, "ret_residency")?,
         blame: field_blame(doc)?,
+        crit: field_crit(doc)?,
         audit_checks: audit_u64("checks")?,
         audit_violations: audit_u64("violations")?,
     })
@@ -379,6 +391,7 @@ pub fn summary_json(matrix: &MatrixSpec, summary: &CampaignSummary) -> Json {
                             ]),
                         ),
                         ("blame", blame_json(&m.blame)),
+                        ("critpath", crit_json(&m.crit)),
                     ])
                 })
                 .collect();

@@ -207,6 +207,16 @@ pub trait PersistMech {
         false
     }
 
+    /// How the critical-path engine classifies the cycles a release
+    /// spends between its commit and a demand-free flush issue. Barrier
+    /// mechanisms (SB/BB) spend that window draining epochs and
+    /// override this to [`lrp_obs::CritSegKind::BarrierDrain`]; lazy
+    /// mechanisms defer by design, so the default is release-order
+    /// bookkeeping.
+    fn crit_drain_kind(&self) -> lrp_obs::CritSegKind {
+        lrp_obs::CritSegKind::ReleaseOrder
+    }
+
     /// Enables observability: the mechanism starts buffering
     /// [`lrp_obs::MechEvent`]s for the substrate to drain. Mechanisms
     /// without internal state to report keep the default no-op, so

@@ -252,7 +252,7 @@ mod tests {
         let mut r = Recorder::new(RecorderConfig::default(), 2);
         r.stall_begin(10, 0, StallCause::LoadMiss);
         r.stall_end(40, 0, StallCause::LoadMiss, 30, None, false);
-        r.flush_issue(50, 1, 0x40, FlushClass::Critical, 0);
+        r.flush_issue(50, 1, 0x40, FlushClass::Critical, 0, &[]);
         r.engine_state(50, 1, EngineState::Scan);
         r.engine_state(66, 1, EngineState::Flush);
         r.engine_state(70, 1, EngineState::Drain);

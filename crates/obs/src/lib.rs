@@ -50,6 +50,7 @@
 pub mod audit;
 pub mod blame;
 pub mod chrome;
+pub mod critpath;
 pub mod event;
 pub mod hist;
 pub mod json;
@@ -61,6 +62,7 @@ pub mod stats;
 
 pub use audit::{AuditCounter, InvariantAudit};
 pub use blame::{BlameCause, BlameCell, BlameDelta, BlameTable, LineKey, SpaceSaving};
+pub use critpath::{CritAudit, CritEdge, CritPath, CritSegKind, CritSummary, EvRef};
 pub use event::{EngineState, EventKind, MechEvent, TraceEvent};
 pub use hist::Hist;
 pub use json::Json;

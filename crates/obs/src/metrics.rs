@@ -177,6 +177,23 @@ pub fn hist_rows(report: &ObsReport) -> [(&'static str, &Hist); 3] {
     ]
 }
 
+/// One stderr warning per drained ring (never one per drop): prints
+/// nothing when `dropped` is zero, otherwise a single aggregate line
+/// naming the ring. Returns the number of per-drop warnings the single
+/// line stands in for — the dedup count recorded in the JSONL export.
+pub fn warn_ring_drops(ring: &str, dropped: u64) -> u64 {
+    if dropped == 0 {
+        return 0;
+    }
+    eprintln!(
+        "WARNING: {ring} ring dropped {dropped} event(s); \
+         raise its capacity for complete traces \
+         (histograms, audits, blame, and critical paths are computed \
+         online and stay exact)"
+    );
+    dropped.saturating_sub(1)
+}
+
 fn audit_json(report: &ObsReport) -> Json {
     let mut pairs = vec![("type", Json::Str("audit".to_string()))];
     for (name, c) in report.audit.rows() {
@@ -205,6 +222,12 @@ pub fn export_jsonl(report: &ObsReport, stats: &Stats) -> String {
         ("cores", Json::U64(report.ncores as u64)),
         ("events_recorded", Json::U64(report.events.len() as u64)),
         ("events_dropped", Json::U64(report.dropped)),
+        // Per-drop warnings coalesced into the single stderr line (see
+        // `warn_ring_drops`): drops minus the one warning printed.
+        (
+            "drop_warnings_deduped",
+            Json::U64(report.dropped.saturating_sub(1)),
+        ),
         ("ret_high_water", Json::U64(report.ret_high_water as u64)),
     ]);
     out.push_str(&header.to_compact());
@@ -239,6 +262,14 @@ pub fn export_jsonl(report: &ObsReport, stats: &Stats) -> String {
     }
     out.push_str(&audit_json(report).to_compact());
     out.push('\n');
+    if let Some(crit) = &report.crit {
+        let line = Json::obj([
+            ("type", Json::Str("critpath".to_string())),
+            ("critpath", crate::critpath::crit_json(crit)),
+        ]);
+        out.push_str(&line.to_compact());
+        out.push('\n');
+    }
     let blame = Json::obj([
         ("type", Json::Str("blame".to_string())),
         ("blame", crate::blame::blame_json(&report.blame)),
@@ -302,12 +333,15 @@ mod tests {
             RecorderConfig {
                 ring_capacity: 16,
                 sample_every: 100,
+                ..RecorderConfig::default()
             },
             2,
         );
         let stats = sample_stats();
-        r.flush_issue(10, 0, 0x40, FlushClass::Critical, 0);
+        r.release_committed(5, 9);
+        r.flush_issue(10, 0, 0x40, FlushClass::Critical, 0, &[9]);
         r.flush_ack(130, 0, 0x40);
+        r.persisted(130, &[9]);
         r.maybe_sample(150, &stats);
         let text = export_jsonl(&r.finish(1000, &stats), &stats);
         let mut types = Vec::new();
@@ -318,16 +352,60 @@ mod tests {
         assert_eq!(types[0], "obs-header");
         assert!(types.iter().filter(|t| *t == "interval").count() >= 2);
         assert_eq!(types.iter().filter(|t| *t == "hist").count(), 3);
-        assert_eq!(types[types.len() - 3], "audit");
+        assert_eq!(types[types.len() - 4], "audit");
+        assert_eq!(types[types.len() - 3], "critpath");
         assert_eq!(types[types.len() - 2], "blame");
         assert_eq!(types[types.len() - 1], "aggregate");
+    }
+
+    #[test]
+    fn critpath_line_round_trips_through_the_stream() {
+        let mut r = Recorder::new(RecorderConfig::summaries_only(), 1);
+        r.release_committed(50, 7);
+        r.flush_issue(80, 0, 0x40, FlushClass::Critical, 0, &[7]);
+        r.persisted(200, &[7]);
+        let report = r.finish(1000, &Stats::default());
+        let text = export_jsonl(&report, &Stats::default());
+        let line = text
+            .lines()
+            .find(|l| l.contains("\"type\":\"critpath\""))
+            .expect("critpath line present");
+        let doc = Json::parse(line).unwrap();
+        let back = crate::critpath::parse_crit(doc.get("critpath").unwrap()).unwrap();
+        assert_eq!(Some(back), report.crit);
+    }
+
+    #[test]
+    fn drop_dedup_count_is_drops_minus_the_one_warning() {
+        assert_eq!(warn_ring_drops("obs", 0), 0); // silent: nothing dropped
+        assert_eq!(warn_ring_drops("obs", 1), 0); // one warning for one drop
+        assert_eq!(warn_ring_drops("obs", 17), 16); // 16 duplicates deduped
+        let mut r = Recorder::new(
+            RecorderConfig {
+                ring_capacity: 1,
+                sample_every: 0,
+                ..RecorderConfig::default()
+            },
+            1,
+        );
+        for t in 0..5 {
+            r.stall_begin(t, 0, StallCause::LoadMiss);
+        }
+        let report = r.finish(10, &Stats::default());
+        let text = export_jsonl(&report, &Stats::default());
+        let header = Json::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(header.get("events_dropped").unwrap().as_u64(), Some(4));
+        assert_eq!(
+            header.get("drop_warnings_deduped").unwrap().as_u64(),
+            Some(3)
+        );
     }
 
     #[test]
     fn blame_line_round_trips_through_the_stream() {
         let mut r = Recorder::new(RecorderConfig::summaries_only(), 1);
         r.set_site_names(vec!["unknown".into(), "queue/enqueue".into()]);
-        r.flush_issue(10, 0, 0x40, FlushClass::Critical, 1);
+        r.flush_issue(10, 0, 0x40, FlushClass::Critical, 1, &[]);
         r.flush_ack(130, 0, 0x40);
         let report = r.finish(1000, &Stats::default());
         let text = export_jsonl(&report, &Stats::default());

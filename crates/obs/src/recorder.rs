@@ -9,6 +9,7 @@
 
 use crate::audit::InvariantAudit;
 use crate::blame::{BlameCause, BlameTable};
+use crate::critpath::{CritPath, CritSegKind, CritSummary};
 use crate::event::{EngineState, EventKind, EventRing, MechEvent, Time, TraceEvent};
 use crate::hist::Hist;
 use crate::series::{IntervalSample, Sampler};
@@ -26,6 +27,10 @@ pub struct RecorderConfig {
     /// Emit a time-series interval every this many cycles (`0` disables
     /// the time series).
     pub sample_every: u64,
+    /// Trace durability critical paths ([`crate::critpath`]). On by
+    /// default: the engine is online, bounded, and conservation-audited,
+    /// so every recorded run gets attribution for free.
+    pub critpath: bool,
 }
 
 impl Default for RecorderConfig {
@@ -33,6 +38,7 @@ impl Default for RecorderConfig {
         RecorderConfig {
             ring_capacity: 1 << 16,
             sample_every: 0,
+            critpath: true,
         }
     }
 }
@@ -45,6 +51,7 @@ impl RecorderConfig {
         RecorderConfig {
             ring_capacity: 0,
             sample_every: 0,
+            critpath: true,
         }
     }
 }
@@ -77,6 +84,8 @@ pub struct ObsReport {
     /// `OpSite` labels referenced by [`TraceEvent::site`] and the blame
     /// table (index 0 = unknown).
     pub site_names: Vec<String>,
+    /// Durability critical-path digest (`None` when tracing was off).
+    pub crit: Option<CritSummary>,
 }
 
 /// Outstanding flush issues awaiting their acks, oldest first.
@@ -111,6 +120,8 @@ pub struct Recorder {
     /// A RET-full drain was observed on this core and not yet consumed
     /// by a store-side stall: the next store-drain stall is RET blame.
     ret_full_pending: Vec<bool>,
+    /// Durability critical-path engine (`None` when disabled).
+    crit: Option<CritPath>,
 }
 
 impl Recorder {
@@ -134,6 +145,7 @@ impl Recorder {
             site_names: Vec::new(),
             core_site: vec![0; ncores as usize],
             ret_full_pending: vec![false; ncores as usize],
+            crit: cfg.critpath.then(CritPath::new),
         }
     }
 
@@ -146,6 +158,15 @@ impl Recorder {
     /// The substrate reports the site `core` is currently executing.
     pub fn set_core_site(&mut self, core: u32, site: u16) {
         self.core_site[core as usize] = site;
+    }
+
+    /// Installs the attached mechanism's classification for demand-free
+    /// flush-issue waits (barrier mechanisms spend them draining epochs;
+    /// lazy mechanisms defer by design). No-op when critpath is off.
+    pub fn set_crit_drain_kind(&mut self, kind: CritSegKind) {
+        if let Some(cp) = self.crit.as_mut() {
+            cp.set_drain_kind(kind);
+        }
     }
 
     fn push(&mut self, t: Time, core: u32, kind: EventKind) {
@@ -209,6 +230,11 @@ impl Recorder {
 
     /// A line flush was issued toward the NVM controllers on behalf of
     /// the op at `site` (the store that materialized the flush).
+    /// `covered` are the writes the flush carries; open critical-path
+    /// chains among them capture the issue as their interior milestone,
+    /// classified here: a synchronisation-demanded flush is a coherence
+    /// transfer, an unconsumed RET-full drain marks capacity pressure,
+    /// and anything else is the mechanism's drain kind.
     pub fn flush_issue(
         &mut self,
         t: Time,
@@ -216,7 +242,18 @@ impl Recorder {
         line: LineAddr,
         class: FlushClass,
         site: u16,
+        covered: &[EventId],
     ) {
+        if let Some(cp) = self.crit.as_mut() {
+            let kind = if matches!(class, FlushClass::Sync | FlushClass::Directory) {
+                CritSegKind::CoherenceXfer
+            } else if self.ret_full_pending[core as usize] {
+                CritSegKind::RetFull
+            } else {
+                cp.drain_kind()
+            };
+            cp.flush_issued(t, kind, covered);
+        }
         self.open_flush
             .entry((core, line))
             .or_default()
@@ -247,6 +284,9 @@ impl Recorder {
     /// `ev` identifies the write for the release-to-persist histogram.
     pub fn release_committed(&mut self, t: Time, ev: EventId) {
         self.release_commit.insert(ev, t);
+        if let Some(cp) = self.crit.as_mut() {
+            cp.release_committed(t, ev);
+        }
     }
 
     /// Writes `covered` just persisted; releases among them complete
@@ -256,6 +296,9 @@ impl Recorder {
             if let Some(committed) = self.release_commit.remove(ev) {
                 self.release_to_persist.record(t.saturating_sub(committed));
             }
+        }
+        if let Some(cp) = self.crit.as_mut() {
+            cp.persisted(t, covered);
         }
     }
 
@@ -333,6 +376,7 @@ impl Recorder {
             ret_high_water: self.ret_high_water,
             blame: self.blame,
             site_names: self.site_names,
+            crit: self.crit.map(|cp| cp.finish(now)),
         }
     }
 }
@@ -344,8 +388,8 @@ mod tests {
     #[test]
     fn flush_latency_matches_issue_to_ack() {
         let mut r = Recorder::new(RecorderConfig::default(), 2);
-        r.flush_issue(100, 0, 0x40, FlushClass::Critical, 0);
-        r.flush_issue(110, 0, 0x40, FlushClass::Background, 0);
+        r.flush_issue(100, 0, 0x40, FlushClass::Critical, 0, &[]);
+        r.flush_issue(110, 0, 0x40, FlushClass::Background, 0, &[]);
         r.flush_ack(220, 0, 0x40); // matches the t=100 issue
         r.flush_ack(300, 0, 0x40); // matches the t=110 issue
         let report = r.finish(400, &Stats::default());
@@ -358,7 +402,7 @@ mod tests {
     fn flush_blame_charges_the_issuing_site() {
         let mut r = Recorder::new(RecorderConfig::default(), 1);
         r.set_site_names(vec!["unknown".into(), "queue/enqueue/link-next".into()]);
-        r.flush_issue(100, 0, 0x40, FlushClass::Critical, 1);
+        r.flush_issue(100, 0, 0x40, FlushClass::Critical, 1, &[]);
         r.flush_ack(220, 0, 0x40);
         let report = r.finish(400, &Stats::default());
         assert_eq!(
@@ -472,9 +516,63 @@ mod tests {
     }
 
     #[test]
+    fn critpath_classifies_sync_ret_and_drain_issues() {
+        use crate::critpath::CritSegKind;
+        let mut r = Recorder::new(RecorderConfig::default(), 1);
+        r.set_crit_drain_kind(CritSegKind::BarrierDrain);
+        // Sync-class issue: the pre-issue wait is a coherence transfer.
+        r.release_committed(0, 1);
+        r.flush_issue(20, 0, 0x40, FlushClass::Sync, 0, &[1]);
+        r.persisted(50, &[1]);
+        // Unconsumed RET-full drain: capacity pressure.
+        r.mech_events(
+            60,
+            0,
+            &[MechEvent::RetDrain {
+                line: 0x80,
+                epoch: 1,
+                full: true,
+            }],
+        );
+        r.release_committed(60, 2);
+        r.flush_issue(70, 0, 0x80, FlushClass::Critical, 0, &[2]);
+        r.persisted(100, &[2]);
+        // Plain critical issue: the mechanism's drain kind.
+        r.ret_full_pending[0] = false;
+        r.release_committed(100, 3);
+        r.flush_issue(130, 0, 0xC0, FlushClass::Critical, 0, &[3]);
+        r.persisted(200, &[3]);
+        let report = r.finish(300, &Stats::default());
+        let crit = report.crit.expect("critpath on by default");
+        assert_eq!(crit.paths(), 3);
+        assert_eq!(crit.seg_cycles[CritSegKind::CoherenceXfer.idx()], 20);
+        assert_eq!(crit.seg_cycles[CritSegKind::RetFull.idx()], 10);
+        assert_eq!(crit.seg_cycles[CritSegKind::BarrierDrain.idx()], 30);
+        assert_eq!(crit.seg_cycles[CritSegKind::NvmQueue.idx()], 30 + 30 + 70);
+        assert_eq!(crit.audit.total_violations(), 0);
+        // Conservation against the independent latency histogram.
+        assert_eq!(crit.path.sum, report.release_to_persist.sum);
+        assert_eq!(crit.path.count, report.release_to_persist.count);
+    }
+
+    #[test]
+    fn critpath_off_yields_no_summary_and_same_metrics() {
+        let cfg = RecorderConfig {
+            critpath: false,
+            ..RecorderConfig::default()
+        };
+        let mut r = Recorder::new(cfg, 1);
+        r.release_committed(50, 7);
+        r.persisted(170, &[7]);
+        let report = r.finish(500, &Stats::default());
+        assert!(report.crit.is_none());
+        assert_eq!(report.release_to_persist.count, 1);
+    }
+
+    #[test]
     fn summaries_only_keeps_no_events_but_all_metrics() {
         let mut r = Recorder::new(RecorderConfig::summaries_only(), 1);
-        r.flush_issue(0, 0, 0x40, FlushClass::Sync, 0);
+        r.flush_issue(0, 0, 0x40, FlushClass::Sync, 0, &[]);
         r.flush_ack(120, 0, 0x40);
         let report = r.finish(200, &Stats::default());
         assert!(report.events.is_empty());

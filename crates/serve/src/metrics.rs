@@ -12,7 +12,7 @@
 
 use crate::shard::ShardCounters;
 use lrp_obs::metrics::{hist_json, stats_json, METRICS_VERSION};
-use lrp_obs::{GaugeSample, Hist, Json, Stats};
+use lrp_obs::{CritSegKind, CritSummary, GaugeSample, Hist, Json, Stats};
 
 /// Names for the four [`lrp_obs::GAUGE_COUNTERS`] slots the serving
 /// layer uses, in slot order.
@@ -83,6 +83,26 @@ pub struct ShardTelemetry {
     pub flight_dropped: u64,
 }
 
+/// The compact per-shard critical-path digest inside the
+/// `serve-metrics` snapshot: per-segment cycle totals plus the
+/// conservation verdict (full histograms stay in the JSONL export).
+pub fn crit_totals_json(crit: &CritSummary) -> Json {
+    let mut segs = Vec::with_capacity(CritSegKind::ALL.len());
+    for kind in CritSegKind::ALL {
+        segs.push((kind.name(), Json::U64(crit.seg_cycles[kind.idx()])));
+    }
+    Json::obj([
+        ("paths", Json::U64(crit.paths())),
+        ("cycles", Json::U64(crit.total_cycles())),
+        ("max_path", Json::U64(crit.max_path)),
+        ("segments", Json::obj(segs)),
+        (
+            "conservation_violations",
+            Json::U64(crit.audit.total_violations()),
+        ),
+    ])
+}
+
 /// One shard's entry in the `serve-metrics` snapshot.
 #[allow(clippy::too_many_arguments)]
 pub fn metrics_shard_json(
@@ -95,6 +115,7 @@ pub fn metrics_shard_json(
     ack_latency: &Hist,
     durable_ack_latency: &Hist,
     telem: &ShardTelemetry,
+    crit: &CritSummary,
 ) -> Json {
     let mut totals = Vec::with_capacity(GAUGE_SLOT_NAMES.len());
     for (i, name) in GAUGE_SLOT_NAMES.iter().enumerate() {
@@ -118,6 +139,7 @@ pub fn metrics_shard_json(
                 ("flight_dropped", Json::U64(telem.flight_dropped)),
             ]),
         ),
+        ("critpath", crit_totals_json(crit)),
     ])
 }
 
@@ -221,5 +243,32 @@ mod tests {
         assert_eq!(counts.get("shed").unwrap().as_u64(), Some(3));
         assert_eq!(counts.get("completed").unwrap().as_u64(), Some(0));
         assert_eq!(parsed.get("queue_high").unwrap().as_u64(), Some(9));
+    }
+
+    #[test]
+    fn shard_metrics_entry_names_every_critpath_segment() {
+        let doc = metrics_shard_json(
+            0,
+            &ShardCounters::default(),
+            12,
+            0,
+            &[0; 4],
+            0.0,
+            &Hist::new(),
+            &Hist::new(),
+            &ShardTelemetry::default(),
+            &CritSummary::default(),
+        );
+        let parsed = Json::parse(&doc.to_compact()).unwrap();
+        let crit = parsed.get("critpath").unwrap();
+        assert_eq!(crit.get("paths").unwrap().as_u64(), Some(0));
+        assert_eq!(
+            crit.get("conservation_violations").unwrap().as_u64(),
+            Some(0)
+        );
+        let segs = crit.get("segments").unwrap();
+        for kind in CritSegKind::ALL {
+            assert_eq!(segs.get(kind.name()).unwrap().as_u64(), Some(0));
+        }
     }
 }

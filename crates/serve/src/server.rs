@@ -234,6 +234,9 @@ struct Snapshot {
     dur_ack_hist: Hist,
     flight_events: u64,
     flight_dropped: u64,
+    /// Merged durability critical-path digest (empty without a
+    /// critpath-tracing recorder).
+    crit: lrp_obs::CritSummary,
 }
 
 struct Shared {
@@ -792,6 +795,7 @@ fn metrics_reply(shared: &Arc<Shared>) -> Json {
             &snap.ack_hist,
             &snap.dur_ack_hist,
             &telem,
+            &snap.crit,
         ));
     }
     let throughput = if uptime_ms > 0 {
@@ -1144,6 +1148,7 @@ fn publish(
         dur_ack_hist: dur_ack_hist.clone(),
         flight_events: flight.len() as u64,
         flight_dropped: flight.dropped(),
+        crit: shard.crit.clone(),
     };
 }
 

@@ -29,7 +29,7 @@ use lrp_lfds::skiplist::SkipList;
 use lrp_lfds::{validate_image, MemImage, Recovered, Structure};
 use lrp_model::spec::PersistSchedule;
 use lrp_model::{OpKind, ThreadId, Trace};
-use lrp_obs::{Hist, ObsReport, RecorderConfig, Stats};
+use lrp_obs::{CritSummary, Hist, ObsReport, RecorderConfig, Stats};
 use lrp_recovery::crash_restart_random;
 use lrp_sim::{Mechanism, NvmMode, Sim, SimConfig};
 use std::collections::BTreeSet;
@@ -219,6 +219,9 @@ pub struct Shard {
     /// Merged observability histograms (flush-to-ack,
     /// release-to-persist, RET residency) when a recorder is attached.
     pub hists: [Hist; 3],
+    /// Merged durability critical-path digest across all batches (empty
+    /// unless a recorder with critpath tracing is attached).
+    pub crit: CritSummary,
     last_breakdown: BatchBreakdown,
 }
 
@@ -242,6 +245,7 @@ impl Shard {
             counters: ShardCounters::default(),
             stats: Stats::default(),
             hists: [Hist::new(), Hist::new(), Hist::new()],
+            crit: CritSummary::default(),
             last_breakdown: BatchBreakdown::default(),
         }
     }
@@ -270,6 +274,9 @@ impl Shard {
         if let Some(report) = obs {
             for (i, (_, h)) in lrp_obs::metrics::hist_rows(report).iter().enumerate() {
                 self.hists[i].merge(h);
+            }
+            if let Some(crit) = &report.crit {
+                self.crit.merge(crit);
             }
             self.counters.obs_dropped += report.dropped;
         }

@@ -559,6 +559,9 @@ impl Sim {
         }
         let mut r = Recorder::new(cfg, self.l1s.len() as u32);
         r.set_site_names(self.site_names.clone());
+        if let Some(l1) = self.l1s.first() {
+            r.set_crit_drain_kind(l1.mech.crit_drain_kind());
+        }
         self.recorder = Some(r);
         self
     }
@@ -1308,7 +1311,7 @@ impl Sim {
         self.stats.record_flush(class, desc.covered.len());
         let now = self.now;
         if let Some(r) = self.recorder.as_mut() {
-            r.flush_issue(now, c as u32, desc.line, class, desc.site);
+            r.flush_issue(now, c as u32, desc.line, class, desc.site, &desc.covered);
         }
         self.l1s[c].seq.pending += 1;
         let n = self.nvm_of(desc.line);
