@@ -22,10 +22,11 @@
 
 use lrp_bench::alloc_count::CountingAlloc;
 use lrp_bench::cli::Cli;
+use lrp_bench::crashfuzz::{self, CrashFuzzSpec};
 use lrp_bench::host::{self, HostSpec};
 use lrp_bench::profile::render_gate;
 use lrp_bench::serve_bench::{self, ServeBenchSpec};
-use lrp_lfds::Structure;
+use lrp_lfds::{KeyDist, Structure};
 use lrp_obs::Json;
 use lrp_sim::{Mechanism, NvmMode};
 
@@ -46,7 +47,10 @@ const USAGE: &str = "usage:\n  \
     [--max-regression F] [--json-out FILE]\n  \
     lrp-bench critpath-overhead [--smoke] [--structures a,b,..]\n                 \
     [--mechs a,b,..] [--mode M] [--threads N] [--ops N] [--size N]\n                 \
-    [--seed N] [--samples N] [--max-overhead F] [--json-out FILE]\n\n\
+    [--seed N] [--samples N] [--max-overhead F] [--json-out FILE]\n  \
+    lrp-bench crash-fuzz [--smoke] [--trials N] [--mechs a,b,..]\n                 \
+    [--dists uniform,zipfian] [--structures S] [--key-range N]\n                 \
+    [--batch N] [--warm N] [--seed N] [--json-out FILE]\n\n\
     defaults:\n  \
     host runs the full matrix: all five structures x nop,sb,bb,lrp\n                 \
     (--threads 4 --ops 64 --size 128 --seed 1 --samples 5)\n  \
@@ -63,12 +67,18 @@ const USAGE: &str = "usage:\n  \
     crash-restart (client-observed recovery time)\n                 \
     (--shards 2 --conns 4 --requests 1200 --window 16)\n  \
     --max-overhead F   critpath-overhead: allowed fractional ops/cycle\n                     \
-    delta from tracing (default 0.02)\n\n\
+    delta from tracing (default 0.02)\n  \
+    crash-fuzz crashes a shard at random persist points, then resolves\n  \
+    every uncertain op through the recovered slot table and audits the\n  \
+    exactly-once guarantees (no duplicate, no lost durably-acked write)\n                 \
+    (default: lrp,sb x uniform,zipfian x 50 trials = 200 crashes;\n                 \
+    --smoke runs 5 trials per cell; --trials N sets trials per cell)\n\n\
     exit codes:\n  \
     0  success (gates: no cell regressed beyond the allowed factor,\n     \
     critpath-overhead: tracing stayed within the budget)\n  \
     1  gate regression detected, or a file read/write/parse error\n  \
-    2  usage error (unknown flag or command, missing or invalid value)";
+    2  usage error (unknown flag or command, missing or invalid value)\n  \
+    4  crash-fuzz found an exactly-once violation";
 
 fn main() {
     let mut cli = Cli::from_env(USAGE);
@@ -91,9 +101,15 @@ fn main() {
     let current: Option<String> = cli.opt("current");
     let max_regression: Option<f64> = cli.opt_parse("max-regression");
     let max_overhead: f64 = cli.opt_parse("max-overhead").unwrap_or(0.02);
+    let trials: Option<u64> = cli.opt_parse("trials");
+    let dists: Option<Vec<KeyDist>> = cli.opt_list("dists");
+    let batch: Option<usize> = cli.opt_parse("batch");
+    let warm: Option<usize> = cli.opt_parse("warm");
     let json_out: Option<String> = cli.opt("json-out");
     let pos = cli.positionals(1, 1);
 
+    let fuzz_structures = structures.clone();
+    let fuzz_mechs = mechs.clone();
     let host_spec = move || {
         let mut spec = if smoke {
             HostSpec::smoke()
@@ -257,6 +273,59 @@ fn main() {
             print!("{}", host::render_overhead(&cells, &verdict, max_overhead));
             if !verdict.pass() {
                 std::process::exit(1);
+            }
+        }
+        "crash-fuzz" => {
+            let mut spec = if smoke {
+                CrashFuzzSpec::smoke()
+            } else {
+                CrashFuzzSpec::full()
+            };
+            if let Some(v) = fuzz_structures {
+                match v.as_slice() {
+                    [s] => spec.structure = *s,
+                    _ => cli.fail("crash-fuzz takes exactly one --structures entry"),
+                }
+            }
+            if let Some(v) = fuzz_mechs {
+                spec.mechs = v;
+            }
+            if let Some(v) = dists {
+                spec.dists = v;
+            }
+            if let Some(v) = trials {
+                spec.trials = v.max(1);
+            }
+            if let Some(v) = key_range {
+                spec.key_range = v.max(1);
+            }
+            if let Some(v) = batch {
+                spec.batch = v.max(1);
+            }
+            if let Some(v) = warm {
+                spec.warm_batches = v;
+            }
+            if let Some(v) = seed {
+                spec.seed = v;
+            }
+            let report = crashfuzz::run_crash_fuzz(&spec, |cell| {
+                eprintln!(
+                    "  {:<6} {:<8} {} trials, {} resolved Done, {} retried, {} violations",
+                    cell.mech,
+                    cell.dist,
+                    cell.trials,
+                    cell.resolved_done,
+                    cell.retried,
+                    cell.violations
+                );
+            });
+            print!("{}", crashfuzz::render_report(&report));
+            if let Some(out) = &json_out {
+                write_out(out, &crashfuzz::report_json(&spec, &report).to_pretty());
+                eprintln!("wrote crash-fuzz report to {out}");
+            }
+            if !report.pass() {
+                std::process::exit(4);
             }
         }
         other => cli.fail(format!("unknown command {other:?}")),

@@ -26,7 +26,8 @@ const USAGE: &str = "usage:\n  \
     [--batch-max N] [--batch-wait-ms N] [--queue-depth N]\n            \
     [--metrics-every-ms N] [--metrics-out FILE] [--port-file FILE]\n            \
     [--trace-out FILE] [--span-cap N]\n            \
-    [--flight-dir DIR] [--flight-cap N] [--record]\n\n\
+    [--flight-dir DIR] [--flight-cap N] [--record]\n            \
+    [--clients N] [--ring N] [--no-detect]\n\n\
     defaults:\n  \
     --bind 127.0.0.1:0   (ephemeral port; the bound address goes to\n                        \
     stderr and, with --port-file, to that file)\n  \
@@ -41,7 +42,13 @@ const USAGE: &str = "usage:\n  \
     --flight-dir DIR   dump each shard's flight-recorder ring as JSONL\n                     \
     into DIR on every crash-restart\n  \
     --flight-cap N     flight-recorder events per shard (default 256)\n  \
-    --record       attach the event recorder (summaries only)\n\n\
+    --record       attach the event recorder (summaries only)\n  \
+    --clients N    slot-table client rows per shard (default 64); a client\n                 \
+    id's row is id mod N, so keep N above the live client count\n  \
+    --ring N       slots per client row (default 32); must cover a client's\n                 \
+    in-flight window or recycled slots lose resolvability\n  \
+    --no-detect    disable the detectable-op slot table: Resolve answers\n                 \
+    not-started for every rid (at-least-once serving)\n\n\
     the server runs until a client sends Shutdown (lrp-load --shutdown)\n\n\
     exit codes:\n  \
     0  clean shutdown, durability contract held\n  \
@@ -74,6 +81,9 @@ fn main() {
     let flight_dir: Option<String> = cli.opt("flight-dir");
     let flight_cap = cli.opt_parse("flight-cap").unwrap_or(256usize);
     let record = cli.flag("record");
+    let clients: Option<u64> = cli.opt_parse("clients");
+    let ring: Option<u64> = cli.opt_parse("ring");
+    let no_detect = cli.flag("no-detect");
     cli.positionals(0, 0);
 
     let structure = Structure::from_name(&structure_name)
@@ -111,6 +121,27 @@ fn main() {
     shard.audit_samples = audit_samples;
     if record {
         shard.recorder = Some(RecorderConfig::summaries_only());
+    }
+    if no_detect {
+        if clients.is_some() || ring.is_some() {
+            cli.fail("--no-detect conflicts with --clients/--ring");
+        }
+        shard.detect = None;
+    } else if clients.is_some() || ring.is_some() {
+        let mut spec = shard.detect.unwrap_or_default();
+        if let Some(c) = clients {
+            if c == 0 {
+                cli.fail("--clients must be at least 1");
+            }
+            spec.clients = c;
+        }
+        if let Some(r) = ring {
+            if r == 0 {
+                cli.fail("--ring must be at least 1");
+            }
+            spec.ring = r;
+        }
+        shard.detect = Some(spec);
     }
     let mut cfg = ServerConfig::new(shard);
     cfg.bind = bind;

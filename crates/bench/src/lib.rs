@@ -17,6 +17,7 @@
 
 pub mod alloc_count;
 pub mod cli;
+pub mod crashfuzz;
 pub mod experiments;
 pub mod host;
 pub mod microbench;

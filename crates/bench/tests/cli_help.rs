@@ -115,6 +115,10 @@ fn lrp_bench_help_documents_every_flag() {
             "key-range",
             "read-pct",
             "max-overhead",
+            "trials",
+            "dists",
+            "batch",
+            "warm",
         ],
     );
 }
@@ -122,12 +126,16 @@ fn lrp_bench_help_documents_every_flag() {
 #[test]
 fn lrp_bench_help_documents_the_serve_commands() {
     let help = help_output(env!("CARGO_BIN_EXE_lrp-bench"));
-    for cmd in ["serve", "serve-gate", "critpath-overhead"] {
+    for cmd in ["serve", "serve-gate", "critpath-overhead", "crash-fuzz"] {
         assert!(
             help.contains(&format!("lrp-bench {cmd}")),
             "lrp-bench --help mentions the {cmd} command:\n{help}"
         );
     }
+    assert!(
+        help.contains("4  crash-fuzz found an exactly-once violation"),
+        "lrp-bench --help documents exit 4:\n{help}"
+    );
 }
 
 #[test]
@@ -172,6 +180,9 @@ fn lrp_serve_help_documents_every_flag() {
             "flight-dir",
             "flight-cap",
             "record",
+            "clients",
+            "ring",
+            "no-detect",
         ],
     );
 }

@@ -65,6 +65,21 @@ impl PersistDiscipline {
     pub fn guarantees_dl(self) -> bool {
         !matches!(self, PersistDiscipline::Unconstrained)
     }
+
+    /// Whether a *release* store is guaranteed to persist no earlier
+    /// than the plain stores that precede it in program order.
+    ///
+    /// This is the soundness condition for detectable-operation stamps
+    /// (`lrp-detect`): a slot record is written payload-first with the
+    /// request-id word last via a release store, so under any discipline
+    /// that orders program-order-earlier writes before a release
+    /// ("stamp durable ⇒ payload durable"), a recovered stamp proves
+    /// the whole record — and, via the same release edge, the operation
+    /// effect it checkpoints — reached NVM. NOP promises nothing, so a
+    /// recovered stamp there is only a hint.
+    pub fn orders_release_stamps(self) -> bool {
+        !matches!(self, PersistDiscipline::Unconstrained)
+    }
 }
 
 impl std::fmt::Display for PersistDiscipline {
@@ -93,6 +108,16 @@ mod tests {
                 d != PersistDiscipline::Unconstrained,
                 "{d}"
             );
+        }
+    }
+
+    #[test]
+    fn stamp_soundness_tracks_dl() {
+        // A discipline strong enough for durable linearizability orders
+        // plain writes before a later release store, and vice versa: the
+        // two predicates must agree for every current discipline.
+        for d in PersistDiscipline::ALL {
+            assert_eq!(d.orders_release_stamps(), d.guarantees_dl(), "{d}");
         }
     }
 }

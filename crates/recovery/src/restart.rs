@@ -18,10 +18,11 @@
 
 use crate::check::{check_null_recovery, RecoveryReport};
 use crate::crash::{nvm_at, CrashPlan};
+use lrp_detect::{read_table, table_roots, Resolver, SlotTable};
 use lrp_exec::Xorshift64;
 use lrp_lfds::{validate_image, MemImage, Recovered, Structure, ValidationError};
 use lrp_model::spec::PersistSchedule;
-use lrp_model::Trace;
+use lrp_model::{Addr, Trace};
 
 /// Everything a shard needs to resume after a simulated crash.
 #[derive(Debug, Clone)]
@@ -86,6 +87,47 @@ pub fn crash_restart(
         recovered,
         audit,
     }
+}
+
+/// The detectable-operation state rebuilt alongside a crash-restart:
+/// the slot table recovered from the crash-cut image plus the
+/// [`Resolver`] that answers post-crash `Resolve` requests.
+#[derive(Debug, Clone)]
+pub struct RestartResolution {
+    /// Coherently-recovered slot records (the new committed stamps).
+    pub table: SlotTable,
+    /// The deterministic rid → verdict map built from them.
+    pub resolver: Resolver,
+    /// Slots whose stamp word survived but whose record did not decode.
+    /// A release-ordering discipline keeps this at zero.
+    pub torn: u64,
+}
+
+/// Rebuilds the detectable-operation resolver from a crash-cut (or
+/// commit) image. Returns `None` when the trace registers no slot
+/// table; when `sound` is false (the mechanism's discipline does not
+/// persist-order release stamps after the writes they certify), the
+/// recovered records are reported but the resolver is left empty —
+/// every uncertain op resolves `NotStarted` and serving degrades
+/// gracefully to at-least-once, which is all such a discipline can
+/// honestly promise.
+pub fn rebuild_resolution(
+    roots: &[(String, Addr)],
+    image: &MemImage,
+    sound: bool,
+) -> Option<RestartResolution> {
+    let (base, spec) = table_roots(roots)?;
+    let scan = read_table(image, base, spec);
+    let resolver = if sound {
+        Resolver::from_table(&scan.table)
+    } else {
+        Resolver::empty()
+    };
+    Some(RestartResolution {
+        table: scan.table,
+        resolver,
+        torn: scan.torn,
+    })
 }
 
 /// One-call form: sample a random crash point, then restart at it.
@@ -171,6 +213,41 @@ mod tests {
         for k in initial.difference(&touched) {
             assert!(recovered.contains(k), "untouched initial key {k} lost");
         }
+    }
+
+    #[test]
+    fn resolution_rebuild_reads_stamps_and_respects_soundness() {
+        use lrp_detect::{SlotKind, SlotRecord, SlotSpec, ROOT_BASE, ROOT_CLIENTS, ROOT_RING};
+        let spec = SlotSpec {
+            clients: 2,
+            ring: 2,
+        };
+        let base = 0x8000u64;
+        let rec = SlotRecord {
+            rid: (1 << 48) | 5,
+            key: 9,
+            kind: SlotKind::Put,
+            applied: true,
+            batch: 3,
+        };
+        let a = spec.record_addr(base, spec.index_for(rec.rid));
+        let image = MemImage::new([(a, rec.rid), (a + 8, rec.key), (a + 16, rec.meta())]);
+        let roots = vec![
+            (ROOT_BASE.to_string(), base),
+            (ROOT_CLIENTS.to_string(), spec.clients),
+            (ROOT_RING.to_string(), spec.ring),
+        ];
+        let r = rebuild_resolution(&roots, &image, true).unwrap();
+        assert_eq!(r.torn, 0);
+        assert_eq!(r.table.occupied(), 1);
+        assert!(r.resolver.resolve(rec.rid).is_done());
+        // An unsound discipline surfaces the records but refuses to
+        // resolve from them.
+        let lax = rebuild_resolution(&roots, &image, false).unwrap();
+        assert_eq!(lax.table.occupied(), 1);
+        assert!(!lax.resolver.resolve(rec.rid).is_done());
+        // No registered table: nothing to rebuild.
+        assert!(rebuild_resolution(&[], &image, true).is_none());
     }
 
     #[test]

@@ -74,6 +74,21 @@ pub enum Request {
         /// Client-assigned id echoed in the reply.
         id: u64,
     },
+    /// Detectable-operation query: did the mutation the client issued
+    /// as request `rid` against `key` durably take effect? Routed by
+    /// `key` to the owning shard and answered from its recovered slot
+    /// table, so a client holding an uncertain outcome (`Crashed` or a
+    /// non-durable ack) can decide between *retry* and *already done*
+    /// without risking a duplicate effect.
+    Resolve {
+        /// Client-assigned id echoed in the reply (for this frame, not
+        /// the op being resolved).
+        id: u64,
+        /// Key the uncertain mutation targeted (routing only).
+        key: u64,
+        /// The request id of the uncertain mutation.
+        rid: u64,
+    },
 }
 
 /// A server → client message.
@@ -151,6 +166,28 @@ pub enum Response {
         id: u64,
         /// Human-readable cause.
         msg: String,
+    },
+    /// Reply to [`Request::Resolve`]: the deterministic verdict for an
+    /// uncertain mutation. `done = false` means no durable stamp exists
+    /// for `rid` — the op is **not started** as far as durable state is
+    /// concerned and the client must retry to make it happen; `done =
+    /// true` means the stamp (and with it, under a release-ordering
+    /// discipline, the effect) persisted, and `applied`/`key`/`batch`
+    /// replay the recorded outcome.
+    Resolved {
+        /// Echo of the request id.
+        id: u64,
+        /// The uncertain mutation's request id, echoed back.
+        rid: u64,
+        /// A durable stamp exists: the op completed before the crash.
+        done: bool,
+        /// Recorded outcome (`false` for set-semantics no-ops; 0 when
+        /// `done` is false).
+        applied: bool,
+        /// Key recorded in the stamp (0 when `done` is false).
+        key: u64,
+        /// Shard batch recorded in the stamp (0 when `done` is false).
+        batch: u64,
     },
 }
 
@@ -245,6 +282,7 @@ const OP_STATS: u8 = 0x05;
 const OP_CRASH: u8 = 0x06;
 const OP_SHUTDOWN: u8 = 0x07;
 const OP_METRICS: u8 = 0x08;
+const OP_RESOLVE: u8 = 0x09;
 
 const OP_VALUE: u8 = 0x81;
 const OP_DONE: u8 = 0x82;
@@ -254,6 +292,7 @@ const OP_PONG: u8 = 0x85;
 const OP_REPORT: u8 = 0x86;
 const OP_SHUTTING_DOWN: u8 = 0x87;
 const OP_ERROR: u8 = 0x88;
+const OP_RESOLVED: u8 = 0x89;
 
 /// Encodes a request payload (no length prefix).
 pub fn encode_request(req: &Request) -> Vec<u8> {
@@ -295,6 +334,12 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out.push(OP_METRICS);
             out.extend_from_slice(&id.to_le_bytes());
         }
+        Request::Resolve { id, key, rid } => {
+            out.push(OP_RESOLVE);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&key.to_le_bytes());
+            out.extend_from_slice(&rid.to_le_bytes());
+        }
     }
     out
 }
@@ -316,6 +361,11 @@ pub fn decode_request(buf: &[u8]) -> Result<Request, WireError> {
         }),
         OP_SHUTDOWN => Ok(Request::Shutdown { id }),
         OP_METRICS => Ok(Request::Metrics { id }),
+        OP_RESOLVE => Ok(Request::Resolve {
+            id,
+            key: r.u64()?,
+            rid: r.u64()?,
+        }),
         other => Err(WireError::BadOpcode(other)),
     }
 }
@@ -388,6 +438,22 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.extend_from_slice(&id.to_le_bytes());
             put_string(&mut out, msg);
         }
+        Response::Resolved {
+            id,
+            rid,
+            done,
+            applied,
+            key,
+            batch,
+        } => {
+            out.push(OP_RESOLVED);
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&rid.to_le_bytes());
+            out.push(*done as u8);
+            out.push(*applied as u8);
+            out.extend_from_slice(&key.to_le_bytes());
+            out.extend_from_slice(&batch.to_le_bytes());
+        }
     }
     out
 }
@@ -433,6 +499,14 @@ pub fn decode_response(buf: &[u8]) -> Result<Response, WireError> {
             id,
             msg: r.string()?,
         }),
+        OP_RESOLVED => Ok(Response::Resolved {
+            id,
+            rid: r.u64()?,
+            done: r.u8()? != 0,
+            applied: r.u8()? != 0,
+            key: r.u64()?,
+            batch: r.u64()?,
+        }),
         other => Err(WireError::BadOpcode(other)),
     }
 }
@@ -447,7 +521,8 @@ pub fn request_id(req: &Request) -> u64 {
         | Request::Stats { id }
         | Request::Crash { id, .. }
         | Request::Shutdown { id }
-        | Request::Metrics { id } => *id,
+        | Request::Metrics { id }
+        | Request::Resolve { id, .. } => *id,
     }
 }
 
@@ -461,7 +536,8 @@ pub fn response_id(resp: &Response) -> u64 {
         | Response::Pong { id }
         | Response::Report { id, .. }
         | Response::ShuttingDown { id }
-        | Response::Error { id, .. } => *id,
+        | Response::Error { id, .. }
+        | Response::Resolved { id, .. } => *id,
     }
 }
 

@@ -47,4 +47,6 @@ pub use codec::{Request, Response, WireError, MAX_FRAME};
 pub use flight::{FlightEvent, FlightRecorder};
 pub use load::{probe, run_load, Client, LoadSpec, LoadSummary};
 pub use server::{route, Bind, Server, ServerConfig, ServerReport};
-pub use shard::{BatchBreakdown, CrashOutcome, KvOp, KvResult, Shard, ShardConfig, ShardCounters};
+pub use shard::{
+    BatchBreakdown, CrashOutcome, KvOp, KvResult, Shard, ShardConfig, ShardCounters, ShardReq,
+};

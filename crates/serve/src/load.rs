@@ -18,6 +18,16 @@
 //!
 //! Mid-run it can also inject a shard crash (after a target number of
 //! durable acks) and capture the server's restart verdict.
+//!
+//! **Exactly-once resolution.** Mutations whose outcome is uncertain (a
+//! non-durable ack, or a `Crashed` reply) are not blindly retried:
+//! the client sends a `Resolve` for the original request id first. A
+//! `done` verdict means the op's checkpoint stamp — and therefore, under
+//! a release-ordering discipline, its effect — is durable, so the retry
+//! is skipped (`duplicates_avoided`); a not-started verdict makes the
+//! retry safe. Request ids double as detectable-operation rids, so each
+//! connection brands its ids with `(conn + 1) << 48` to claim its own
+//! slot ring on every shard.
 
 use crate::codec::{
     decode_response, encode_request, read_frame, response_id, write_frame, Request, Response,
@@ -209,6 +219,15 @@ pub struct LoadSummary {
     pub backoff_ms: u64,
     /// `Crashed` replies (in flight during a shard crash).
     pub crashed: u64,
+    /// `Resolve` verdicts that found a durable stamp: the op completed,
+    /// no retry needed.
+    pub resolved_done: u64,
+    /// `Resolve` verdicts with no durable stamp: retry is safe.
+    pub resolved_not_started: u64,
+    /// Retries skipped because resolution proved the op already durably
+    /// executed — each one a duplicate effect a blind-retry client
+    /// would have risked.
+    pub duplicates_avoided: u64,
     /// `Error` replies or transport failures.
     pub errors: u64,
     /// Wall-clock of the load phase, milliseconds.
@@ -271,6 +290,9 @@ impl LoadSummary {
             ("backoffs", Json::U64(self.backoffs)),
             ("backoff_ms", Json::U64(self.backoff_ms)),
             ("crashed", Json::U64(self.crashed)),
+            ("resolved_done", Json::U64(self.resolved_done)),
+            ("resolved_not_started", Json::U64(self.resolved_not_started)),
+            ("duplicates_avoided", Json::U64(self.duplicates_avoided)),
             ("errors", Json::U64(self.errors)),
             ("elapsed_ms", Json::U64(self.elapsed_ms)),
             ("throughput_rps", Json::F64(self.throughput_rps)),
@@ -417,6 +439,9 @@ pub fn run_load(spec: &LoadSpec) -> io::Result<LoadSummary> {
         total.backoffs += t.summary.backoffs;
         total.backoff_ms += t.summary.backoff_ms;
         total.crashed += t.summary.crashed;
+        total.resolved_done += t.summary.resolved_done;
+        total.resolved_not_started += t.summary.resolved_not_started;
+        total.duplicates_avoided += t.summary.duplicates_avoided;
         total.errors += t.summary.errors;
         hist.merge(&t.hist);
         dur_hist.merge(&t.dur_hist);
@@ -484,10 +509,20 @@ fn conn_worker(conn_idx: usize, quota: u64, shared: &Arc<LoadShared>) -> ConnTal
             .wrapping_add(conn_idx as u64 + 1),
     );
     let sampler = spec.key_dist.sampler(spec.key_range);
-    // In-flight request id → (send time, op kind 0/1/2, key, attempts).
+    // Request ids double as detectable-operation rids: each connection
+    // brands its ids so it owns one client row of every shard's slot
+    // table (`rid_client = id >> 48`); admin ids from the shared counter
+    // stay below the brand and never collide.
+    let rid_base = (conn_idx as u64 + 1) << 48;
+    let mut next_seq = 0u64;
+    // In-flight request id → (send time, op kind, key, attempts).
+    // Kinds: 0 get, 1 put, 2 del, 3 crash admin, 10+k resolve of kind k.
     let mut outstanding: HashMap<u64, (Instant, u8, u64, u32)> = HashMap::new();
     // Shed requests awaiting re-send: (kind, key, attempts so far).
     let mut retryq: std::collections::VecDeque<(u8, u64, u32)> = std::collections::VecDeque::new();
+    // Uncertain mutations awaiting a `Resolve`: (kind, key, rid, attempts).
+    let mut resolveq: std::collections::VecDeque<(u8, u64, u64, u32)> =
+        std::collections::VecDeque::new();
     // Earliest instant a retry may be sent (the honored retry-after hint).
     let mut backoff_until: Option<Instant> = None;
     // Open-loop pacing.
@@ -502,13 +537,28 @@ fn conn_worker(conn_idx: usize, quota: u64, shared: &Arc<LoadShared>) -> ConnTal
 
     // `drawn` counts fresh quota draws; retries ride on top of the quota.
     let mut drawn = 0u64;
-    while drawn < quota || !outstanding.is_empty() || !retryq.is_empty() {
+    while drawn < quota || !outstanding.is_empty() || !retryq.is_empty() || !resolveq.is_empty() {
         let window_full = outstanding.len() >= spec.window;
         let backoff_over = backoff_until.is_none_or(|t| Instant::now() >= t);
+        if !resolveq.is_empty() && !window_full {
+            // Ask before retrying: a durable stamp for the uncertain op
+            // means the effect already persisted.
+            let (kind, key, rid, attempts) = resolveq.pop_front().unwrap();
+            next_seq += 1;
+            let id = rid_base | next_seq;
+            if client.send(&Request::Resolve { id, key, rid }).is_err() {
+                tally.summary.errors += 1;
+                break;
+            }
+            outstanding.insert(id, (Instant::now(), 10 + kind, key, attempts));
+            tally.summary.sent += 1;
+            continue;
+        }
         if !retryq.is_empty() && backoff_over && !window_full {
             // Re-send a shed request (its hint has been waited out).
             let (kind, key, attempts) = retryq.pop_front().unwrap();
-            let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+            next_seq += 1;
+            let id = rid_base | next_seq;
             let req = match kind {
                 0 => Request::Get { id, key },
                 1 => Request::Put { id, key },
@@ -534,7 +584,8 @@ fn conn_worker(conn_idx: usize, quota: u64, shared: &Arc<LoadShared>) -> ConnTal
             let key = sampler.draw(&mut rng);
             let is_read = rng.below(100) < spec.read_pct as u64;
             let is_insert = rng.below(2) == 0;
-            let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+            next_seq += 1;
+            let id = rid_base | next_seq;
             let (req, kind) = if is_read {
                 tally.summary.gets += 1;
                 (Request::Get { id, key }, 0u8)
@@ -580,6 +631,7 @@ fn conn_worker(conn_idx: usize, quota: u64, shared: &Arc<LoadShared>) -> ConnTal
             shared,
             &mut outstanding,
             &mut retryq,
+            &mut resolveq,
             &mut backoff_until,
             &mut tally,
         );
@@ -617,11 +669,13 @@ fn maybe_inject_crash(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn absorb_reply(
     resp: &Response,
     shared: &Arc<LoadShared>,
     outstanding: &mut HashMap<u64, (Instant, u8, u64, u32)>,
     retryq: &mut std::collections::VecDeque<(u8, u64, u32)>,
+    resolveq: &mut std::collections::VecDeque<(u8, u64, u64, u32)>,
     backoff_until: &mut Option<Instant>,
     tally: &mut ConnTally,
 ) {
@@ -657,16 +711,22 @@ fn absorb_reply(
                 tally.summary.nondurable += 1;
             }
             if mutation {
-                let mut table = shared.table.lock().unwrap();
-                let rec = table.entry(key).or_default();
-                if *durable {
-                    let expect_present = kind == 1;
-                    let cand = (*batch, *seq, expect_present);
-                    if rec.durable.is_none_or(|(b, s, _)| (b, s) < (*batch, *seq)) {
-                        rec.durable = Some(cand);
+                {
+                    let mut table = shared.table.lock().unwrap();
+                    let rec = table.entry(key).or_default();
+                    if *durable {
+                        let expect_present = kind == 1;
+                        let cand = (*batch, *seq, expect_present);
+                        if rec.durable.is_none_or(|(b, s, _)| (b, s) < (*batch, *seq)) {
+                            rec.durable = Some(cand);
+                        }
+                    } else if rec.uncertain.is_none_or(|u| u < (*batch, *seq)) {
+                        rec.uncertain = Some((*batch, *seq));
                     }
-                } else if rec.uncertain.is_none_or(|u| u < (*batch, *seq)) {
-                    rec.uncertain = Some((*batch, *seq));
+                }
+                if !*durable {
+                    // Uncertain outcome: resolve before any retry.
+                    resolveq.push_back((kind, key, id, attempts));
                 }
             }
         }
@@ -689,13 +749,18 @@ fn absorb_reply(
         Response::Crashed { batch, .. } => {
             tally.summary.crashed += 1;
             if mutation {
-                let mut table = shared.table.lock().unwrap();
-                let rec = table.entry(key).or_default();
-                // Unknown sequence: conservatively later than anything
-                // executed in the same batch.
-                if rec.uncertain.is_none_or(|u| u < (*batch, u64::MAX)) {
-                    rec.uncertain = Some((*batch, u64::MAX));
+                {
+                    let mut table = shared.table.lock().unwrap();
+                    let rec = table.entry(key).or_default();
+                    // Unknown sequence: conservatively later than anything
+                    // executed in the same batch.
+                    if rec.uncertain.is_none_or(|u| u < (*batch, u64::MAX)) {
+                        rec.uncertain = Some((*batch, u64::MAX));
+                    }
                 }
+                // The crashed shard restarted with its recovered slot
+                // table; resolve the op instead of blindly retrying.
+                resolveq.push_back((kind, key, id, attempts));
             }
         }
         Response::Report { json, .. } => {
@@ -706,6 +771,33 @@ fn absorb_reply(
                     (sent_at.elapsed().as_millis() as u64).max(1),
                     Ordering::Relaxed,
                 );
+            }
+        }
+        Response::Resolved { done, batch, .. } => {
+            let orig_kind = kind.saturating_sub(10);
+            if *done {
+                // The uncertain op durably executed: no retry, and a
+                // blind-retry client would have duplicated the effect.
+                tally.summary.resolved_done += 1;
+                tally.summary.duplicates_avoided += 1;
+                let expect_present = orig_kind == 1;
+                let mut table = shared.table.lock().unwrap();
+                let rec = table.entry(key).or_default();
+                // The stamp records the batch but not the in-batch rank,
+                // so claim sequence 0: the verdict only supersedes
+                // strictly-earlier batches, and any same-batch
+                // uncertainty still forces a verification skip.
+                if rec.durable.is_none_or(|(b, s, _)| (b, s) < (*batch, 0)) {
+                    rec.durable = Some((*batch, 0, expect_present));
+                }
+            } else {
+                // No durable stamp: the retry cannot duplicate anything
+                // (and set semantics absorb the stamp-lost-but-effect-
+                // durable window).
+                tally.summary.resolved_not_started += 1;
+                if (1..=2).contains(&orig_kind) && attempts < shared.spec.shed_retries.max(1) {
+                    retryq.push_back((orig_kind, key, attempts + 1));
+                }
             }
         }
         Response::Error { .. } => {

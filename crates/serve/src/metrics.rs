@@ -66,6 +66,38 @@ pub fn counters_json(c: &ShardCounters) -> Json {
         ("recovery_failures", Json::U64(c.recovery_failures)),
         ("lost_acked", Json::U64(c.lost_acked)),
         ("obs_dropped", Json::U64(c.obs_dropped)),
+        ("slot_torn", Json::U64(c.slot_torn)),
+    ])
+}
+
+/// Detectable-operation state for one shard inside the `serve-metrics`
+/// snapshot: slot-table occupancy, resolver size, the verdict split of
+/// answered `Resolve` requests, and their service latency.
+#[derive(Debug, Clone, Default)]
+pub struct DetectStats {
+    /// Committed slot records currently held.
+    pub slot_occupied: u64,
+    /// Slot-table capacity (`clients × ring`; 0 = detection off).
+    pub slot_capacity: u64,
+    /// Rids the current resolver answers `Done` for.
+    pub resolver_entries: u64,
+    /// `Resolve` requests answered `done = true`.
+    pub resolved_done: u64,
+    /// `Resolve` requests answered `done = false`.
+    pub resolved_not_started: u64,
+    /// Wire-to-reply latency of `Resolve` requests (µs).
+    pub resolve_latency: Hist,
+}
+
+/// The `detect` section of one shard's `serve-metrics` entry.
+pub fn detect_json(d: &DetectStats) -> Json {
+    Json::obj([
+        ("slot_occupied", Json::U64(d.slot_occupied)),
+        ("slot_capacity", Json::U64(d.slot_capacity)),
+        ("resolver_entries", Json::U64(d.resolver_entries)),
+        ("resolved_done", Json::U64(d.resolved_done)),
+        ("resolved_not_started", Json::U64(d.resolved_not_started)),
+        ("resolve_latency_us", hist_json(&d.resolve_latency)),
     ])
 }
 
@@ -116,6 +148,7 @@ pub fn metrics_shard_json(
     durable_ack_latency: &Hist,
     telem: &ShardTelemetry,
     crit: &CritSummary,
+    detect: &DetectStats,
 ) -> Json {
     let mut totals = Vec::with_capacity(GAUGE_SLOT_NAMES.len());
     for (i, name) in GAUGE_SLOT_NAMES.iter().enumerate() {
@@ -140,6 +173,7 @@ pub fn metrics_shard_json(
             ]),
         ),
         ("critpath", crit_totals_json(crit)),
+        ("detect", detect_json(detect)),
     ])
 }
 
@@ -213,6 +247,8 @@ pub fn crash_json(shard: usize, o: &crate::shard::CrashOutcome) -> Json {
         ("phantom", Json::U64(o.phantom.len() as u64)),
         ("audit_points", Json::U64(o.audit_points as u64)),
         ("audit_failures", Json::U64(o.audit_failures as u64)),
+        ("stamps", Json::U64(o.stamps)),
+        ("torn_stamps", Json::U64(o.torn_stamps)),
     ])
 }
 
@@ -258,6 +294,7 @@ mod tests {
             &Hist::new(),
             &ShardTelemetry::default(),
             &CritSummary::default(),
+            &DetectStats::default(),
         );
         let parsed = Json::parse(&doc.to_compact()).unwrap();
         let crit = parsed.get("critpath").unwrap();
@@ -270,5 +307,41 @@ mod tests {
         for kind in CritSegKind::ALL {
             assert_eq!(segs.get(kind.name()).unwrap().as_u64(), Some(0));
         }
+    }
+
+    #[test]
+    fn shard_metrics_entry_carries_detect_state() {
+        let mut d = DetectStats {
+            slot_occupied: 7,
+            slot_capacity: 2048,
+            resolver_entries: 7,
+            resolved_done: 3,
+            resolved_not_started: 2,
+            resolve_latency: Hist::new(),
+        };
+        d.resolve_latency.record(120);
+        let doc = metrics_shard_json(
+            1,
+            &ShardCounters::default(),
+            0,
+            0,
+            &[0; 4],
+            0.0,
+            &Hist::new(),
+            &Hist::new(),
+            &ShardTelemetry::default(),
+            &CritSummary::default(),
+            &d,
+        );
+        let parsed = Json::parse(&doc.to_compact()).unwrap();
+        let det = parsed.get("detect").unwrap();
+        assert_eq!(det.get("slot_occupied").unwrap().as_u64(), Some(7));
+        assert_eq!(det.get("slot_capacity").unwrap().as_u64(), Some(2048));
+        assert_eq!(det.get("resolved_done").unwrap().as_u64(), Some(3));
+        assert_eq!(det.get("resolved_not_started").unwrap().as_u64(), Some(2));
+        assert!(det.get("resolve_latency_us").is_some());
+        // Counters now surface torn-stamp detection.
+        let c = parsed.get("counters").unwrap();
+        assert_eq!(c.get("slot_torn").unwrap().as_u64(), Some(0));
     }
 }

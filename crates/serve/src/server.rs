@@ -17,10 +17,11 @@ use crate::codec::{decode_request, encode_response, read_frame, write_frame, Req
 use crate::flight::{FlightEvent, FlightRecorder};
 use crate::metrics::{
     counters_json, crash_json, header_json, interval_json, metrics_shard_json,
-    metrics_snapshot_json, shard_json, ShardTelemetry, SLOT_BATCHES, SLOT_COMPLETED, SLOT_ENQUEUED,
-    SLOT_SHED,
+    metrics_snapshot_json, shard_json, DetectStats, ShardTelemetry, SLOT_BATCHES, SLOT_COMPLETED,
+    SLOT_ENQUEUED, SLOT_SHED,
 };
-use crate::shard::{KvOp, Shard, ShardConfig, ShardCounters};
+use crate::shard::{KvOp, Shard, ShardConfig, ShardCounters, ShardReq};
+use lrp_detect::{ResolvedStatus, Resolver};
 use lrp_obs::span::{Span, SpanLog, SpanPhase};
 use lrp_obs::{GaugeSample, GaugeSeries, Hist, Json, Stats};
 use std::collections::VecDeque;
@@ -237,6 +238,21 @@ struct Snapshot {
     /// Merged durability critical-path digest (empty without a
     /// critpath-tracing recorder).
     crit: lrp_obs::CritSummary,
+    /// The shard's committed resolver, republished after every batch
+    /// commit and crash-restart. Readers answer `Resolve` from this, so
+    /// a verdict only ever reflects durably-committed stamps.
+    resolver: Resolver,
+    /// Committed slot records held / slot-table capacity.
+    slot_occupied: u64,
+    slot_capacity: u64,
+}
+
+/// Reader-side accounting of answered `Resolve` requests (per shard).
+#[derive(Default)]
+struct ResolveStats {
+    done: u64,
+    not_started: u64,
+    latency: Hist,
 }
 
 struct Shared {
@@ -244,6 +260,7 @@ struct Shared {
     queues: Vec<ShardQueue>,
     gauges: Vec<Mutex<GaugeSeries>>,
     snapshots: Vec<Mutex<Snapshot>>,
+    resolves: Vec<Mutex<ResolveStats>>,
     /// Milliseconds the shard's most recent batch took (retry hints).
     batch_ms: Vec<AtomicU64>,
     /// Per-shard span logs; `None` = tracing off.
@@ -391,6 +408,9 @@ impl Server {
                 .collect(),
             snapshots: (0..shards)
                 .map(|_| Mutex::new(Snapshot::default()))
+                .collect(),
+            resolves: (0..shards)
+                .map(|_| Mutex::new(ResolveStats::default()))
                 .collect(),
             batch_ms: (0..shards).map(|_| AtomicU64::new(1)).collect(),
             spans: cfg
@@ -613,6 +633,48 @@ fn reader_loop(mut conn: Conn, reply: Replier, shared: &Arc<Shared>) {
                     });
                 }
             }
+            Request::Resolve { id, key, rid } => {
+                // Answered from the owning shard's published resolver —
+                // the committed (post-crash) stamp table — so the reply
+                // never reflects volatile state, and never blocks on
+                // the worker.
+                let shard = route(key, shared.cfg.shards);
+                let status = shared.snapshots[shard]
+                    .lock()
+                    .unwrap()
+                    .resolver
+                    .resolve(rid);
+                let resp = match status {
+                    ResolvedStatus::Done {
+                        applied,
+                        key,
+                        batch,
+                        ..
+                    } => Response::Resolved {
+                        id,
+                        rid,
+                        done: true,
+                        applied,
+                        key,
+                        batch,
+                    },
+                    ResolvedStatus::NotStarted => Response::Resolved {
+                        id,
+                        rid,
+                        done: false,
+                        applied: false,
+                        key: 0,
+                        batch: 0,
+                    },
+                };
+                reply.send(&resp);
+                let mut rs = shared.resolves[shard].lock().unwrap();
+                match status {
+                    ResolvedStatus::Done { .. } => rs.done += 1,
+                    ResolvedStatus::NotStarted => rs.not_started += 1,
+                }
+                rs.latency.record(shared.now_us().saturating_sub(t0_us));
+            }
             Request::Get { id, key } | Request::Put { id, key } | Request::Del { id, key } => {
                 let op = match req {
                     Request::Get { .. } => KvOp::Get(key),
@@ -774,6 +836,17 @@ fn metrics_reply(shared: &Arc<Shared>) -> Json {
             flight_events: snap.flight_events,
             flight_dropped: snap.flight_dropped,
         };
+        let detect = {
+            let rs = shared.resolves[i].lock().unwrap();
+            DetectStats {
+                slot_occupied: snap.slot_occupied,
+                slot_capacity: snap.slot_capacity,
+                resolver_entries: snap.resolver.len() as u64,
+                resolved_done: rs.done,
+                resolved_not_started: rs.not_started,
+                resolve_latency: rs.latency.clone(),
+            }
+        };
         let rps = if uptime_ms > 0 {
             snap.counters.requests as f64 * 1000.0 / uptime_ms as f64
         } else {
@@ -796,6 +869,7 @@ fn metrics_reply(shared: &Arc<Shared>) -> Json {
             &snap.dur_ack_hist,
             &telem,
             &snap.crit,
+            &detect,
         ));
     }
     let throughput = if uptime_ms > 0 {
@@ -871,8 +945,16 @@ fn worker_loop(i: usize, shared: &Arc<Shared>) -> ShardFinal {
                 Work::Crash { id, reply } => {
                     // Everything already drained for this batch is "in
                     // flight" at the crash: unacked, answered `Crashed`.
-                    let ops: Vec<KvOp> = pending.iter().map(|(op, _, _, _)| *op).collect();
+                    let ops: Vec<ShardReq> = pending
+                        .iter()
+                        .map(|(op, id, _, _)| ShardReq::new(*op, *id))
+                        .collect();
                     let outcome = shard.crash(&ops);
+                    // Republish before any `Crashed` reply leaves: a
+                    // client that reacts to the crash with `Resolve`
+                    // must see the post-restart resolver, not the
+                    // previous batch's.
+                    publish(shared, i, &shard, &ack_hist, &dur_ack_hist, &flight);
                     flight.push(FlightEvent::Crash {
                         t_ms: shared.now_ms(),
                         batch: outcome.batch,
@@ -956,7 +1038,10 @@ fn worker_loop(i: usize, shared: &Arc<Shared>) -> ShardFinal {
             }
         }
         if !pending.is_empty() {
-            let ops: Vec<KvOp> = pending.iter().map(|(op, _, _, _)| *op).collect();
+            let ops: Vec<ShardReq> = pending
+                .iter()
+                .map(|(op, id, _, _)| ShardReq::new(*op, *id))
+                .collect();
             flight.push(FlightEvent::BatchStart {
                 t_ms: shared.now_ms(),
                 batch: shard.batches(),
@@ -965,6 +1050,10 @@ fn worker_loop(i: usize, shared: &Arc<Shared>) -> ShardFinal {
             let ex0_us = shared.now_us();
             let results = shard.execute(&ops);
             let ex1_us = shared.now_us();
+            // Republish before acks leave: a durable ack promises its
+            // stamp is committed, so a follow-up `Resolve` must already
+            // see it.
+            publish(shared, i, &shard, &ack_hist, &dur_ack_hist, &flight);
             let breakdown = shard.last_breakdown();
             // Split the execute window at the simulator/stamping
             // boundary the shard measured.
@@ -1141,6 +1230,7 @@ fn publish(
     dur_ack_hist: &Hist,
     flight: &FlightRecorder,
 ) {
+    let (slot_occupied, slot_capacity) = shard.slot_occupancy();
     *shared.snapshots[i].lock().unwrap() = Snapshot {
         counters: shard.counters(),
         committed: shard.committed().len() as u64,
@@ -1149,6 +1239,9 @@ fn publish(
         flight_events: flight.len() as u64,
         flight_dropped: flight.dropped(),
         crit: shard.crit.clone(),
+        resolver: shard.resolver(),
+        slot_occupied,
+        slot_capacity,
     };
 }
 

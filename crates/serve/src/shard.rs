@@ -21,6 +21,10 @@
 //! [`Shard::crash`], which samples a crash point inside the interrupted
 //! batch and restarts from whatever the validator recovers.
 
+use lrp_detect::{
+    stamp, write_table_setup, ResolvedStatus, Resolver, SlotKind, SlotRecord, SlotSpec, SlotTable,
+    ROOT_BASE, ROOT_CLIENTS, ROOT_RING,
+};
 use lrp_exec::{run, ExecConfig, PmemCtx, SchedPolicy, ThreadBody, Xorshift64};
 use lrp_lfds::bst::Bst;
 use lrp_lfds::hashmap::HashMap as LfdHashMap;
@@ -28,9 +32,9 @@ use lrp_lfds::list::LinkedList;
 use lrp_lfds::skiplist::SkipList;
 use lrp_lfds::{validate_image, MemImage, Recovered, Structure};
 use lrp_model::spec::PersistSchedule;
-use lrp_model::{OpKind, ThreadId, Trace};
+use lrp_model::{Addr, OpKind, ThreadId, Trace};
 use lrp_obs::{CritSummary, Hist, ObsReport, RecorderConfig, Stats};
-use lrp_recovery::crash_restart_random;
+use lrp_recovery::{crash_restart_random, rebuild_resolution};
 use lrp_sim::{Mechanism, NvmMode, Sim, SimConfig};
 use std::collections::BTreeSet;
 use std::sync::{Arc, OnceLock};
@@ -61,6 +65,31 @@ impl KvOp {
     }
 }
 
+/// One request as the shard executes it: the op plus the wire request
+/// id. The id's high 16 bits name the issuing client/channel, which
+/// homes the op's detectable-operation slot; `rid == 0` means
+/// "untracked" (no slot is stamped — used by callers that never
+/// resolve, e.g. throughput benches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardReq {
+    /// The key-value operation.
+    pub op: KvOp,
+    /// Wire request id (`client << 48 | seq`), or 0 for untracked.
+    pub rid: u64,
+}
+
+impl ShardReq {
+    /// A tracked request.
+    pub fn new(op: KvOp, rid: u64) -> ShardReq {
+        ShardReq { op, rid }
+    }
+
+    /// An untracked request (no detectable-operation stamp).
+    pub fn untracked(op: KvOp) -> ShardReq {
+        ShardReq { op, rid: 0 }
+    }
+}
+
 /// Static configuration of one shard.
 #[derive(Debug, Clone)]
 pub struct ShardConfig {
@@ -86,6 +115,11 @@ pub struct ShardConfig {
     /// Optional observability recorder attached to every batch's
     /// simulator run; histograms and stats accumulate shard-side.
     pub recorder: Option<RecorderConfig>,
+    /// Detectable-operation slot table geometry (`None` disables
+    /// exactly-once stamping and the shard serves at-least-once).
+    /// The ring must be at least a client's in-flight window or stamps
+    /// for still-uncertain requests can be overwritten.
+    pub detect: Option<SlotSpec>,
 }
 
 impl ShardConfig {
@@ -106,6 +140,7 @@ impl ShardConfig {
             seed: 1,
             audit_samples: 8,
             recorder: None,
+            detect: Some(SlotSpec::default()),
         }
     }
 
@@ -163,6 +198,11 @@ pub struct CrashOutcome {
     pub audit_points: usize,
     /// Audit failures (non-zero means some cut was not recoverable).
     pub audit_failures: usize,
+    /// Detectable-operation stamps recovered from the crash-cut image
+    /// (the new resolver answers `Done` for exactly these rids).
+    pub stamps: u64,
+    /// Slot records that survived only partially in the crash image.
+    pub torn_stamps: u64,
 }
 
 /// Monotonic shard counters (exported in the metrics stream).
@@ -192,6 +232,9 @@ pub struct ShardCounters {
     /// means the event trace is truncated; histograms and audits are
     /// computed online and stay exact.
     pub obs_dropped: u64,
+    /// Torn detectable-operation stamps seen across all commit/crash
+    /// image scans. A release-ordering discipline keeps this at zero.
+    pub slot_torn: u64,
 }
 
 /// Host wall-clock breakdown of the last committed batch, used by the
@@ -223,6 +266,12 @@ pub struct Shard {
     /// unless a recorder with critpath tracing is attached).
     pub crit: CritSummary,
     last_breakdown: BatchBreakdown,
+    /// Committed (durable) slot records, re-written through every
+    /// batch's setup phase; `None` when detection is disabled.
+    slots: Option<SlotTable>,
+    /// The current rid → verdict map, a pure function of the last
+    /// committed (or crash-recovered) image.
+    resolver: Resolver,
 }
 
 struct BatchRun {
@@ -238,6 +287,7 @@ impl Shard {
     /// construction — they enter every batch through the setup phase).
     pub fn new(cfg: ShardConfig) -> Shard {
         let committed = cfg.initial_keys();
+        let slots = cfg.detect.map(SlotTable::new);
         Shard {
             cfg,
             committed,
@@ -247,6 +297,8 @@ impl Shard {
             hists: [Hist::new(), Hist::new(), Hist::new()],
             crit: CritSummary::default(),
             last_breakdown: BatchBreakdown::default(),
+            slots,
+            resolver: Resolver::empty(),
         }
     }
 
@@ -270,6 +322,57 @@ impl Shard {
         self.last_breakdown
     }
 
+    /// Replays `ops` as one batch trace + simulator run and returns the
+    /// trace and recorded persist schedule without committing anything.
+    ///
+    /// This is the cross-validation hook: the trace carries the slot
+    /// stamps as first-class events (site phase `slot`), so `lrp-check`
+    /// can verify the recorded schedule is admissible under the
+    /// mechanism's discipline *with detection enabled* and that every
+    /// realized crash cut still passes durable linearizability.
+    pub fn replay_for_check(&mut self, ops: &[ShardReq]) -> (Trace, PersistSchedule) {
+        let run = self.run_batch(ops);
+        (run.trace, run.sched)
+    }
+
+    /// Deterministic post-crash (or post-commit) verdict for `rid`.
+    pub fn resolve(&self, rid: u64) -> ResolvedStatus {
+        self.resolver.resolve(rid)
+    }
+
+    /// A clone of the current resolver (published to the reader threads
+    /// so `Resolve` requests never block on the worker).
+    pub fn resolver(&self) -> Resolver {
+        self.resolver.clone()
+    }
+
+    /// Durable slot records currently held / total table capacity.
+    /// `(0, 0)` when detection is disabled.
+    pub fn slot_occupancy(&self) -> (u64, u64) {
+        match &self.slots {
+            Some(t) => (t.occupied(), t.spec().records()),
+            None => (0, 0),
+        }
+    }
+
+    /// True when the configured mechanism's persist discipline backs
+    /// the stamp's promise (stamp durable ⇒ payload + effect durable).
+    fn stamps_sound(&self) -> bool {
+        self.cfg.mechanism.discipline().orders_release_stamps()
+    }
+
+    /// Re-derives the slot table and resolver from a durable image.
+    fn absorb_resolution(&mut self, roots: &[(String, Addr)], image: &MemImage) {
+        if self.slots.is_none() {
+            return;
+        }
+        if let Some(res) = rebuild_resolution(roots, image, self.stamps_sound()) {
+            self.counters.slot_torn += res.torn;
+            self.slots = Some(res.table);
+            self.resolver = res.resolver;
+        }
+    }
+
     fn absorb_obs(&mut self, obs: Option<&ObsReport>) {
         if let Some(report) = obs {
             for (i, (_, h)) in lrp_obs::metrics::hist_rows(report).iter().enumerate() {
@@ -284,13 +387,20 @@ impl Shard {
 
     /// Replays `ops` as one trace + simulator run and computes durable
     /// acks from the persist schedule. Does not commit.
-    fn run_batch(&mut self, ops: &[KvOp]) -> BatchRun {
+    fn run_batch(&mut self, ops: &[ShardReq]) -> BatchRun {
         let batch = self.batches;
         let seed = self
             .cfg
             .seed
             .wrapping_add((batch + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let trace = build_batch_trace(&self.cfg, &self.committed, ops, seed);
+        let trace = build_batch_trace(
+            &self.cfg,
+            &self.committed,
+            self.slots.as_ref(),
+            ops,
+            seed,
+            batch,
+        );
         let sim_cfg = SimConfig::new(self.cfg.mechanism).nvm_mode(self.cfg.nvm_mode);
         let mut sim = Sim::new(sim_cfg, &trace);
         if let Some(rc) = &self.cfg.recorder {
@@ -342,7 +452,7 @@ impl Shard {
             }
             order.push((batch_idx, m.end_event, durable, persisted_at));
             debug_assert!(matches!(
-                (ops[batch_idx], m.op),
+                (ops[batch_idx].op, m.op),
                 (KvOp::Get(_), OpKind::Contains(_))
                     | (KvOp::Put(_), OpKind::Insert(_, _))
                     | (KvOp::Del(_), OpKind::Delete(_))
@@ -390,7 +500,7 @@ impl Shard {
     }
 
     /// Executes one batch to completion and commits the durable state.
-    pub fn execute(&mut self, ops: &[KvOp]) -> Vec<KvResult> {
+    pub fn execute(&mut self, ops: &[ShardReq]) -> Vec<KvResult> {
         if ops.is_empty() {
             return Vec::new();
         }
@@ -405,6 +515,11 @@ impl Shard {
             Some(recovered) => {
                 self.downgrade_contradicted(ops, &mut run.results, &recovered);
                 self.committed = recovered;
+                // The same image carries the batch's durable stamps:
+                // they become the committed slot state, and acks that
+                // were answered `durable: false` only out of caution
+                // stay resolvable as `Done`.
+                self.absorb_resolution(&run.trace.roots, &image);
             }
             None => {
                 // Image unusable (e.g. under `nop`): keep the previous
@@ -442,21 +557,21 @@ impl Shard {
     /// its durable flag.
     fn downgrade_contradicted(
         &mut self,
-        ops: &[KvOp],
+        ops: &[ShardReq],
         results: &mut [KvResult],
         recovered: &BTreeSet<u64>,
     ) {
         let mut last_mutation: std::collections::HashMap<u64, (u64, bool)> =
             std::collections::HashMap::new();
-        for (op, r) in ops.iter().zip(results.iter()) {
-            if !op.is_mutation() || !r.durable {
+        for (req, r) in ops.iter().zip(results.iter()) {
+            if !req.op.is_mutation() || !r.durable {
                 continue;
             }
             // An unapplied Put means "already present"; an unapplied Del
             // means "already absent" — both still pin the key's state.
-            let expect_present = matches!(op, KvOp::Put(_));
+            let expect_present = matches!(req.op, KvOp::Put(_));
             let e = last_mutation
-                .entry(op.key())
+                .entry(req.op.key())
                 .or_insert((r.seq, expect_present));
             if r.seq >= e.0 {
                 *e = (r.seq, expect_present);
@@ -464,8 +579,8 @@ impl Shard {
         }
         for (key, (_, expect_present)) in last_mutation {
             if recovered.contains(&key) != expect_present {
-                for (op, r) in ops.iter().zip(results.iter_mut()) {
-                    if op.key() == key && r.durable {
+                for (req, r) in ops.iter().zip(results.iter_mut()) {
+                    if req.op.key() == key && r.durable {
                         r.durable = false;
                         r.persist_cycles = 0;
                         self.counters.downgrades += 1;
@@ -480,7 +595,7 @@ impl Shard {
     /// interrupted batch, and the shard restarts from whatever null
     /// recovery validates. Returns the restart verdict; the caller
     /// answers the in-flight requests with `Crashed`.
-    pub fn crash(&mut self, ops: &[KvOp]) -> CrashOutcome {
+    pub fn crash(&mut self, ops: &[ShardReq]) -> CrashOutcome {
         let batch = self.batches;
         let committed_before = self.committed.clone();
         let seed = self
@@ -500,6 +615,7 @@ impl Shard {
         );
         self.counters.crashes += 1;
         let consistent = restart.consistent();
+        let torn_before = self.counters.slot_torn;
         let (recovered_count, lost_acked, phantom) = match &restart.recovered {
             Ok(rec) => {
                 let recovered: BTreeSet<u64> = rec.keys().iter().copied().collect();
@@ -507,13 +623,13 @@ impl Shard {
                 // they excuse differences but nothing else does.
                 let inflight_dels: BTreeSet<u64> = ops
                     .iter()
-                    .filter(|o| matches!(o, KvOp::Del(_)))
-                    .map(|o| o.key())
+                    .filter(|o| matches!(o.op, KvOp::Del(_)))
+                    .map(|o| o.op.key())
                     .collect();
                 let inflight_puts: BTreeSet<u64> = ops
                     .iter()
-                    .filter(|o| matches!(o, KvOp::Put(_)))
-                    .map(|o| o.key())
+                    .filter(|o| matches!(o.op, KvOp::Put(_)))
+                    .map(|o| o.op.key())
                     .collect();
                 let lost: Vec<u64> = committed_before
                     .difference(&recovered)
@@ -527,11 +643,17 @@ impl Shard {
                     .collect();
                 let n = recovered.len();
                 self.committed = recovered;
+                // The crash-cut image decides which in-flight stamps
+                // survived: the resolver the restarted shard serves
+                // answers `Done` for exactly those.
+                self.absorb_resolution(&run.trace.roots, &restart.image);
                 (n, lost, phantom)
             }
             Err(_) => {
                 // Unusable image: restart from the last committed state
-                // (nothing durably acked is lost, by definition).
+                // (nothing durably acked is lost, by definition) — and
+                // keep the previous resolver, which matches that state:
+                // every in-flight op resolves `NotStarted`.
                 self.counters.recovery_failures += 1;
                 (0, Vec::new(), Vec::new())
             }
@@ -546,6 +668,8 @@ impl Shard {
             phantom,
             audit_points: restart.audit.crash_points,
             audit_failures: restart.audit.failures.len(),
+            stamps: self.resolver.len() as u64,
+            torn_stamps: self.counters.slot_torn - torn_before,
         }
     }
 }
@@ -575,20 +699,28 @@ enum Handle {
 }
 
 /// Builds the batch trace: setup re-creates the structure from the
-/// committed keys (durable initial image), then `sim_threads` workers
-/// replay `ops` dealt round-robin (op `i` on thread `i % sim_threads`,
-/// each thread in index order — the mapping [`Shard::run_batch`] relies
-/// on to attribute markers).
+/// committed keys (durable initial image) and re-writes the committed
+/// slot table, then `sim_threads` workers replay `ops` dealt
+/// round-robin (op `i` on thread `i % sim_threads`, each thread in
+/// index order — the mapping [`Shard::run_batch`] relies on to
+/// attribute markers). Tracked mutations stamp their slot record
+/// before `op_end`, so the stamp rides inside the op's marker and a
+/// durable ack certifies the stamp too.
 fn build_batch_trace(
     cfg: &ShardConfig,
     committed: &BTreeSet<u64>,
-    ops: &[KvOp],
+    slots: Option<&SlotTable>,
+    ops: &[ShardReq],
     seed: u64,
+    batch: u64,
 ) -> Trace {
     let structure = cfg.structure;
     let keys: Vec<u64> = committed.iter().copied().collect();
     let nbuckets = cfg.nbuckets();
-    let handle: Arc<OnceLock<Handle>> = Arc::new(OnceLock::new());
+    // Setup publishes the structure handle and the slot-table base
+    // address (0 when detection is off) for the worker closures.
+    let handle: Arc<OnceLock<(Handle, Addr)>> = Arc::new(OnceLock::new());
+    let slot_seed = slots.cloned();
 
     let setup_handle = handle.clone();
     let setup = move |s: &mut lrp_exec::DirectCtx| {
@@ -621,24 +753,38 @@ fn build_batch_trace(
             }
             Structure::Queue => unreachable!("rejected by ShardConfig::new"),
         };
-        let _ = setup_handle.set(h);
+        let base = match &slot_seed {
+            Some(table) => {
+                let spec = table.spec();
+                let base = s.alloc(spec.words());
+                write_table_setup(s, base, table);
+                s.set_root(ROOT_BASE, base);
+                s.set_root(ROOT_CLIENTS, spec.clients);
+                s.set_root(ROOT_RING, spec.ring);
+                base
+            }
+            None => 0,
+        };
+        let _ = setup_handle.set((h, base));
     };
 
+    let det_spec = slots.map(|t| t.spec());
     let nthreads = cfg.sim_threads.max(1);
     let bodies: Vec<ThreadBody> = (0..nthreads)
         .map(|t| {
             let handle = handle.clone();
-            let mine: Vec<KvOp> = ops
+            let mine: Vec<ShardReq> = ops
                 .iter()
                 .copied()
                 .enumerate()
                 .filter(|(i, _)| (i % nthreads as usize) as ThreadId == t)
-                .map(|(_, op)| op)
+                .map(|(_, req)| req)
                 .collect();
             Box::new(move |c: &mut lrp_exec::GateCtx| {
-                let h = *handle.get().expect("setup ran before workers");
-                for op in mine {
-                    issue(c, h, op);
+                let (h, base) = *handle.get().expect("setup ran before workers");
+                let det = det_spec.map(|spec| (base, spec));
+                for req in mine {
+                    issue(c, h, det, batch, req);
                 }
             }) as ThreadBody
         })
@@ -650,14 +796,52 @@ fn build_batch_trace(
     run(&cfg, setup, bodies)
 }
 
-fn issue<C: PmemCtx>(c: &mut C, h: Handle, op: KvOp) {
+/// Stamps a tracked mutation's slot record between the structure op and
+/// its `op_end`: the record is part of the op's event range, so the
+/// durable-ack computation covers the stamp, and the phase label makes
+/// its cost attributable in critical-path breakdowns.
+fn stamp_slot<C: PmemCtx>(
+    c: &mut C,
+    det: Option<(Addr, SlotSpec)>,
+    batch: u64,
+    rid: u64,
+    key: u64,
+    kind: SlotKind,
+    applied: bool,
+) {
+    let Some((base, spec)) = det else { return };
+    if rid == 0 {
+        return;
+    }
+    c.site_phase("slot");
+    stamp(
+        c,
+        base,
+        &spec,
+        &SlotRecord {
+            rid,
+            key,
+            kind,
+            applied,
+            batch,
+        },
+    );
+}
+
+fn issue<C: PmemCtx>(
+    c: &mut C,
+    h: Handle,
+    det: Option<(Addr, SlotSpec)>,
+    batch: u64,
+    req: ShardReq,
+) {
     let structure = match h {
         Handle::List(_) => "linkedlist",
         Handle::Map(_) => "hashmap",
         Handle::Bst(_) => "bstree",
         Handle::Skip(_) => "skiplist",
     };
-    match op {
+    match req.op {
         KvOp::Get(k) => {
             c.op_begin(OpKind::Contains(k));
             c.site_op(&format!("{structure}/contains"));
@@ -678,6 +862,7 @@ fn issue<C: PmemCtx>(c: &mut C, h: Handle, op: KvOp) {
                 Handle::Bst(b) => b.insert(c, k, k),
                 Handle::Skip(sl) => sl.insert(c, k, k),
             };
+            stamp_slot(c, det, batch, req.rid, k, SlotKind::Put, r);
             c.op_end(r as u64);
         }
         KvOp::Del(k) => {
@@ -689,6 +874,7 @@ fn issue<C: PmemCtx>(c: &mut C, h: Handle, op: KvOp) {
                 Handle::Bst(b) => b.delete(c, k),
                 Handle::Skip(sl) => sl.delete(c, k),
             };
+            stamp_slot(c, det, batch, req.rid, k, SlotKind::Del, r);
             c.op_end(r as u64);
         }
     }
@@ -706,30 +892,36 @@ mod tests {
         Shard::new(cfg)
     }
 
+    /// Tracked requests from a single synthetic client.
+    fn reqs(ops: impl IntoIterator<Item = KvOp>) -> Vec<ShardReq> {
+        ops.into_iter()
+            .enumerate()
+            .map(|(i, op)| ShardReq::new(op, (1 << 48) | i as u64))
+            .collect()
+    }
+
     #[test]
     fn batches_execute_and_commit_durable_state() {
         let mut s = shard(3);
         let before = s.committed().clone();
         assert_eq!(before.len(), 32);
-        let ops: Vec<KvOp> = (0..24)
-            .map(|i| match i % 3 {
-                0 => KvOp::Put(200 + i),
-                1 => KvOp::Get(i),
-                _ => KvOp::Del(i),
-            })
-            .collect();
+        let ops = reqs((0..24).map(|i| match i % 3 {
+            0 => KvOp::Put(200 + i),
+            1 => KvOp::Get(i),
+            _ => KvOp::Del(i),
+        }));
         let results = s.execute(&ops);
         assert_eq!(results.len(), ops.len());
         assert_eq!(s.batches(), 1);
         // Every durable Put must be in the committed set; every durable
         // applied Del must not (no later op targets the same key here).
-        for (op, r) in ops.iter().zip(&results) {
+        for (req, r) in ops.iter().zip(&results) {
             if !r.durable {
                 continue;
             }
-            match op {
-                KvOp::Put(k) => assert!(s.committed().contains(k), "durable put {k} lost"),
-                KvOp::Del(k) => assert!(!s.committed().contains(k), "durable del {k} undone"),
+            match req.op {
+                KvOp::Put(k) => assert!(s.committed().contains(&k), "durable put {k} lost"),
+                KvOp::Del(k) => assert!(!s.committed().contains(&k), "durable del {k} undone"),
                 KvOp::Get(_) => {}
             }
         }
@@ -742,7 +934,7 @@ mod tests {
     #[test]
     fn lrp_leaves_a_volatile_tail_but_acks_most_writes() {
         let mut s = shard(7);
-        let ops: Vec<KvOp> = (0..48).map(|i| KvOp::Put(300 + i)).collect();
+        let ops = reqs((0..48).map(|i| KvOp::Put(300 + i)));
         let results = s.execute(&ops);
         let durable = results.iter().filter(|r| r.durable).count();
         assert!(durable > 0, "no write ever became durable under LRP");
@@ -755,15 +947,18 @@ mod tests {
         for seed in 0..4 {
             let mut s = shard(seed);
             // A committed batch, then a crash with writes in flight.
-            let warm: Vec<KvOp> = (0..16).map(|i| KvOp::Put(400 + i)).collect();
+            let warm = reqs((0..16).map(|i| KvOp::Put(400 + i)));
             s.execute(&warm);
-            let inflight: Vec<KvOp> = (0..16)
+            let inflight: Vec<ShardReq> = (0..16)
                 .map(|i| {
-                    if i % 2 == 0 {
-                        KvOp::Put(500 + i)
-                    } else {
-                        KvOp::Del(i)
-                    }
+                    ShardReq::new(
+                        if i % 2 == 0 {
+                            KvOp::Put(500 + i)
+                        } else {
+                            KvOp::Del(i)
+                        },
+                        (2 << 48) | i,
+                    )
                 })
                 .collect();
             let outcome = s.crash(&inflight);
@@ -805,7 +1000,7 @@ mod tests {
         cfg.key_range = 64;
         cfg.mechanism = Mechanism::Nop;
         let mut s = Shard::new(cfg);
-        let ops: Vec<KvOp> = (0..16).map(|i| KvOp::Put(100 + i)).collect();
+        let ops = reqs((0..16).map(|i| KvOp::Put(100 + i)));
         let results = s.execute(&ops);
         // `nop` persists nothing in order, so either nothing is durable
         // or the commit check withdrew the acks; never a false durable.
@@ -816,6 +1011,132 @@ mod tests {
         );
         if c.recovery_failures > 0 {
             assert_eq!(c.acked_durable, 0, "unusable image must withdraw acks");
+        }
+        // An unsound discipline never resolves `Done`: a stamp under
+        // `nop` proves nothing, so every rid reads `NotStarted`.
+        for req in &ops {
+            assert_eq!(s.resolve(req.rid), ResolvedStatus::NotStarted);
+        }
+    }
+
+    #[test]
+    fn durable_acks_resolve_done_after_commit() {
+        let mut s = shard(11);
+        let ops = reqs((0..24).map(|i| {
+            if i % 2 == 0 {
+                KvOp::Put(600 + i)
+            } else {
+                KvOp::Get(i)
+            }
+        }));
+        let results = s.execute(&ops);
+        let (occ, cap) = s.slot_occupancy();
+        assert!(cap > 0, "detection is on by default");
+        let mut durable_muts = 0;
+        for (req, r) in ops.iter().zip(&results) {
+            if !req.op.is_mutation() {
+                // Reads are never stamped: always NotStarted.
+                assert_eq!(s.resolve(req.rid), ResolvedStatus::NotStarted);
+                continue;
+            }
+            if r.durable {
+                durable_muts += 1;
+                // The durable ack's promise: the stamp persisted, so
+                // the op is resolvable with its recorded outcome.
+                match s.resolve(req.rid) {
+                    ResolvedStatus::Done {
+                        kind,
+                        applied,
+                        key,
+                        batch,
+                    } => {
+                        assert_eq!(kind, SlotKind::Put);
+                        assert_eq!(applied, r.applied);
+                        assert_eq!(key, req.op.key());
+                        assert_eq!(batch, r.batch);
+                    }
+                    ResolvedStatus::NotStarted => {
+                        panic!("durable ack for rid {:#x} not resolvable", req.rid)
+                    }
+                }
+            }
+        }
+        assert!(durable_muts > 0, "no durable mutation to check");
+        assert!(occ >= durable_muts, "occupancy covers durable stamps");
+        assert_eq!(s.counters().slot_torn, 0, "LRP never tears a stamp");
+    }
+
+    #[test]
+    fn crash_resolution_is_deterministic_and_sound() {
+        for seed in 0..4 {
+            let mut s = shard(40 + seed);
+            let warm = reqs((0..16).map(|i| KvOp::Put(700 + i)));
+            let warm_results = s.execute(&warm);
+            let inflight: Vec<ShardReq> = (0..16)
+                .map(|i| {
+                    ShardReq::new(
+                        if i % 2 == 0 {
+                            KvOp::Put(800 + i)
+                        } else {
+                            KvOp::Del(700 + i)
+                        },
+                        (3 << 48) | i,
+                    )
+                })
+                .collect();
+            let outcome = s.crash(&inflight);
+            assert!(outcome.consistent, "seed {seed}");
+            assert_eq!(outcome.torn_stamps, 0, "seed {seed}: torn stamp under LRP");
+            // Warm durable acks stay resolvable after the crash: their
+            // stamps were committed, so the restart keeps them.
+            for (req, r) in warm.iter().zip(&warm_results) {
+                if r.durable {
+                    assert!(
+                        s.resolve(req.rid).is_done(),
+                        "seed {seed}: durably-acked warm rid {:#x} lost its stamp",
+                        req.rid
+                    );
+                }
+            }
+            // Every in-flight op resolves deterministically, and a
+            // `Done` verdict is backed by the recovered state.
+            for req in &inflight {
+                let v1 = s.resolve(req.rid);
+                assert_eq!(v1, s.resolve(req.rid), "seed {seed}: nondeterministic");
+                if let ResolvedStatus::Done {
+                    kind, applied, key, ..
+                } = v1
+                {
+                    assert_eq!(key, req.op.key(), "seed {seed}");
+                    let present = s.committed().contains(&key);
+                    match (kind, applied) {
+                        // An applied durable Put leaves the key present;
+                        // an applied durable Del leaves it absent. (No
+                        // other in-flight op targets the same key.)
+                        (SlotKind::Put, true) => assert!(present, "seed {seed}: lost put {key}"),
+                        (SlotKind::Del, true) => assert!(!present, "seed {seed}: undone del {key}"),
+                        // Unapplied ops pin the pre-existing state.
+                        (SlotKind::Put, false) => assert!(present, "seed {seed}"),
+                        (SlotKind::Del, false) => assert!(!present, "seed {seed}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn detection_can_be_disabled() {
+        let mut cfg = ShardConfig::new(Structure::HashMap);
+        cfg.initial_size = 16;
+        cfg.key_range = 64;
+        cfg.detect = None;
+        let mut s = Shard::new(cfg);
+        let ops = reqs((0..8).map(|i| KvOp::Put(100 + i)));
+        let results = s.execute(&ops);
+        assert!(results.iter().any(|r| r.durable));
+        assert_eq!(s.slot_occupancy(), (0, 0));
+        for req in &ops {
+            assert_eq!(s.resolve(req.rid), ResolvedStatus::NotStarted);
         }
     }
 }

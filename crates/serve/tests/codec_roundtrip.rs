@@ -21,6 +21,11 @@ fn all_requests() -> Vec<Request> {
         Request::Crash { id: 6, shard: 3 },
         Request::Shutdown { id: u64::MAX },
         Request::Metrics { id: 8 },
+        Request::Resolve {
+            id: 9,
+            key: 77,
+            rid: (3 << 48) | 12,
+        },
     ]
 }
 
@@ -60,6 +65,22 @@ fn all_responses() -> Vec<Response> {
         Response::Error {
             id: 8,
             msg: "bad request: unknown opcode 0x7f".into(),
+        },
+        Response::Resolved {
+            id: 9,
+            rid: (3 << 48) | 12,
+            done: true,
+            applied: false,
+            key: 77,
+            batch: u64::MAX,
+        },
+        Response::Resolved {
+            id: 10,
+            rid: 1,
+            done: false,
+            applied: false,
+            key: 0,
+            batch: 0,
         },
     ]
 }
@@ -158,20 +179,18 @@ fn oversized_length_prefix_is_rejected_without_allocating() {
 
 #[test]
 fn unknown_opcodes_are_rejected_on_both_sides() {
-    for op in [0x00u8, 0x09, 0x40, 0x7f, 0x89, 0xff] {
+    for op in [0x00u8, 0x0a, 0x40, 0x7f, 0x8a, 0xff] {
         let mut payload = vec![op];
         payload.extend_from_slice(&7u64.to_le_bytes());
         payload.extend_from_slice(&9u64.to_le_bytes());
         let req = decode_request(&payload);
         let resp = decode_response(&payload);
         assert!(
-            matches!(req, Err(WireError::BadOpcode(o)) if o == op)
-                || (req.is_ok() && (0x01..=0x08).contains(&op)),
+            matches!(req, Err(WireError::BadOpcode(o)) if o == op),
             "request opcode {op:#04x}: {req:?}"
         );
         assert!(
-            matches!(resp, Err(WireError::BadOpcode(o)) if o == op)
-                || (resp.is_ok() && (0x81..=0x88).contains(&op)),
+            matches!(resp, Err(WireError::BadOpcode(o)) if o == op),
             "response opcode {op:#04x}: {resp:?}"
         );
     }
@@ -213,6 +232,14 @@ fn random_bytes_never_panic_the_decoders() {
             seq: 2,
             persist_cycles: 3,
         },
+        Response::Resolved {
+            id: 4,
+            rid: (7 << 48) | 31,
+            done: true,
+            applied: true,
+            key: 12,
+            batch: 9,
+        },
     ] {
         let bytes = encode_response(&resp);
         for i in 0..bytes.len() {
@@ -221,6 +248,19 @@ fn random_bytes_never_panic_the_decoders() {
                 m[i] ^= flip;
                 let _ = decode_response(&m);
             }
+        }
+    }
+    // Same never-panic line for mutated Resolve request frames.
+    let bytes = encode_request(&Request::Resolve {
+        id: 5,
+        key: 3,
+        rid: (2 << 48) | 8,
+    });
+    for i in 0..bytes.len() {
+        for flip in [0x01u8, 0x80, 0xff] {
+            let mut m = bytes.clone();
+            m[i] ^= flip;
+            let _ = decode_request(&m);
         }
     }
 }

@@ -34,8 +34,10 @@ fn tcp_bind(server: &Server) -> Bind {
 /// Repeats `Put(key)`/`Del(key)` (per `insert`) until one attempt is
 /// acked durable, pipelining filler mutations on distinct keys so each
 /// batch carries multi-threaded traffic (a lone op usually stays in
-/// LRP's volatile tail). Returns false after ~20 attempts.
-fn durable_mutation(c: &mut Client, key: u64, insert: bool, id_base: u64) -> bool {
+/// LRP's volatile tail). Returns the durably-acked attempt's wire id
+/// (which doubles as its detectable-op rid), or `None` after ~20
+/// attempts.
+fn durable_mutation(c: &mut Client, key: u64, insert: bool, id_base: u64) -> Option<u64> {
     const FILLERS: u64 = 12;
     for attempt in 0..20u64 {
         let base = id_base + attempt * (FILLERS + 1);
@@ -62,10 +64,10 @@ fn durable_mutation(c: &mut Client, key: u64, insert: bool, id_base: u64) -> boo
             }
         }
         if durable_ack {
-            return true;
+            return Some(base);
         }
     }
-    false
+    None
 }
 
 #[test]
@@ -86,7 +88,7 @@ fn basic_ops_round_trip_over_tcp() {
     // cross-thread traffic to trigger lazy persists — and only then
     // assert what a Get observes.
     assert!(
-        durable_mutation(&mut c, 777, true, 10_000),
+        durable_mutation(&mut c, 777, true, 10_000).is_some(),
         "put 777 never acked durable"
     );
     match c.call(&Request::Get { id: 3, key: 777 }).unwrap() {
@@ -96,7 +98,7 @@ fn basic_ops_round_trip_over_tcp() {
         other => panic!("unexpected get reply {other:?}"),
     }
     assert!(
-        durable_mutation(&mut c, 777, false, 20_000),
+        durable_mutation(&mut c, 777, false, 20_000).is_some(),
         "del 777 never acked durable"
     );
     match c.call(&Request::Get { id: 5, key: 777 }).unwrap() {
@@ -233,6 +235,87 @@ fn overload_sheds_with_typed_replies_and_keeps_serving() {
         shed_total, summary.shed,
         "metrics stream accounts every shed"
     );
+}
+
+#[test]
+fn resolve_answers_exactly_once_queries_across_a_crash_restart() {
+    let server = Server::start(small_server(1, 64, 61)).unwrap();
+    let bind = tcp_bind(&server);
+    let mut c = Client::dial(&bind).unwrap();
+
+    // The wire request id doubles as the detectable-op rid: a durable
+    // ack means the slot stamp persisted with the effect.
+    let rid = durable_mutation(&mut c, 321, true, 30_000).expect("put 321 never acked durable");
+    match c
+        .call(&Request::Resolve {
+            id: 40_000,
+            key: 321,
+            rid,
+        })
+        .unwrap()
+    {
+        Response::Resolved {
+            rid: r, done, key, ..
+        } => {
+            assert_eq!(r, rid);
+            assert!(done, "durably-acked put must resolve Done");
+            assert_eq!(key, 321, "stamp carries the mutated key");
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+
+    // A rid the service never stamped resolves not-started.
+    match c
+        .call(&Request::Resolve {
+            id: 40_001,
+            key: 321,
+            rid: (9u64 << 48) | 1,
+        })
+        .unwrap()
+    {
+        Response::Resolved { done, .. } => assert!(!done, "unknown rid must be NotStarted"),
+        other => panic!("unexpected reply {other:?}"),
+    }
+
+    // Crash-restart the shard. The slot table is rebuilt from the
+    // durable image and republished before the Crashed reply leaves,
+    // so the very next Resolve must still see the verdict.
+    match c
+        .call(&Request::Crash {
+            id: 40_002,
+            shard: 0,
+        })
+        .unwrap()
+    {
+        Response::Report { id: 40_002, json } => {
+            let doc = lrp_obs::Json::parse(&json).unwrap();
+            assert_eq!(doc.get("record").unwrap().as_str(), Some("serve-crash"));
+            assert!(
+                doc.get("stamps").unwrap().as_u64().unwrap() > 0,
+                "restart found no durable slot stamps: {json}"
+            );
+            assert_eq!(doc.get("torn_stamps").unwrap().as_u64(), Some(0));
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+    match c
+        .call(&Request::Resolve {
+            id: 40_003,
+            key: 321,
+            rid,
+        })
+        .unwrap()
+    {
+        Response::Resolved { done, key, .. } => {
+            assert!(done, "durably-acked rid lost its verdict across the crash");
+            assert_eq!(key, 321);
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+
+    server.shutdown();
+    let report = server.join();
+    assert_eq!(report.lost_acked(), 0);
 }
 
 #[test]
