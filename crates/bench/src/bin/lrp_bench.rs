@@ -36,9 +36,9 @@ use lrp_sim::{Mechanism, NvmMode};
 static ALLOC: CountingAlloc = CountingAlloc;
 
 const USAGE: &str = "usage:\n  \
-    lrp-bench host [--smoke] [--structures a,b,..] [--mechs a,b,..]\n                 \
-    [--mode cached|uncached] [--threads N] [--ops N] [--size N]\n                 \
-    [--seed N] [--samples N] [--json-out FILE]\n  \
+    lrp-bench host [--smoke] [--paper] [--jobs N] [--structures a,b,..]\n                 \
+    [--mechs a,b,..] [--mode cached|uncached] [--threads N]\n                 \
+    [--ops N] [--size N] [--seed N] [--samples N] [--json-out FILE]\n  \
     lrp-bench gate --baseline FILE --current FILE\n                 \
     [--max-regression F] [--json-out FILE]\n  \
     lrp-bench serve [--shards N] [--conns N] [--requests N] [--window N]\n                 \
@@ -55,6 +55,11 @@ const USAGE: &str = "usage:\n  \
     host runs the full matrix: all five structures x nop,sb,bb,lrp\n                 \
     (--threads 4 --ops 64 --size 128 --seed 1 --samples 5)\n  \
     --smoke            the CI matrix: hashmap x nop,lrp at t2, seconds total\n  \
+    --paper            the paper-scale tier: 64K-entry structures on 64\n                     \
+    simulated cores (hashmap,bstree,skiplist x all four\n                     \
+    mechanisms; with --smoke, one structure x lrp,sb)\n  \
+    --jobs N           build traces and probe cells on N worker threads;\n                     \
+    timed samples still run solo so wall numbers stay fair\n  \
     --structures LIST  comma-separated subset (linkedlist,hashmap,bstree,\n                     \
     skiplist,queue)\n  \
     --mechs LIST       comma-separated subset (nop,sb,bb,lrp)\n  \
@@ -83,6 +88,8 @@ const USAGE: &str = "usage:\n  \
 fn main() {
     let mut cli = Cli::from_env(USAGE);
     let smoke = cli.flag("smoke");
+    let paper = cli.flag("paper");
+    let jobs: usize = cli.opt_parse("jobs").unwrap_or(1);
     let structures: Option<Vec<Structure>> = cli.opt_list("structures");
     let mechs: Option<Vec<Mechanism>> = cli.opt_list("mechs");
     let mode: Option<NvmMode> = cli.opt_parse("mode");
@@ -111,10 +118,11 @@ fn main() {
     let fuzz_structures = structures.clone();
     let fuzz_mechs = mechs.clone();
     let host_spec = move || {
-        let mut spec = if smoke {
-            HostSpec::smoke()
-        } else {
-            HostSpec::quick()
+        let mut spec = match (paper, smoke) {
+            (true, true) => HostSpec::paper_smoke(),
+            (true, false) => HostSpec::paper(),
+            (false, true) => HostSpec::smoke(),
+            (false, false) => HostSpec::quick(),
         };
         if let Some(v) = structures {
             spec.structures = v;
@@ -146,7 +154,7 @@ fn main() {
     match pos[0].as_str() {
         "host" => {
             let spec = host_spec();
-            let report = host::run_host(&spec, |cell| {
+            let report = host::run_host_jobs(&spec, jobs, |cell| {
                 eprintln!(
                     "  {:<24} {:>10.3} ms  ({:.0} ops/s)",
                     cell.key(),
@@ -174,6 +182,9 @@ fn main() {
             if let Some(out) = &json_out {
                 write_out(out, &host::gate_json(&verdict, max_regression).to_pretty());
                 eprintln!("wrote gate verdict to {out}");
+            }
+            if let Ok(table) = host::render_gate_deltas(&base, &cur) {
+                print!("{table}");
             }
             print!("{}", render_gate(&verdict));
             if !verdict.pass() {

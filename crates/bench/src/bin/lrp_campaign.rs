@@ -27,20 +27,23 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 const USAGE: &str = "usage:\n  \
-    lrp-campaign run [--smoke] [--workers N] [--timeout-secs N] [--resume]\n                   \
-    [--structures a,b] [--mechanisms a,b] [--modes a,b]\n                   \
+    lrp-campaign run [--smoke|--paper] [--workers N] [--timeout-secs N]\n                   \
+    [--resume] [--structures a,b] [--mechanisms a,b] [--modes a,b]\n                   \
     [--threads a,b] [--seeds a,b] [--size N] [--ops N]\n                   \
     [--crash-samples N] [--out FILE] [--bench FILE]\n                   \
     [--no-bench] [--inject-panic CELL] [--quiet]\n  \
-    lrp-campaign matrix [--smoke] [...matrix flags]\n\n\
+    lrp-campaign matrix [--smoke|--paper] [...matrix flags]\n\n\
     axes: structures linkedlist,hashmap,bstree,skiplist,queue\n          \
-    mechanisms nop,sb,bb,lrp · modes cached,uncached";
+    mechanisms nop,sb,bb,lrp · modes cached,uncached\n\n\
+    --paper runs the paper-scale tier: 64K-entry structures on the full\n    \
+    64-core mesh (hashmap,bstree,skiplist x all four mechanisms)";
 
 fn matrix_from(cli: &mut Cli) -> MatrixSpec {
-    let mut m = if cli.flag("smoke") {
-        MatrixSpec::smoke()
-    } else {
-        MatrixSpec::default_campaign()
+    let mut m = match (cli.flag("paper"), cli.flag("smoke")) {
+        (true, true) => cli.fail("--paper and --smoke are mutually exclusive"),
+        (true, false) => MatrixSpec::paper(),
+        (false, true) => MatrixSpec::smoke(),
+        (false, false) => MatrixSpec::default_campaign(),
     };
     if let Some(v) = cli.opt_list("structures") {
         m.structures = v;

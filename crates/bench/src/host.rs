@@ -23,12 +23,15 @@ use crate::alloc_count;
 use crate::microbench::sample_ms;
 use crate::profile::{GateCheck, GateVerdict};
 use lrp_lfds::{Structure, WorkloadSpec};
+use lrp_model::Trace;
 use lrp_obs::{Json, RecorderConfig};
 use lrp_sim::{Mechanism, NvmMode, Sim, SimConfig};
 
 /// The benchmark matrix and workload shape.
 #[derive(Debug, Clone)]
 pub struct HostSpec {
+    /// Tier name recorded in the report (`quick`, `smoke`, `paper`).
+    pub tier: &'static str,
     /// Structures axis.
     pub structures: Vec<Structure>,
     /// Mechanisms axis.
@@ -52,6 +55,7 @@ impl HostSpec {
     /// at a workload size that keeps the full matrix under a minute.
     pub fn quick() -> HostSpec {
         HostSpec {
+            tier: "quick",
             structures: Structure::ALL.to_vec(),
             mechanisms: Mechanism::ALL.to_vec(),
             mode: NvmMode::Cached,
@@ -67,6 +71,7 @@ impl HostSpec {
     /// under NOP + LRP), seconds end-to-end.
     pub fn smoke() -> HostSpec {
         HostSpec {
+            tier: "smoke",
             structures: vec![Structure::HashMap],
             mechanisms: vec![Mechanism::Nop, Mechanism::Lrp],
             threads: 2,
@@ -74,6 +79,38 @@ impl HostSpec {
             initial_size: 32,
             samples: 3,
             ..HostSpec::quick()
+        }
+    }
+
+    /// The paper tier: the evaluation's SynchroBench scale — 64K
+    /// initial entries on 64 simulated cores (the machine's full mesh)
+    /// — for the structures the paper runs at that size. The O(n)
+    /// linked list and the two-ended queue are excluded: at 64K
+    /// entries a single traversal exceeds the whole quick-tier
+    /// workload, and the paper sizes them separately.
+    pub fn paper() -> HostSpec {
+        HostSpec {
+            tier: "paper",
+            structures: vec![Structure::HashMap, Structure::Bst, Structure::SkipList],
+            mechanisms: Mechanism::ALL.to_vec(),
+            threads: 64,
+            ops_per_thread: 64,
+            initial_size: 64 * 1024,
+            samples: 3,
+            ..HostSpec::quick()
+        }
+    }
+
+    /// The CI slice of the paper tier: one structure × LRP + SB at the
+    /// full 64K-entry / 64-core scale, few samples — proves the
+    /// paper-scale path completes inside a CI wall budget.
+    pub fn paper_smoke() -> HostSpec {
+        HostSpec {
+            tier: "paper-smoke",
+            structures: vec![Structure::HashMap],
+            mechanisms: vec![Mechanism::Lrp, Mechanism::Sb],
+            samples: 2,
+            ..HostSpec::paper()
         }
     }
 }
@@ -150,45 +187,88 @@ impl HostReport {
     }
 }
 
-/// Runs the benchmark matrix. Trace generation is excluded from the
-/// timed region: the benchmark measures the simulator, not the
-/// workload generator.
-pub fn run_host(spec: &HostSpec, mut progress: impl FnMut(&HostCell)) -> HostReport {
-    let mut cells = Vec::new();
-    for &structure in &spec.structures {
-        let trace = WorkloadSpec::new(structure)
-            .initial_size(spec.initial_size)
-            .threads(spec.threads)
-            .ops_per_thread(spec.ops_per_thread)
-            .seed(spec.seed)
-            .build_trace();
-        for &mechanism in &spec.mechanisms {
+/// Runs the benchmark matrix serially. Trace generation is excluded
+/// from the timed region: the benchmark measures the simulator, not
+/// the workload generator.
+pub fn run_host(spec: &HostSpec, progress: impl FnMut(&HostCell)) -> HostReport {
+    run_host_jobs(spec, 1, progress)
+}
+
+/// Runs the benchmark matrix with the untimed phases fanned out over
+/// `jobs` work-stealing workers (the campaign scheduler's discipline,
+/// via [`lrp_campaign::run_parallel`]):
+///
+/// 1. **Traces** — one workload trace per structure, in parallel.
+/// 2. **Probes** — one untimed replay per cell for the deterministic
+///    columns (`sim_cycles`, `ops`), in parallel.
+/// 3. **Timing** — allocation counting and the timed samples run
+///    strictly serially, in matrix order, after every worker has
+///    retired: each cell is pinned solo on the machine, so wall-clock
+///    numbers are directly comparable to a `--jobs 1` run.
+///
+/// Every reported number is byte-identical to [`run_host`]'s — the
+/// simulator is deterministic and the phases that parallelize are the
+/// untimed ones — only the end-to-end wall clock of the benchmark
+/// itself shrinks.
+pub fn run_host_jobs(
+    spec: &HostSpec,
+    jobs: usize,
+    mut progress: impl FnMut(&HostCell),
+) -> HostReport {
+    let jobs = jobs.max(1);
+    let traces: Vec<Trace> = lrp_campaign::run_parallel(
+        spec.structures.clone(),
+        jobs,
+        |s| {
+            WorkloadSpec::new(s)
+                .initial_size(spec.initial_size)
+                .threads(spec.threads)
+                .ops_per_thread(spec.ops_per_thread)
+                .seed(spec.seed)
+                .build_trace()
+        },
+        |_| (),
+    );
+    let pairs: Vec<(usize, Mechanism)> = (0..spec.structures.len())
+        .flat_map(|si| spec.mechanisms.iter().map(move |&m| (si, m)))
+        .collect();
+    let probes: Vec<(u64, u64)> = lrp_campaign::run_parallel(
+        pairs.clone(),
+        jobs,
+        |(si, mechanism)| {
             let cfg = SimConfig::new(mechanism).nvm_mode(spec.mode);
-            let probe = Sim::new(cfg.clone(), &trace).run();
-            let allocs_per_op = alloc_count::installed().then(|| {
-                let before = alloc_count::allocations();
-                let r = Sim::new(cfg.clone(), &trace).run();
-                let allocs = alloc_count::allocations() - before;
-                std::hint::black_box(&r);
-                if r.stats.ops > 0 {
-                    allocs as f64 / r.stats.ops as f64
-                } else {
-                    0.0
-                }
-            });
-            let samples = sample_ms(spec.samples, || Sim::new(cfg.clone(), &trace).run());
-            let cell = HostCell {
-                structure,
-                mechanism,
-                sim_cycles: probe.stats.cycles,
-                ops: probe.stats.ops,
-                wall_ms_min: samples[0],
-                wall_ms_median: samples[samples.len() / 2],
-                allocs_per_op,
-            };
-            progress(&cell);
-            cells.push(cell);
-        }
+            let r = Sim::new(cfg, &traces[si]).run();
+            (r.stats.cycles, r.stats.ops)
+        },
+        |_| (),
+    );
+    let mut cells = Vec::with_capacity(pairs.len());
+    for (&(si, mechanism), &(sim_cycles, ops)) in pairs.iter().zip(&probes) {
+        let trace = &traces[si];
+        let cfg = SimConfig::new(mechanism).nvm_mode(spec.mode);
+        let allocs_per_op = alloc_count::installed().then(|| {
+            let before = alloc_count::allocations();
+            let r = Sim::new(cfg.clone(), trace).run();
+            let allocs = alloc_count::allocations() - before;
+            std::hint::black_box(&r);
+            if r.stats.ops > 0 {
+                allocs as f64 / r.stats.ops as f64
+            } else {
+                0.0
+            }
+        });
+        let samples = sample_ms(spec.samples, || Sim::new(cfg.clone(), trace).run());
+        let cell = HostCell {
+            structure: spec.structures[si],
+            mechanism,
+            sim_cycles,
+            ops,
+            wall_ms_min: samples[0],
+            wall_ms_median: samples[samples.len() / 2],
+            allocs_per_op,
+        };
+        progress(&cell);
+        cells.push(cell);
     }
     HostReport {
         spec: spec.clone(),
@@ -220,6 +300,7 @@ pub fn report_json(r: &HostReport) -> Json {
         .collect();
     Json::obj([
         ("type", Json::Str("host-bench".to_string())),
+        ("tier", Json::Str(r.spec.tier.to_string())),
         ("mode", Json::Str(r.spec.mode.name().to_string())),
         ("threads", Json::U64(r.spec.threads as u64)),
         ("ops_per_thread", Json::U64(r.spec.ops_per_thread as u64)),
@@ -279,9 +360,17 @@ fn host_err(msg: impl Into<String>) -> String {
     format!("bad host-bench report: {}", msg.into())
 }
 
-/// Extracts `key -> (ops_per_sec, sim_cycles_per_sec)` from a
-/// `BENCH_host.json` document.
-fn extract(doc: &Json) -> Result<Vec<(String, f64, f64)>, String> {
+/// One cell's comparable metrics pulled out of a `BENCH_host.json`
+/// document.
+struct CellRow {
+    key: String,
+    ops_per_sec: f64,
+    wall_ms_min: f64,
+    allocs_per_op: Option<f64>,
+}
+
+/// Extracts the per-cell metric rows from a `BENCH_host.json` document.
+fn extract(doc: &Json) -> Result<Vec<CellRow>, String> {
     if doc.get("type").and_then(Json::as_str) != Some("host-bench") {
         return Err(host_err("missing type: \"host-bench\""));
     }
@@ -303,12 +392,57 @@ fn extract(doc: &Json) -> Result<Vec<(String, f64, f64)>, String> {
             .get("ops_per_sec")
             .and_then(Json::as_f64)
             .ok_or_else(|| host_err("cell without ops_per_sec"))?;
-        let cps = c
-            .get("sim_cycles_per_sec")
-            .and_then(Json::as_f64)
-            .unwrap_or(0.0);
-        out.push((format!("{structure}/{mechanism}"), ops, cps));
+        out.push(CellRow {
+            key: format!("{structure}/{mechanism}"),
+            ops_per_sec: ops,
+            wall_ms_min: c.get("wall_ms_min").and_then(Json::as_f64).unwrap_or(0.0),
+            allocs_per_op: c.get("allocs_per_op").and_then(Json::as_f64),
+        });
     }
+    Ok(out)
+}
+
+/// Renders the per-cell wall-clock and allocations-per-op movement of
+/// `current` against `baseline` as an aligned table — the human view
+/// beside the machine-readable gate verdict. Only keys present in both
+/// reports appear (the gate ignores one-sided cells too).
+pub fn render_gate_deltas(baseline: &Json, current: &Json) -> Result<String, String> {
+    let base = extract(baseline)?;
+    let cur = extract(current)?;
+    let mut out = format!(
+        "{:<24} {:>10} {:>10} {:>8} {:>10} {:>10} {:>8}\n",
+        "cell", "base ms", "cur ms", "wall", "base a/op", "cur a/op", "allocs",
+    );
+    let mut compared = 0;
+    for b in &base {
+        let Some(c) = cur.iter().find(|c| c.key == b.key) else {
+            continue;
+        };
+        compared += 1;
+        let wall_delta = if b.wall_ms_min > 0.0 {
+            format!("{:+.0}%", (c.wall_ms_min / b.wall_ms_min - 1.0) * 100.0)
+        } else {
+            "-".to_string()
+        };
+        let (ba, ca, alloc_delta) = match (b.allocs_per_op, c.allocs_per_op) {
+            (Some(ba), Some(ca)) if ba > 0.0 => (
+                format!("{ba:.1}"),
+                format!("{ca:.1}"),
+                format!("{:+.0}%", (ca / ba - 1.0) * 100.0),
+            ),
+            (Some(ba), Some(ca)) => (format!("{ba:.1}"), format!("{ca:.1}"), "-".to_string()),
+            (b, c) => (
+                b.map(|a| format!("{a:.1}")).unwrap_or_else(|| "-".into()),
+                c.map(|a| format!("{a:.1}")).unwrap_or_else(|| "-".into()),
+                "-".to_string(),
+            ),
+        };
+        out.push_str(&format!(
+            "{:<24} {:>10.3} {:>10.3} {:>8} {:>10} {:>10} {:>8}\n",
+            b.key, b.wall_ms_min, c.wall_ms_min, wall_delta, ba, ca, alloc_delta,
+        ));
+    }
+    out.push_str(&format!("({compared} cells compared)\n"));
     Ok(out)
 }
 
@@ -329,18 +463,18 @@ pub fn gate_host(
     let cur = extract(current)?;
     let mut checks = Vec::new();
     let mut compared = 0;
-    for (key, b_ops, _) in &base {
-        let Some((_, c_ops, _)) = cur.iter().find(|(k, _, _)| k == key) else {
+    for b in &base {
+        let Some(c) = cur.iter().find(|c| c.key == b.key) else {
             continue;
         };
         compared += 1;
         checks.push(GateCheck {
-            key: key.clone(),
+            key: b.key.clone(),
             metric: "ops_per_sec".to_string(),
-            baseline: *b_ops,
-            current: *c_ops,
+            baseline: b.ops_per_sec,
+            current: c.ops_per_sec,
             tol: max_regression,
-            pass: *c_ops * max_regression >= *b_ops,
+            pass: c.ops_per_sec * max_regression >= b.ops_per_sec,
         });
     }
     Ok(GateVerdict { compared, checks })
@@ -581,12 +715,20 @@ mod tests {
             assert!(c.sim_cycles_per_sec() > 0.0);
         }
         let doc = Json::parse(&report_json(&report).to_pretty()).unwrap();
+        assert_eq!(doc.get("tier").and_then(Json::as_str), Some("quick"));
         let rows = extract(&doc).unwrap();
         assert_eq!(rows.len(), 2);
-        assert_eq!(rows[0].0, "queue/nop");
-        assert!(rows.iter().all(|(_, ops, cps)| *ops > 0.0 && *cps > 0.0));
+        assert_eq!(rows[0].key, "queue/nop");
+        assert!(rows
+            .iter()
+            .all(|r| r.ops_per_sec > 0.0 && r.wall_ms_min > 0.0));
         let rendered = render_report(&report);
         assert!(rendered.contains("queue/lrp"));
+        let deltas = render_gate_deltas(&doc, &doc).unwrap();
+        assert!(
+            deltas.contains("queue/nop") && deltas.contains("+0%"),
+            "{deltas}"
+        );
     }
 
     #[test]
@@ -608,6 +750,21 @@ mod tests {
 
         // ...and passes a permissive 8x gate.
         assert!(gate_host(&doc, &report_json(&slow), 8.0).unwrap().pass());
+    }
+
+    #[test]
+    fn parallel_jobs_match_serial_deterministic_columns() {
+        // The simulator is deterministic and only untimed phases fan
+        // out, so every non-wall column is identical across job counts.
+        let spec = tiny_spec();
+        let serial = run_host(&spec, |_| {});
+        let parallel = run_host_jobs(&spec, 4, |_| {});
+        assert_eq!(serial.cells.len(), parallel.cells.len());
+        for (s, p) in serial.cells.iter().zip(&parallel.cells) {
+            assert_eq!(s.key(), p.key());
+            assert_eq!(s.sim_cycles, p.sim_cycles);
+            assert_eq!(s.ops, p.ops);
+        }
     }
 
     #[test]

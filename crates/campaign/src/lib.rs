@@ -46,4 +46,4 @@ pub use matrix::{CellSpec, MatrixSpec};
 pub use report::{
     render_table, run_to_files, summary_json, write_bench_json, CampaignOutcome, FORMAT_VERSION,
 };
-pub use scheduler::{run_campaign, CampaignConfig};
+pub use scheduler::{run_campaign, run_parallel, CampaignConfig};

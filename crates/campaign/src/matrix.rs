@@ -98,6 +98,26 @@ impl MatrixSpec {
         }
     }
 
+    /// The paper tier: SynchroBench scale — 64K initial entries on the
+    /// machine's full 64-core mesh, cached NVM, one seed. Only the
+    /// structures the paper evaluates at that size (the O(n) linked
+    /// list and the queue are excluded — a single traversal at 64K
+    /// entries dwarfs the rest of the matrix). Crash sampling is
+    /// lighter than the default campaign: each sample replays the
+    /// whole trace, and the traces are three orders larger here.
+    pub fn paper() -> Self {
+        MatrixSpec {
+            structures: vec![Structure::HashMap, Structure::Bst, Structure::SkipList],
+            mechanisms: Mechanism::ALL.to_vec(),
+            modes: vec![NvmMode::Cached],
+            threads: vec![64],
+            seeds: vec![1],
+            initial_size: 64 * 1024,
+            ops_per_thread: 64,
+            crash_samples: 4,
+        }
+    }
+
     /// Effective initial size for `s` (per-structure default when
     /// `initial_size` is 0: the O(n) linked list stays small).
     pub fn size_for(&self, s: Structure) -> usize {
@@ -228,6 +248,16 @@ mod tests {
         let m = MatrixSpec::smoke();
         assert_eq!(m.len(), 2);
         assert!(m.cells().iter().any(|c| c.mechanism == Mechanism::Nop));
+    }
+
+    #[test]
+    fn paper_matrix_is_paper_scale() {
+        let m = MatrixSpec::paper();
+        assert_eq!(m.len(), 3 * 4);
+        assert_eq!(m.initial_size, 64 * 1024);
+        assert!(m.cells().iter().all(|c| c.threads == 64));
+        assert!(!m.structures.contains(&Structure::LinkedList));
+        assert!(!m.structures.contains(&Structure::Queue));
     }
 
     #[test]

@@ -44,6 +44,82 @@ impl CampaignConfig {
     }
 }
 
+/// Runs `f` over `items` on `workers` work-stealing threads and
+/// returns the results in item order.
+///
+/// Items are dealt round-robin onto per-worker deques; each worker
+/// drains its own deque from the front and, when empty, steals from
+/// the back of a victim's — the same discipline [`run_campaign`] uses
+/// for campaign cells, exposed generically so other fan-outs (the
+/// host benchmark's `--jobs`, trace pre-building) reuse it. `each`
+/// runs on the caller's thread once per completed item in completion
+/// order (for streaming persistence or progress lines). With
+/// `workers <= 1` everything runs serially on the caller's thread and
+/// no threads are spawned.
+pub fn run_parallel<T, R>(
+    items: Vec<T>,
+    workers: usize,
+    f: impl Fn(T) -> R + Sync,
+    mut each: impl FnMut(&R),
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+{
+    let total = items.len();
+    if total == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, total);
+    if workers == 1 {
+        return items
+            .into_iter()
+            .map(|item| {
+                let r = f(item);
+                each(&r);
+                r
+            })
+            .collect();
+    }
+
+    let mut deques: Vec<VecDeque<(usize, T)>> = (0..workers).map(|_| VecDeque::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        deques[i % workers].push_back((i, item));
+    }
+    let deques: Vec<Mutex<VecDeque<(usize, T)>>> = deques.into_iter().map(Mutex::new).collect();
+
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let mut out: Vec<Option<R>> = (0..total).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let tx = tx.clone();
+            let deques = &deques;
+            let f = &f;
+            scope.spawn(move || {
+                loop {
+                    // Own work first (front), then steal (back).
+                    let next = deques[w].lock().unwrap().pop_front().or_else(|| {
+                        (1..workers)
+                            .find_map(|d| deques[(w + d) % workers].lock().unwrap().pop_back())
+                    });
+                    let Some((i, item)) = next else { break };
+                    if tx.send((i, f(item))).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        for (i, r) in rx {
+            each(&r);
+            out[i] = Some(r);
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("a worker died before completing its item"))
+        .collect()
+}
+
 /// Runs `cells` under `cfg`, invoking `sink` once per completed cell in
 /// completion order, and returns all records sorted by cell index.
 pub fn run_campaign(
@@ -51,52 +127,16 @@ pub fn run_campaign(
     cfg: &CampaignConfig,
     mut sink: impl FnMut(&CellRecord),
 ) -> Vec<CellRecord> {
-    let total = cells.len();
-    if total == 0 {
-        return Vec::new();
-    }
-    let workers = cfg.workers.clamp(1, total.max(1));
-
-    // Deal cells round-robin so every worker starts with a comparable
-    // slice of the matrix (neighbouring cells have similar cost).
-    let mut deques: Vec<VecDeque<CellSpec>> = (0..workers).map(|_| VecDeque::new()).collect();
-    for (i, cell) in cells.into_iter().enumerate() {
-        deques[i % workers].push_back(cell);
-    }
-    let deques: Vec<Mutex<VecDeque<CellSpec>>> = deques.into_iter().map(Mutex::new).collect();
-
-    let (tx, rx) = mpsc::channel::<CellRecord>();
-    let mut records: Vec<CellRecord> = Vec::with_capacity(total);
-
-    with_quiet_cell_panics(|| {
-        std::thread::scope(|scope| {
-            for w in 0..workers {
-                let tx = tx.clone();
-                let deques = &deques;
-                let cfg = cfg.clone();
-                scope.spawn(move || {
-                    loop {
-                        // Own work first (front), then steal (back).
-                        let next = deques[w].lock().unwrap().pop_front().or_else(|| {
-                            (1..workers)
-                                .find_map(|d| deques[(w + d) % workers].lock().unwrap().pop_back())
-                        });
-                        let Some(spec) = next else { break };
-                        let record = run_isolated(&spec, cfg.timeout, cfg.injects(&spec));
-                        if tx.send(record).is_err() {
-                            break;
-                        }
-                    }
-                });
-            }
-            drop(tx);
-            for record in rx {
-                sink(&record);
-                records.push(record);
-            }
-        });
+    let mut records = with_quiet_cell_panics(|| {
+        run_parallel(
+            cells,
+            cfg.workers,
+            |spec| run_isolated(&spec, cfg.timeout, cfg.injects(&spec)),
+            |record| sink(record),
+        )
     });
-
+    // Item order is matrix order already; sort by the specs' own index
+    // so callers can rely on it even for hand-built cell lists.
     records.sort_by_key(|r| r.spec.index);
     records
 }
@@ -190,6 +230,18 @@ mod tests {
             .iter()
             .filter(|r| r.spec.id() != target)
             .all(|r| matches!(r.outcome, CellOutcome::Ok(_))));
+    }
+
+    #[test]
+    fn run_parallel_matches_serial_and_preserves_item_order() {
+        let items: Vec<usize> = (0..37).collect();
+        let mut seen = 0;
+        let parallel = run_parallel(items.clone(), 4, |i| i * 2 + 1, |_| seen += 1);
+        assert_eq!(seen, 37);
+        assert_eq!(parallel, (0..37).map(|i| i * 2 + 1).collect::<Vec<_>>());
+        let serial = run_parallel(items, 1, |i| i * 2 + 1, |_| {});
+        assert_eq!(parallel, serial);
+        assert_eq!(run_parallel(Vec::<usize>::new(), 8, |i| i, |_| {}), vec![]);
     }
 
     #[test]

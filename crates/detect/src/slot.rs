@@ -356,7 +356,7 @@ mod tests {
         c.start_recording();
         let r = rec(2, 9, 77);
         stamp(&mut c, base, &spec, &r);
-        let events = c.rec.take().unwrap().events;
+        let events = c.rec.take().unwrap().into_events();
         assert_eq!(events.len(), 3);
         assert!(events[..2]
             .iter()

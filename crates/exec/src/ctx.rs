@@ -4,8 +4,9 @@
 
 use crate::mem::SharedMem;
 use crate::rng::Xorshift64;
-use lrp_model::{Addr, Annot, Event, EventId, EventKind, OpKind, OpMarker, ThreadId};
-use std::collections::HashMap;
+use lrp_model::{
+    Addr, Annot, Arena, Event, EventId, EventKind, FxHashMap, OpKind, OpMarker, ThreadId,
+};
 
 /// Base byte address of the simulated heap.
 pub const HEAP_BASE: Addr = 0x1000_0000;
@@ -120,29 +121,48 @@ pub trait PmemCtx {
     }
 }
 
-/// Per-thread current [`OpSite`](lrp_model::Trace::site_names) label.
-#[derive(Debug, Default, Clone)]
-struct SiteState {
-    prefix: String,
-    phase: String,
-    cached: Option<u16>,
+/// Sentinel for "composed site id not yet computed" in [`TidSite`].
+const SITE_UNCACHED: u16 = u16::MAX;
+
+/// Per-thread current [`OpSite`](lrp_model::Trace::site_names) label,
+/// held as ids into the recorder's raw-label table: `prefix`/`phase`
+/// are `label id + 1` (0 = unset), `cached` is the composed site id or
+/// [`SITE_UNCACHED`]. No strings — a site change is two integer
+/// stores, and stamping an event is one branch plus an arena push.
+#[derive(Debug, Default, Clone, Copy)]
+struct TidSite {
+    prefix: u16,
+    phase: u16,
+    cached: u16,
 }
 
 /// Records events and operation markers while an execution runs.
+///
+/// Storage is allocation-free per event in steady state: events and
+/// site stamps go to chunked [`Arena`]s (one allocation per 4096
+/// entries, no realloc copies), per-thread state lives in
+/// tid-indexed vectors, the reads-from index is an `FxHashMap`, and
+/// site labels are interned once — repeating a label or phase costs
+/// a hash of its bytes and two integer stores, never an allocation.
 #[derive(Debug, Default)]
 pub struct Recorder {
     /// Recorded events in interleaving order.
-    pub events: Vec<Event>,
+    pub events: Arena<Event>,
     /// Completed operation markers.
     pub markers: Vec<OpMarker>,
     /// Interned site labels; index 0 is `"unknown"` once any label exists.
     pub site_names: Vec<String>,
     /// Per-event site index, parallel to [`Recorder::events`].
-    pub event_sites: Vec<u16>,
-    open: HashMap<ThreadId, (OpKind, EventId)>,
-    last_writer: HashMap<Addr, EventId>,
-    site_ids: HashMap<String, u16>,
-    sites: HashMap<ThreadId, SiteState>,
+    pub event_sites: Arena<u16>,
+    open: Vec<Option<(OpKind, EventId)>>,
+    last_writer: FxHashMap<Addr, EventId>,
+    site_ids: FxHashMap<String, u16>,
+    /// Raw labels (op prefixes and phase suffixes) as registered.
+    labels: Vec<String>,
+    label_ids: FxHashMap<String, u16>,
+    /// `(prefix label + 1, phase label + 1)` → composed site id.
+    composed: FxHashMap<(u16, u16), u16>,
+    sites: Vec<TidSite>,
 }
 
 impl Recorder {
@@ -167,47 +187,96 @@ impl Recorder {
         id
     }
 
+    /// Registers a raw label (op prefix or phase suffix) and returns
+    /// its id for the `_id` site setters. Idempotent; allocates only
+    /// the first time a label is seen.
+    pub fn register_label(&mut self, label: &str) -> u16 {
+        if let Some(&id) = self.label_ids.get(label) {
+            return id;
+        }
+        let id = u16::try_from(self.labels.len()).expect("more than 65535 distinct site labels");
+        self.labels.push(label.to_string());
+        self.label_ids.insert(label.to_string(), id);
+        id
+    }
+
+    #[inline]
+    fn site_mut(&mut self, tid: ThreadId) -> &mut TidSite {
+        let t = tid as usize;
+        if t >= self.sites.len() {
+            self.sites.resize_with(t + 1, TidSite::default);
+        }
+        &mut self.sites[t]
+    }
+
     /// Sets `tid`'s site prefix (`structure/operation`), clearing the phase.
     pub fn site_op(&mut self, tid: ThreadId, label: &str) {
-        let s = self.sites.entry(tid).or_default();
-        s.prefix = label.to_string();
-        s.phase.clear();
-        s.cached = None;
+        let id = self.register_label(label);
+        self.site_op_id(tid, id);
     }
 
     /// Sets `tid`'s phase suffix within the current site prefix.
     pub fn site_phase(&mut self, tid: ThreadId, phase: &str) {
-        let s = self.sites.entry(tid).or_default();
-        s.phase = phase.to_string();
-        s.cached = None;
+        let id = self.register_label(phase);
+        self.site_phase_id(tid, id);
+    }
+
+    /// [`Recorder::site_op`] by pre-registered label id.
+    pub fn site_op_id(&mut self, tid: ThreadId, label: u16) {
+        let s = self.site_mut(tid);
+        s.prefix = label + 1;
+        s.phase = 0;
+        s.cached = SITE_UNCACHED;
+    }
+
+    /// [`Recorder::site_phase`] by pre-registered label id.
+    pub fn site_phase_id(&mut self, tid: ThreadId, phase: u16) {
+        let s = self.site_mut(tid);
+        s.phase = phase + 1;
+        s.cached = SITE_UNCACHED;
+    }
+
+    /// Composes and interns the `prefix[/phase]` site name for a
+    /// `(prefix, phase)` pair (ids offset by 1, 0 = unset). Interning
+    /// stays lazy — it happens at the first event *stamped* under the
+    /// label, not when the label is set — so `site_names` comes out in
+    /// the exact order the eager string-based recorder produced.
+    fn compose(&mut self, prefix: u16, phase: u16) -> u16 {
+        if prefix == 0 {
+            return if self.site_names.is_empty() {
+                0
+            } else {
+                self.intern("unknown")
+            };
+        }
+        if let Some(&id) = self.composed.get(&(prefix, phase)) {
+            return id;
+        }
+        let label = if phase == 0 {
+            self.labels[prefix as usize - 1].clone()
+        } else {
+            format!(
+                "{}/{}",
+                self.labels[prefix as usize - 1],
+                self.labels[phase as usize - 1]
+            )
+        };
+        let id = self.intern(&label);
+        self.composed.insert((prefix, phase), id);
+        id
     }
 
     /// The interned site id for `tid`'s current label, stamped per event.
+    #[inline]
     fn stamp(&mut self, tid: ThreadId) {
-        let cached = self.sites.get(&tid).and_then(|s| s.cached);
-        let id = match cached {
-            Some(id) => id,
-            None => {
-                let label = match self.sites.get(&tid) {
-                    None => String::new(),
-                    Some(s) if s.prefix.is_empty() => String::new(),
-                    Some(s) if s.phase.is_empty() => s.prefix.clone(),
-                    Some(s) => format!("{}/{}", s.prefix, s.phase),
-                };
-                let id = if label.is_empty() {
-                    if self.site_names.is_empty() {
-                        0
-                    } else {
-                        self.intern("unknown")
-                    }
-                } else {
-                    self.intern(&label)
-                };
-                if let Some(s) = self.sites.get_mut(&tid) {
-                    s.cached = Some(id);
-                }
-                id
-            }
+        let cached = self.sites.get(tid as usize).map_or(0, |s| s.cached);
+        let id = if cached == SITE_UNCACHED {
+            let s = self.sites[tid as usize];
+            let id = self.compose(s.prefix, s.phase);
+            self.sites[tid as usize].cached = id;
+            id
+        } else {
+            cached
         };
         self.event_sites.push(id);
     }
@@ -284,12 +353,16 @@ impl Recorder {
     /// Opens an operation marker for `tid`.
     pub fn begin(&mut self, tid: ThreadId, op: OpKind) {
         let at = self.events.len() as EventId;
-        self.open.insert(tid, (op, at));
+        let t = tid as usize;
+        if t >= self.open.len() {
+            self.open.resize(t + 1, None);
+        }
+        self.open[t] = Some((op, at));
     }
 
     /// Closes the open marker for `tid`.
     pub fn end(&mut self, tid: ThreadId, result: u64) {
-        if let Some((op, first)) = self.open.remove(&tid) {
+        if let Some((op, first)) = self.open.get_mut(tid as usize).and_then(Option::take) {
             self.markers.push(OpMarker {
                 tid,
                 op,
@@ -298,6 +371,23 @@ impl Recorder {
                 result,
             });
         }
+    }
+
+    /// Consumes the recorder into the flat trace pieces: events, op
+    /// markers, interned site names, per-event site ids. The arenas
+    /// flatten with one exact allocation each.
+    pub fn into_trace_parts(self) -> (Vec<Event>, Vec<OpMarker>, Vec<String>, Vec<u16>) {
+        (
+            self.events.into_vec(),
+            self.markers,
+            self.site_names,
+            self.event_sites.into_vec(),
+        )
+    }
+
+    /// Consumes the recorder, returning just the recorded events.
+    pub fn into_events(self) -> Vec<Event> {
+        self.events.into_vec()
     }
 }
 

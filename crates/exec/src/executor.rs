@@ -11,7 +11,7 @@
 use crate::ctx::{Arenas, DirectCtx, PmemCtx, Recorder};
 use crate::mem::SharedMem;
 use crate::rng::Xorshift64;
-use lrp_model::{Addr, Annot, OpKind, ThreadId, Trace};
+use lrp_model::{Addr, Annot, FxHashMap, OpKind, ThreadId, Trace};
 use std::sync::mpsc::{channel, Receiver, Sender};
 
 /// How the scheduler chooses among parked threads.
@@ -81,8 +81,14 @@ enum Req {
     Alloc(usize),
     OpBegin(OpKind),
     OpEnd(u64),
-    SiteOp(String),
-    SitePhase(String),
+    /// First use of a site label on this thread: ships the string once;
+    /// the scheduler appends the recorder's label id to the thread's
+    /// label table. The `bool` selects op-prefix (`true`) vs phase.
+    SiteNew(String, bool),
+    /// Repeat use: an index into this thread's label table. Steady-state
+    /// site changes ship 4 bytes instead of a heap-allocated `String`.
+    SiteOp(u32),
+    SitePhase(u32),
     Done,
 }
 
@@ -99,12 +105,31 @@ pub struct GateCtx {
     tx: Sender<Req>,
     rx: Receiver<Resp>,
     rng: Xorshift64,
+    /// Local site-label interning: label → index into this thread's
+    /// scheduler-side label table. A label is shipped as a `String`
+    /// only the first time; after that site changes are integer sends.
+    labels: FxHashMap<String, u32>,
 }
 
 impl GateCtx {
     fn roundtrip(&mut self, req: Req) -> Resp {
         self.tx.send(req).expect("scheduler hung up");
         self.rx.recv().expect("scheduler hung up")
+    }
+
+    /// Local index for `label`, registering it with the scheduler on
+    /// first use. `is_op` tags the registration so the scheduler can
+    /// apply it immediately (a registration is also a site change).
+    fn label_index(&mut self, label: &str, is_op: bool) -> Option<u32> {
+        if let Some(&i) = self.labels.get(label) {
+            return Some(i);
+        }
+        let i = self.labels.len() as u32;
+        self.labels.insert(label.to_string(), i);
+        self.tx
+            .send(Req::SiteNew(label.to_string(), is_op))
+            .expect("scheduler hung up");
+        None
     }
 }
 
@@ -154,15 +179,15 @@ impl PmemCtx for GateCtx {
     }
 
     fn site_op(&mut self, label: &str) {
-        self.tx
-            .send(Req::SiteOp(label.to_string()))
-            .expect("scheduler hung up");
+        if let Some(i) = self.label_index(label, true) {
+            self.tx.send(Req::SiteOp(i)).expect("scheduler hung up");
+        }
     }
 
     fn site_phase(&mut self, phase: &str) {
-        self.tx
-            .send(Req::SitePhase(phase.to_string()))
-            .expect("scheduler hung up");
+        if let Some(i) = self.label_index(phase, false) {
+            self.tx.send(Req::SitePhase(i)).expect("scheduler hung up");
+        }
     }
 }
 
@@ -207,6 +232,7 @@ pub fn run(cfg: &ExecConfig, setup: impl FnOnce(&mut DirectCtx), bodies: Vec<Thr
             SchedPolicy::RoundRobin => None,
         },
         cursor: 0,
+        labels: vec![Vec::new(); n],
     };
 
     let mut req_rxs = Vec::with_capacity(n);
@@ -226,6 +252,7 @@ pub fn run(cfg: &ExecConfig, setup: impl FnOnce(&mut DirectCtx), bodies: Vec<Thr
                     .wrapping_mul(0x9E37_79B9)
                     .wrapping_add(i as u64 + 1),
             ),
+            labels: FxHashMap::default(),
         };
         handles.push(std::thread::spawn(move || {
             body(&mut ctx);
@@ -246,15 +273,16 @@ pub fn run(cfg: &ExecConfig, setup: impl FnOnce(&mut DirectCtx), bodies: Vec<Thr
     }
 
     let heap_range = sched.arenas.used_range();
+    let (events, markers, site_names, event_sites) = sched.rec.into_trace_parts();
     Trace {
         nthreads: cfg.threads + u16::from(cfg.record_setup),
-        events: sched.rec.events,
+        events,
         initial_mem,
-        markers: sched.rec.markers,
+        markers,
         roots,
         heap_range,
-        site_names: sched.rec.site_names,
-        event_sites: sched.rec.event_sites,
+        site_names,
+        event_sites,
     }
 }
 
@@ -264,6 +292,10 @@ struct Scheduler {
     rec: Recorder,
     policy_rng: Option<Xorshift64>,
     cursor: usize,
+    /// Per-thread label tables: worker-local label index → recorder
+    /// label id (built up by `Req::SiteNew`, consulted by the integer
+    /// site messages).
+    labels: Vec<Vec<u16>>,
 }
 
 impl Scheduler {
@@ -279,8 +311,23 @@ impl Scheduler {
                 }
                 Ok(Req::OpBegin(op)) => self.rec.begin(t as ThreadId, op),
                 Ok(Req::OpEnd(r)) => self.rec.end(t as ThreadId, r),
-                Ok(Req::SiteOp(label)) => self.rec.site_op(t as ThreadId, &label),
-                Ok(Req::SitePhase(phase)) => self.rec.site_phase(t as ThreadId, &phase),
+                Ok(Req::SiteNew(label, is_op)) => {
+                    let id = self.rec.register_label(&label);
+                    self.labels[t].push(id);
+                    if is_op {
+                        self.rec.site_op_id(t as ThreadId, id);
+                    } else {
+                        self.rec.site_phase_id(t as ThreadId, id);
+                    }
+                }
+                Ok(Req::SiteOp(i)) => {
+                    let id = self.labels[t][i as usize];
+                    self.rec.site_op_id(t as ThreadId, id);
+                }
+                Ok(Req::SitePhase(i)) => {
+                    let id = self.labels[t][i as usize];
+                    self.rec.site_phase_id(t as ThreadId, id);
+                }
                 Ok(Req::Done) | Err(_) => return None,
             }
         }

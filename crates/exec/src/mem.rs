@@ -42,6 +42,11 @@ impl Page {
 #[derive(Debug, Clone, Default)]
 pub struct SharedMem {
     pages: FxHashMap<u64, Box<Page>>,
+    /// Page ids in ascending order, maintained at page-creation time.
+    /// `snapshot` runs at every crash cut of the checkers and fuzzers,
+    /// so it must not re-collect and re-sort the directory per call —
+    /// a page insert (rare, amortized over 512 words) pays instead.
+    sorted_ids: Vec<u64>,
     written: usize,
 }
 
@@ -83,7 +88,11 @@ impl SharedMem {
     pub fn write(&mut self, addr: Addr, val: u64) {
         debug_assert_eq!(addr % 8, 0, "unaligned word access at {addr:#x}");
         let (page, slot) = SharedMem::split(addr);
-        let p = self.pages.entry(page).or_insert_with(Page::new);
+        let p = self.pages.entry(page).or_insert_with(|| {
+            let at = self.sorted_ids.binary_search(&page).unwrap_err();
+            self.sorted_ids.insert(at, page);
+            Page::new()
+        });
         if !p.is_written(slot) {
             p.written[slot / 64] |= 1 << (slot % 64);
             self.written += 1;
@@ -104,10 +113,8 @@ impl SharedMem {
 
     /// Snapshot of all written words, sorted by address.
     pub fn snapshot(&self) -> Vec<(Addr, u64)> {
-        let mut page_ids: Vec<u64> = self.pages.keys().copied().collect();
-        page_ids.sort_unstable();
         let mut v = Vec::with_capacity(self.written);
-        for id in page_ids {
+        for &id in &self.sorted_ids {
             let p = &self.pages[&id];
             for slot in 0..PAGE_WORDS {
                 if p.is_written(slot) {
@@ -175,6 +182,26 @@ mod tests {
             m.snapshot(),
             vec![(0x10, 1), (0x20, 2), (PAGE_WORDS as u64 * 8 * 3 + 0x40, 3)]
         );
+    }
+
+    #[test]
+    fn snapshot_order_is_stable_under_unsorted_page_creation() {
+        // Touch pages in descending, then interleaved, order; the
+        // incrementally maintained directory must still yield one
+        // address-sorted snapshot, identical across repeated calls.
+        let mut m = SharedMem::new();
+        let page = |n: u64| n * PAGE_WORDS as u64 * 8;
+        for n in [7, 3, 9, 1, 8, 2] {
+            m.write(page(n), n);
+        }
+        m.write(page(3) + 8, 33); // existing page: no directory change
+        let first = m.snapshot();
+        let addrs: Vec<u64> = first.iter().map(|&(a, _)| a).collect();
+        let mut sorted = addrs.clone();
+        sorted.sort_unstable();
+        assert_eq!(addrs, sorted);
+        assert_eq!(first.len(), 7);
+        assert_eq!(m.snapshot(), first);
     }
 
     #[test]

@@ -508,6 +508,22 @@ impl SetOp {
     }
 }
 
+/// Static `structure/operation` site labels, so the per-op hot loop
+/// never formats a label string.
+fn set_labels(structure: &str) -> [&'static str; 3] {
+    match structure {
+        "linkedlist" => [
+            "linkedlist/contains",
+            "linkedlist/insert",
+            "linkedlist/delete",
+        ],
+        "hashmap" => ["hashmap/contains", "hashmap/insert", "hashmap/delete"],
+        "bstree" => ["bstree/contains", "bstree/insert", "bstree/delete"],
+        "skiplist" => ["skiplist/contains", "skiplist/insert", "skiplist/delete"],
+        _ => ["set/contains", "set/insert", "set/delete"],
+    }
+}
+
 /// Issues one set-structure operation with markers and an
 /// `structure/operation` [`OpSite`](lrp_model::Trace::site_names) label.
 fn drive_set<C: PmemCtx>(
@@ -519,22 +535,23 @@ fn drive_set<C: PmemCtx>(
     insert: impl Fn(&mut C, u64) -> bool,
     delete: impl Fn(&mut C, u64) -> bool,
 ) {
+    let labels = set_labels(structure);
     match op {
         SetOp::Contains => {
             c.op_begin(OpKind::Contains(key));
-            c.site_op(&format!("{structure}/contains"));
+            c.site_op(labels[0]);
             let r = contains(c, key);
             c.op_end(r as u64);
         }
         SetOp::Insert => {
             c.op_begin(OpKind::Insert(key, key));
-            c.site_op(&format!("{structure}/insert"));
+            c.site_op(labels[1]);
             let r = insert(c, key);
             c.op_end(r as u64);
         }
         SetOp::Delete => {
             c.op_begin(OpKind::Delete(key));
-            c.site_op(&format!("{structure}/delete"));
+            c.site_op(labels[2]);
             let r = delete(c, key);
             c.op_end(r as u64);
         }

@@ -1,0 +1,138 @@
+//! Chunked bump arena for per-run trace storage.
+//!
+//! A [`Vec`] doubles when it grows: recording an N-event trace copies
+//! ~2N events through realloc and leaves up to 2x slack. The arena
+//! stores elements in fixed-size chunks that never move — a push past
+//! the end allocates one new chunk and nothing is copied — so
+//! steady-state recording does one allocation per [`CHUNK`] elements
+//! instead of one logarithmic resize ladder, and previously recorded
+//! elements stay put (stable addresses for the lifetime of the arena).
+//!
+//! [`Arena::into_vec`] flattens to a contiguous `Vec` in one exact
+//! allocation at end of run, which is how the arena-backed recorder
+//! hands a finished [`Trace`](crate::Trace) to the rest of the
+//! pipeline without changing its public shape.
+
+use std::ops::Index;
+
+/// Elements per chunk. 4096 events ≈ 256 KiB per chunk at the 64-byte
+/// `Event` size — large enough that chunk allocation is measurement
+/// noise, small enough that a tiny unit-test trace wastes little.
+pub const CHUNK: usize = 4096;
+
+/// A grow-only chunked store; see the module docs.
+#[derive(Debug, Clone)]
+pub struct Arena<T> {
+    chunks: Vec<Vec<T>>,
+    len: usize,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Arena::new()
+    }
+}
+
+impl<T> Arena<T> {
+    /// An empty arena (allocates nothing until the first push).
+    pub fn new() -> Self {
+        Arena {
+            chunks: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of elements stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends an element; allocates only on a chunk boundary.
+    #[inline]
+    pub fn push(&mut self, value: T) {
+        if self.len.is_multiple_of(CHUNK) {
+            self.chunks.push(Vec::with_capacity(CHUNK));
+        }
+        // The last chunk exists and has room by the check above.
+        self.chunks.last_mut().unwrap().push(value);
+        self.len += 1;
+    }
+
+    /// The element at `index`, if in bounds.
+    #[inline]
+    pub fn get(&self, index: usize) -> Option<&T> {
+        if index >= self.len {
+            return None;
+        }
+        Some(&self.chunks[index / CHUNK][index % CHUNK])
+    }
+
+    /// Iterates elements in push order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.chunks.iter().flatten()
+    }
+
+    /// Flattens into a contiguous `Vec` with one exact allocation.
+    pub fn into_vec(self) -> Vec<T> {
+        let mut v = Vec::with_capacity(self.len);
+        for chunk in self.chunks {
+            v.extend(chunk);
+        }
+        v
+    }
+}
+
+impl<T> Index<usize> for Arena<T> {
+    type Output = T;
+
+    fn index(&self, index: usize) -> &T {
+        self.get(index).expect("arena index out of bounds")
+    }
+}
+
+impl<T> FromIterator<T> for Arena<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut a = Arena::new();
+        for v in iter {
+            a.push(v);
+        }
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_iter_round_trip() {
+        let mut a = Arena::new();
+        assert!(a.is_empty());
+        for i in 0..(CHUNK * 2 + 17) {
+            a.push(i);
+        }
+        assert_eq!(a.len(), CHUNK * 2 + 17);
+        assert_eq!(a[0], 0);
+        assert_eq!(a[CHUNK], CHUNK); // first element of chunk 1
+        assert_eq!(a.get(a.len()), None);
+        let collected: Vec<usize> = a.iter().copied().collect();
+        assert_eq!(collected, (0..CHUNK * 2 + 17).collect::<Vec<_>>());
+        assert_eq!(a.into_vec(), (0..CHUNK * 2 + 17).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_never_move_on_growth() {
+        let mut a = Arena::new();
+        a.push(7u64);
+        let p = &a[0] as *const u64;
+        for i in 0..CHUNK * 3 {
+            a.push(i as u64);
+        }
+        assert_eq!(&a[0] as *const u64, p, "early elements must not move");
+    }
+}

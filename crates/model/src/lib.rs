@@ -38,6 +38,7 @@
 //! assert!(check_rp(&trace, &sched).is_err());
 //! ```
 
+pub mod arena;
 pub mod census;
 pub mod codec;
 pub mod event;
@@ -47,6 +48,7 @@ pub mod litmus;
 pub mod spec;
 pub mod types;
 
+pub use arena::Arena;
 pub use census::Census;
 pub use event::{Event, EventKind, OpKind, OpMarker, Trace};
 pub use fxmap::{FxHashMap, FxHashSet, FxHasher};

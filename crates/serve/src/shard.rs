@@ -835,16 +835,21 @@ fn issue<C: PmemCtx>(
     batch: u64,
     req: ShardReq,
 ) {
-    let structure = match h {
-        Handle::List(_) => "linkedlist",
-        Handle::Map(_) => "hashmap",
-        Handle::Bst(_) => "bstree",
-        Handle::Skip(_) => "skiplist",
+    // Static labels: the per-request hot loop must not format strings.
+    let [get_site, put_site, del_site] = match h {
+        Handle::List(_) => [
+            "linkedlist/contains",
+            "linkedlist/insert",
+            "linkedlist/delete",
+        ],
+        Handle::Map(_) => ["hashmap/contains", "hashmap/insert", "hashmap/delete"],
+        Handle::Bst(_) => ["bstree/contains", "bstree/insert", "bstree/delete"],
+        Handle::Skip(_) => ["skiplist/contains", "skiplist/insert", "skiplist/delete"],
     };
     match req.op {
         KvOp::Get(k) => {
             c.op_begin(OpKind::Contains(k));
-            c.site_op(&format!("{structure}/contains"));
+            c.site_op(get_site);
             let r = match h {
                 Handle::List(l) => l.contains(c, k),
                 Handle::Map(m) => m.contains(c, k),
@@ -855,7 +860,7 @@ fn issue<C: PmemCtx>(
         }
         KvOp::Put(k) => {
             c.op_begin(OpKind::Insert(k, k));
-            c.site_op(&format!("{structure}/insert"));
+            c.site_op(put_site);
             let r = match h {
                 Handle::List(l) => l.insert(c, k, k),
                 Handle::Map(m) => m.insert(c, k, k),
@@ -867,7 +872,7 @@ fn issue<C: PmemCtx>(
         }
         KvOp::Del(k) => {
             c.op_begin(OpKind::Delete(k));
-            c.site_op(&format!("{structure}/delete"));
+            c.site_op(del_site);
             let r = match h {
                 Handle::List(l) => l.delete(c, k),
                 Handle::Map(m) => m.delete(c, k),

@@ -25,16 +25,19 @@ pub enum CohState {
 }
 
 /// One resident L1 line.
+///
+/// Persistency metadata (nvm-dirty / release / min-epoch) is *not*
+/// stored here: it lives in the cache's packed SoA columns, slot-
+/// indexed parallel to the flat tag table, so persist-engine scans
+/// read contiguous words instead of striding through these structs.
+/// Read it with [`L1Cache::meta`], write it with
+/// [`L1Cache::set_line_meta`].
 #[derive(Debug, Clone)]
 pub struct L1Line {
     /// The line address.
     pub line: LineAddr,
     /// Coherence state.
     pub state: CohState,
-    /// Persistency metadata (min-epoch, release bit, nvm-dirty).
-    /// Mutate only through [`L1Cache::set_line_meta`] (or the
-    /// [`L1ViewAdapter`]) — the dirty-set index tracks this field.
-    pub meta: LineMeta,
     /// Write events buffered since the line was last flushed.
     pub covered: Vec<EventId>,
     /// Written since fill (data differs from the LLC copy).
@@ -59,6 +62,13 @@ const EMPTY_TAG: LineAddr = LineAddr::MAX;
 pub struct L1Cache {
     sets: Vec<Vec<L1Line>>,
     tags: Vec<LineAddr>,
+    /// SoA persistency-metadata columns, slot-indexed parallel to
+    /// `tags` (`slot = s * ways + w`): one `nvm_dirty` bit per slot.
+    dirty_bits: Vec<u64>,
+    /// One `release` bit per slot.
+    release_bits: Vec<u64>,
+    /// Per-slot `min_epoch`.
+    min_epoch: Vec<u16>,
     ways: usize,
     /// `nsets - 1` when the set count is a power of two (the common
     /// 64-set geometry), else `usize::MAX` to select the modulo path.
@@ -76,6 +86,9 @@ impl L1Cache {
         L1Cache {
             sets: (0..sets).map(|_| Vec::new()).collect(),
             tags: vec![EMPTY_TAG; sets * ways],
+            dirty_bits: vec![0; (sets * ways).div_ceil(64)],
+            release_bits: vec![0; (sets * ways).div_ceil(64)],
+            min_epoch: vec![0; sets * ways],
             ways,
             set_mask: if sets.is_power_of_two() {
                 sets - 1
@@ -86,6 +99,32 @@ impl L1Cache {
             dirty_in_set: vec![0; sets],
             dirty_set_bits: vec![0; sets.div_ceil(64)],
         }
+    }
+
+    #[inline]
+    fn meta_at(&self, slot: usize) -> LineMeta {
+        let (w, b) = (slot / 64, 1u64 << (slot % 64));
+        LineMeta {
+            nvm_dirty: self.dirty_bits[w] & b != 0,
+            release: self.release_bits[w] & b != 0,
+            min_epoch: self.min_epoch[slot],
+        }
+    }
+
+    #[inline]
+    fn write_meta_at(&mut self, slot: usize, meta: LineMeta) {
+        let (w, b) = (slot / 64, 1u64 << (slot % 64));
+        if meta.nvm_dirty {
+            self.dirty_bits[w] |= b;
+        } else {
+            self.dirty_bits[w] &= !b;
+        }
+        if meta.release {
+            self.release_bits[w] |= b;
+        } else {
+            self.release_bits[w] &= !b;
+        }
+        self.min_epoch[slot] = meta.min_epoch;
     }
 
     fn set_of(&self, line: LineAddr) -> usize {
@@ -134,6 +173,14 @@ impl L1Cache {
         self.way_of(s, line).map(|w| &mut self.sets[s][w])
     }
 
+    /// A resident line's persistency metadata (default when absent).
+    pub fn meta(&self, line: LineAddr) -> LineMeta {
+        let s = self.set_of(line);
+        self.way_of(s, line)
+            .map(|w| self.meta_at(s * self.ways + w))
+            .unwrap_or_default()
+    }
+
     /// Overwrites a resident line's persistency metadata, maintaining
     /// the dirty-set index.
     pub fn set_line_meta(&mut self, line: LineAddr, meta: LineMeta) {
@@ -141,9 +188,9 @@ impl L1Cache {
         let Some(w) = self.way_of(s, line) else {
             return;
         };
-        let l = &mut self.sets[s][w];
-        let was = l.meta.nvm_dirty;
-        l.meta = meta;
+        let slot = s * self.ways + w;
+        let was = self.dirty_bits[slot / 64] & (1 << (slot % 64)) != 0;
+        self.write_meta_at(slot, meta);
         self.note_dirty_change(s, was, meta.nvm_dirty);
     }
 
@@ -196,8 +243,15 @@ impl L1Cache {
         let last = self.sets[s].len() - 1;
         self.tags[base + w] = self.tags[base + last];
         self.tags[base + last] = EMPTY_TAG;
+        // The metadata columns mirror the tags' swap_remove: the last
+        // slot's metadata moves into the vacated way, the last slot
+        // clears.
+        let was_dirty = self.meta_at(base + w).nvm_dirty;
+        let moved = self.meta_at(base + last);
+        self.write_meta_at(base + w, moved);
+        self.write_meta_at(base + last, LineMeta::default());
         let l = self.sets[s].swap_remove(w);
-        if l.meta.nvm_dirty {
+        if was_dirty {
             self.note_dirty_change(s, true, false);
         }
         Some(l)
@@ -212,10 +266,10 @@ impl L1Cache {
         self.clock += 1;
         let lru = self.clock;
         self.tags[s * self.ways + len] = line;
+        self.write_meta_at(s * self.ways + len, LineMeta::default());
         self.sets[s].push(L1Line {
             line,
             state,
-            meta: LineMeta::default(),
             covered: Vec::new(),
             dirty: false,
             lru,
@@ -228,11 +282,12 @@ impl L1Cache {
     pub fn take_covered(&mut self, line: LineAddr) -> Vec<EventId> {
         let s = self.set_of(line);
         if let Some(w) = self.way_of(s, line) {
-            let l = &mut self.sets[s][w];
-            let was = l.meta.nvm_dirty;
-            l.meta.nvm_dirty = false;
-            l.meta.release = false;
-            let covered = std::mem::take(&mut l.covered);
+            let slot = s * self.ways + w;
+            let (wd, b) = (slot / 64, 1u64 << (slot % 64));
+            let was = self.dirty_bits[wd] & b != 0;
+            self.dirty_bits[wd] &= !b;
+            self.release_bits[wd] &= !b;
+            let covered = std::mem::take(&mut self.sets[s][w].covered);
             self.note_dirty_change(s, was, false);
             covered
         } else {
@@ -246,17 +301,37 @@ impl L1Cache {
     }
 
     /// Visits every `nvm_dirty` line in `lines()` order, touching only
-    /// sets the dirty index marks.
+    /// sets the dirty index marks. The scan reads nothing but flat
+    /// columns — set bitmap, dirty-bit words, tags, and (for hits) the
+    /// release/epoch columns — never the `L1Line` structs, so a persist
+    /// plan streams contiguous words instead of striding through the
+    /// AoS storage.
     pub fn for_each_nvm_dirty(&self, f: &mut dyn FnMut(LineAddr, LineMeta)) {
         for (w, &word) in self.dirty_set_bits.iter().enumerate() {
             let mut bits = word;
             while bits != 0 {
                 let s = w * 64 + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
-                for l in &self.sets[s] {
-                    if l.meta.nvm_dirty {
-                        f(l.line, l.meta);
+                let base = s * self.ways;
+                // Walk the set's slots in residence order via the
+                // dirty-bit column (the slot range may straddle a word
+                // boundary for unusual geometries).
+                let mut off = 0;
+                while off < self.ways {
+                    let bit = (base + off) % 64;
+                    let avail = (64 - bit).min(self.ways - off);
+                    let mask = if avail == 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << avail) - 1
+                    };
+                    let mut dirty = (self.dirty_bits[(base + off) / 64] >> bit) & mask;
+                    while dirty != 0 {
+                        let slot = base + off + dirty.trailing_zeros() as usize;
+                        dirty &= dirty - 1;
+                        f(self.tags[slot], self.meta_at(slot));
                     }
+                    off += avail;
                 }
             }
         }
@@ -279,7 +354,7 @@ impl L1View for L1ViewAdapter<'_> {
     }
 
     fn meta(&self, line: LineAddr) -> LineMeta {
-        self.0.get(line).map(|l| l.meta).unwrap_or_default()
+        self.0.meta(line)
     }
 
     fn set_meta(&mut self, line: LineAddr, meta: LineMeta) {
@@ -335,8 +410,8 @@ mod tests {
             },
         );
         assert_eq!(c.take_covered(8), vec![1, 2, 3]);
-        let l = c.get(8).unwrap();
-        assert!(!l.meta.nvm_dirty && !l.meta.release);
+        let m = c.meta(8);
+        assert!(!m.nvm_dirty && !m.release);
         assert!(c.take_covered(8).is_empty(), "second take is empty");
     }
 
@@ -378,8 +453,8 @@ mod tests {
         }
         let brute = |c: &L1Cache| -> Vec<LineAddr> {
             c.lines()
-                .filter(|l| l.meta.nvm_dirty)
                 .map(|l| l.line)
+                .filter(|&l| c.meta(l).nvm_dirty)
                 .collect()
         };
         let indexed = |c: &L1Cache| -> Vec<LineAddr> {
@@ -422,11 +497,72 @@ mod tests {
         c.remove(4); // swap_remove reorders set 0
         let brute: Vec<LineAddr> = c
             .lines()
-            .filter(|l| l.meta.nvm_dirty)
             .map(|l| l.line)
+            .filter(|&l| c.meta(l).nvm_dirty)
             .collect();
         let mut indexed = Vec::new();
         c.for_each_nvm_dirty(&mut |line, _| indexed.push(line));
         assert_eq!(indexed, brute);
+    }
+
+    /// The SoA columns must follow the tags through `swap_remove`: a
+    /// line's release bit and min-epoch stay attached to *that line*
+    /// when another way in its set is removed.
+    #[test]
+    fn meta_columns_follow_swap_remove() {
+        let mut c = L1Cache::new(2, 4);
+        // Set 0 (even lines) gets three ways with distinct metadata.
+        for (l, epoch) in [(0u64, 3u16), (2, 7), (4, 11)] {
+            c.insert(l, CohState::M);
+            c.set_line_meta(
+                l,
+                LineMeta {
+                    nvm_dirty: true,
+                    release: epoch == 7,
+                    min_epoch: epoch,
+                },
+            );
+        }
+        // Removing way 0 swaps line 4's metadata into its slot.
+        c.remove(0);
+        assert_eq!(c.meta(2).min_epoch, 7);
+        assert!(c.meta(2).release);
+        assert_eq!(c.meta(4).min_epoch, 11);
+        assert!(!c.meta(4).release);
+        assert!(c.meta(0).min_epoch == 0 && !c.meta(0).nvm_dirty);
+        // The scan reports exactly the surviving lines, with the
+        // metadata they were given.
+        let mut seen = Vec::new();
+        c.for_each_nvm_dirty(&mut |line, meta| seen.push((line, meta.min_epoch)));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(2, 7), (4, 11)]);
+    }
+
+    /// Metadata columns work across word boundaries (ways that do not
+    /// divide 64 cleanly).
+    #[test]
+    fn odd_geometry_straddles_word_boundaries() {
+        let mut c = L1Cache::new(16, 5); // slots 60..65 straddle word 0/1
+        let lines: Vec<u64> = (0..16).map(|i| 12 + 16 * i).collect(); // all set 12
+        for (i, &l) in lines.iter().take(5).enumerate() {
+            c.insert(l, CohState::M);
+            c.set_line_meta(
+                l,
+                LineMeta {
+                    nvm_dirty: i % 2 == 0,
+                    release: false,
+                    min_epoch: i as u16,
+                },
+            );
+        }
+        let brute: Vec<LineAddr> = c
+            .lines()
+            .map(|l| l.line)
+            .filter(|&l| c.meta(l).nvm_dirty)
+            .collect();
+        let mut indexed = Vec::new();
+        c.for_each_nvm_dirty(&mut |line, _| indexed.push(line));
+        assert_eq!(indexed, brute);
+        assert_eq!(indexed.len(), 3);
     }
 }

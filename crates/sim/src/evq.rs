@@ -127,6 +127,60 @@ impl<T> EventWheel<T> {
         self.overflow_min = min;
     }
 
+    /// Drains **every** entry sharing the earliest queued time into
+    /// `out` (cleared first), in ascending `seq` order, and returns
+    /// that time. Because a slot holds entries of exactly one time
+    /// value (see the ordering invariant above), the batch is the
+    /// whole slot vector: the drain is one bitmap probe plus a buffer
+    /// swap, where `k` calls to [`pop`](Self::pop) would re-probe the
+    /// bitmap and linear-scan the shrinking slot `k` times. The swap
+    /// also recycles `out`'s capacity into the emptied slot, so a
+    /// run-loop reusing one scratch buffer allocates nothing in
+    /// steady state.
+    ///
+    /// Entries pushed *while the caller processes the batch* land at
+    /// the same or a later time with strictly larger `seq`s, so
+    /// `pop_batch`-then-process yields the exact `(time, seq)` global
+    /// order of repeated `pop` (a same-time straggler is simply
+    /// returned by the next call).
+    pub fn pop_batch(&mut self, out: &mut Vec<(u64, u64, T)>) -> Option<u64> {
+        out.clear();
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            let slot = self.next_occupied(self.cur as usize % CAPACITY);
+            if !self.overflow.is_empty() {
+                match slot.map(|s| self.slots[s][0].0) {
+                    Some(t) if self.overflow_min <= t => {
+                        self.cur = self.overflow_min;
+                        self.migrate_overflow();
+                        continue;
+                    }
+                    Some(_) => {}
+                    None => {
+                        self.cur = self.overflow_min;
+                        self.migrate_overflow();
+                        continue;
+                    }
+                }
+            }
+            let Some(s) = slot else {
+                unreachable!("len > 0 but no entries found")
+            };
+            let entries = &mut self.slots[s];
+            let t = entries[0].0;
+            std::mem::swap(entries, out);
+            self.occupied[s / 64] &= !(1 << (s % 64));
+            if out.len() > 1 {
+                out.sort_unstable_by_key(|e| e.1);
+            }
+            self.cur = t;
+            self.len -= out.len();
+            return Some(t);
+        }
+    }
+
     /// Removes and returns the earliest `(time, seq, payload)` entry.
     pub fn pop(&mut self) -> Option<(u64, u64, T)> {
         if self.len == 0 {
@@ -263,6 +317,55 @@ mod tests {
         }
         assert!(heap.is_empty());
         assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn batch_drain_matches_pop_order() {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut rng = 0xfeed_beef_0bad_cafeu64;
+        let mut wheel = EventWheel::new();
+        let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        let mut scratch: Vec<(u64, u64, (u64, u64))> = Vec::new();
+        for round in 0..8_000 {
+            // Bursts of same-cycle events so batches are > 1 entry,
+            // plus far overflow completions that tie back in on seq.
+            let burst = 1 + xorshift(&mut rng) % 4;
+            for _ in 0..burst {
+                let r = xorshift(&mut rng);
+                let delay = match r % 8 {
+                    0..=2 => 0,
+                    3..=5 => (r >> 8) % 48,
+                    6 => (r >> 8) % 300,
+                    _ => 1000 + (r >> 8) % 5_000,
+                };
+                seq += 1;
+                wheel.push(now + delay, seq, (now + delay, seq));
+                heap.push(Reverse((now + delay, seq)));
+            }
+            if round % 2 == 1 {
+                let t = wheel.pop_batch(&mut scratch).expect("wheel has entries");
+                assert!(!scratch.is_empty(), "a drained batch is never empty");
+                for &(bt, bs, payload) in &scratch {
+                    assert_eq!(bt, t, "batch mixes timestamps");
+                    let Reverse(expect) = heap.pop().expect("heap has entries");
+                    assert_eq!((bt, bs), expect, "batch order diverged from heap");
+                    assert_eq!(payload, expect);
+                }
+                now = t;
+            }
+        }
+        while wheel.pop_batch(&mut scratch).is_some() {
+            for &(bt, bs, _) in &scratch {
+                let Reverse(expect) = heap.pop().unwrap();
+                assert_eq!((bt, bs), expect);
+            }
+        }
+        assert!(heap.is_empty());
+        assert!(wheel.is_empty());
+        assert!(wheel.pop_batch(&mut scratch).is_none());
     }
 
     #[test]

@@ -88,6 +88,56 @@ fn render(structure: Structure, mech: Mechanism) -> String {
     out
 }
 
+/// A scaled sample of the paper tier's shape — a large pre-populated
+/// structure, a high simulated core count, few ops per thread — small
+/// enough to commit, big enough that the wide-mesh scheduling and
+/// eviction behavior the paper tier exercises is pinned byte-for-byte.
+fn paper_shaped_trace(structure: Structure) -> lrp_repro::model::Trace {
+    WorkloadSpec::new(structure)
+        .initial_size(4096)
+        .threads(16)
+        .ops_per_thread(8)
+        .seed(7)
+        .build_trace()
+}
+
+/// Canonical snapshot for one paper-shaped cell: `Stats` plus the
+/// persist-stamp vector (the full persist log at this scale would
+/// swamp review; stamps already pin persist planning per event).
+fn render_paper(structure: Structure, mech: Mechanism) -> String {
+    let trace = paper_shaped_trace(structure);
+    let r = Sim::new(SimConfig::new(mech), &trace).run();
+    let s = &r.stats;
+    let mut out = String::new();
+    writeln!(out, "golden-paper {}/{}", structure.name(), mech.name()).unwrap();
+    writeln!(
+        out,
+        "stats cycles={} ops={} load_hits={} load_misses={} stores={} \
+         downgrades={} evictions={} covered_writes={} noc_messages={} \
+         nvm_requests={} engine_runs={}",
+        s.cycles,
+        s.ops,
+        s.load_hits,
+        s.load_misses,
+        s.stores,
+        s.downgrades,
+        s.evictions,
+        s.covered_writes,
+        s.noc_messages,
+        s.nvm_requests,
+        s.engine_runs
+    )
+    .unwrap();
+    let mut stamps = String::new();
+    for ev in 0..trace.events.len() {
+        if let Some(st) = r.schedule.stamp(ev as u32) {
+            write!(stamps, " {ev}:{st}").unwrap();
+        }
+    }
+    writeln!(out, "stamps{stamps}").unwrap();
+    out
+}
+
 fn fixture_path(structure: Structure, mech: Mechanism) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests/golden")
@@ -121,6 +171,38 @@ fn golden_fixtures_match_byte_for_byte() {
                     path.display()
                 ));
             }
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn golden_paper_shaped_fixtures_match_byte_for_byte() {
+    let update = std::env::var_os("GOLDEN_UPDATE").is_some();
+    let mut failures = Vec::new();
+    for mech in [Mechanism::Lrp, Mechanism::Sb] {
+        let structure = Structure::HashMap;
+        let got = render_paper(structure, mech);
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/golden")
+            .join(format!("paper_{}_{}.txt", structure.name(), mech.name()));
+        if update {
+            std::fs::write(&path, &got).unwrap();
+            continue;
+        }
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing fixture {} ({e}); run with GOLDEN_UPDATE=1 to create",
+                path.display()
+            )
+        });
+        if got != want {
+            failures.push(format!(
+                "paper-shaped {}/{}: snapshot diverged from {}",
+                structure.name(),
+                mech.name(),
+                path.display()
+            ));
         }
     }
     assert!(failures.is_empty(), "{}", failures.join("\n"));
