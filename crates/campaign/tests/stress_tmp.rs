@@ -1,0 +1,10 @@
+use lrp_campaign::run_parallel;
+
+#[test]
+fn stress_steal_contention() {
+    for round in 0..2000 {
+        let items: Vec<usize> = (0..16).collect();
+        let r = run_parallel(items, 8, |i| i, |_| {});
+        assert_eq!(r.len(), 16, "round {round}");
+    }
+}
